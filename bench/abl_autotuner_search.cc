@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation (Section 5.3 design choice): GP-Bandit vs random search vs
+ * grid search as the autotuner's exploration strategy, at an equal
+ * trial budget over the same fleet telemetry.
+ *
+ * The paper argues GP-Bandit "learns the shape of the search space
+ * and guides parameter search towards the optimal point with the
+ * minimal number of trials". Expect GP-Bandit to match or beat the
+ * alternatives on best-feasible objective, and to get there in fewer
+ * trials.
+ */
+
+#include <iostream>
+
+#include "autotune/autotuner.h"
+#include "common.h"
+#include "util/thread_pool.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+int
+main()
+{
+    print_header("Ablation: autotuner search strategy",
+                 "GP-Bandit reaches the best feasible configuration in "
+                 "the fewest trials");
+
+    // One fleet run provides the telemetry all strategies replay.
+    FleetConfig config =
+        standard_fleet(6, 5, FarMemoryPolicy::kProactive, /*seed=*/13);
+    config.cluster.machine.slo.percentile_k = 99.9;
+    config.cluster.machine.slo.enable_delay = 40 * kMinute;
+    config.cluster.churn_per_hour = 0.15;
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    SimTime warmup = fleet.now() + 90 * kMinute;
+    fleet.run(5 * kHour);
+    std::vector<JobTrace> traces =
+        steady_state(fleet.merged_trace(), warmup).by_job();
+
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+
+    struct Row
+    {
+        SearchStrategy strategy;
+        const char *label;
+    };
+    const Row rows[] = {
+        {SearchStrategy::kGpBandit, "gp-bandit"},
+        {SearchStrategy::kRandom, "random"},
+        {SearchStrategy::kGrid, "grid"},
+    };
+
+    // Exhaustive reference: dense grid over the search space (what an
+    // unlimited budget would find).
+    double reference = 0.0;
+    {
+        AutotunerConfig dense;
+        dense.iterations = 144;
+        dense.strategy = SearchStrategy::kGrid;
+        Autotuner tuner(dense, config.cluster.machine.slo, &model,
+                        &traces);
+        SloConfig best = tuner.run();
+        reference = model.evaluate(traces, best).mean_captured_pages;
+    }
+    std::cout << "reference optimum (144-point grid): "
+              << fmt_double(reference, 0) << " captured pages\n\n";
+
+    TablePrinter table({"strategy", "trial budget",
+                        "mean best captured (3 seeds)", "% of optimum"});
+    for (std::size_t budget : {8u, 16u}) {
+        for (const Row &row : rows) {
+            double total = 0.0;
+            for (std::uint64_t seed : {21u, 22u, 23u}) {
+                AutotunerConfig tuner_config;
+                tuner_config.iterations = budget;
+                tuner_config.strategy = row.strategy;
+                tuner_config.seed = seed;
+                Autotuner tuner(tuner_config, config.cluster.machine.slo,
+                                &model, &traces);
+                SloConfig best = tuner.run();
+                total += model.evaluate(traces, best).mean_captured_pages;
+            }
+            double mean = total / 3.0;
+            table.add_row({row.label, fmt_int(static_cast<long long>(
+                                          budget)),
+                           fmt_double(mean, 0),
+                           fmt_percent(mean / reference)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading the table: on this fleet's landscape every "
+                 "strategy reaches (nearly) the optimum within a few "
+                 "trials -- the feasible region is broad and the "
+                 "objective flat near it. GP-Bandit's sample-efficiency "
+                 "advantage shows on harder landscapes (see the "
+                 "constrained synthetic problem in "
+                 "tests/autotune_test.cc, where it beats random search "
+                 "consistently); its value in the paper's setting is "
+                 "that it finds the boundary *safely* in few trials as "
+                 "dimensions are added.\n";
+    return 0;
+}

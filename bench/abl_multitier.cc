@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation (the paper's concluding future-work direction): zswap-only
+ * far memory vs a two-tier configuration that adds a fixed-capacity
+ * sub-microsecond NVM tier for moderately-cold pages.
+ *
+ * Expected shape, per the paper's discussion:
+ *   - two tiers serve promotions faster on average (hot-ish cold
+ *     pages come back from NVM at sub-us instead of single-digit-us
+ *     decompression) and shave decompression CPU;
+ *   - NVM also holds incompressible cold pages zswap must reject,
+ *     raising total far-memory coverage;
+ *   - but the hardware tier's fixed capacity strands when the cold
+ *     set is small -- the provisioning risk software-defined far
+ *     memory avoids (Section 2.1).
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "node/machine.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+struct Outcome
+{
+    double coverage = 0.0;
+    double nvm_share = 0.0;          ///< of far-memory pages
+    double nvm_utilization = 0.0;
+    double mean_promo_latency_us = 0.0;
+    double decompress_cycles = 0.0;
+    double stall_cycles_pct = 0.0;   ///< all fault stalls / app CPU
+};
+
+Outcome
+run_config(std::uint64_t nvm_capacity_pages, std::uint64_t seed)
+{
+    MachineConfig config;
+    config.dram_pages = 192ull * kMiB / kPageSize;
+    config.compression = CompressionMode::kModeled;
+    config.nvm.capacity_pages = nvm_capacity_pages;
+    Machine machine(0, config, seed);
+
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(seed + 1);
+    JobId next_id = 1;
+    for (int attempts = 0;
+         machine.resident_pages() < config.dram_pages * 3 / 4 &&
+         attempts < 200;
+         ++attempts) {
+        auto job = std::make_unique<Job>(
+            next_id++, mix.profiles[mix.sample(rng)], rng.next_u64(), 0);
+        if (machine.has_capacity_for(job->memcg().num_pages()))
+            machine.add_job(std::move(job));
+    }
+
+    for (SimTime now = 0; now < 5 * kHour; now += kMinute)
+        machine.step(now);
+
+    Outcome outcome;
+    outcome.coverage = machine.cold_memory_coverage();
+    std::uint64_t far = machine.far_memory_pages();
+    outcome.nvm_share =
+        far > 0 ? static_cast<double>(machine.nvm_stored_pages()) /
+                      static_cast<double>(far)
+                : 0.0;
+    if (machine.nvm_tier() != nullptr)
+        outcome.nvm_utilization = machine.nvm_tier()->utilization();
+
+    double app = 0.0, stalls = 0.0, latency_sum = 0.0;
+    std::uint64_t promotions = 0;
+    for (const auto &job : machine.jobs()) {
+        const MemcgStats &stats = job->memcg().stats();
+        app += stats.app_cycles;
+        stalls += stats.decompress_cycles + stats.nvm_stall_cycles;
+        outcome.decompress_cycles += stats.decompress_cycles;
+        latency_sum += stats.decompress_latency_us_sum +
+                       stats.nvm_read_latency_us_sum;
+        promotions += stats.zswap_promotions + stats.nvm_promotions;
+    }
+    if (promotions > 0)
+        outcome.mean_promo_latency_us =
+            latency_sum / static_cast<double>(promotions);
+    if (app > 0.0)
+        outcome.stall_cycles_pct = stalls / app * 100.0;
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Ablation: zswap-only vs two-tier far memory",
+                 "future work (Section 8): sub-us tier-1 + single-us "
+                 "tier-2, managed together");
+
+    TablePrinter table({"config", "coverage", "NVM share", "NVM util",
+                        "mean promo latency", "decompress cycles",
+                        "fault stalls (% CPU)"});
+    struct Case
+    {
+        std::uint64_t nvm_pages;
+        const char *label;
+    };
+    const Case cases[] = {
+        {0, "zswap only (paper)"},
+        {2048, "+ NVM 8 MiB"},
+        {8192, "+ NVM 32 MiB"},
+        {32768, "+ NVM 128 MiB (overprovisioned)"},
+    };
+    for (const Case &c : cases) {
+        Outcome outcome = run_config(c.nvm_pages, 41);
+        table.add_row(
+            {c.label, fmt_percent(outcome.coverage),
+             fmt_percent(outcome.nvm_share),
+             c.nvm_pages == 0 ? "-" : fmt_percent(outcome.nvm_utilization),
+             fmt_double(outcome.mean_promo_latency_us, 2) + " us",
+             fmt_double(outcome.decompress_cycles / 1e6, 1) + "M",
+             fmt_double(outcome.stall_cycles_pct, 4) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected: promotion latency and decompression CPU "
+                 "fall as the NVM tier grows; the overprovisioned row "
+                 "strands capacity (low utilization) -- the risk that "
+                 "motivated software-defined flexibility.\n";
+    return 0;
+}

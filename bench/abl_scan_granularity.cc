@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation (Section 5.1): kstaled's scan CPU vs access-information
+ * granularity. The paper reports kstaled consumes <11% of one logical
+ * core at a 120 s scan period, "empirically tuned... while trading
+ * off for finer-grained page access information".
+ *
+ * Striding the scan (visiting 1/k of pages per period) cuts scanner
+ * CPU by k but coarsens per-page recency by k. Expect coverage and
+ * SLO compliance to degrade gracefully as the stride grows.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "node/machine.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+struct Outcome
+{
+    double scan_cycles_per_page_min = 0.0;
+    double coverage = 0.0;
+    double promo_p98 = 0.0;
+};
+
+Outcome
+run_stride(std::uint32_t stride, std::uint64_t seed)
+{
+    MachineConfig config;
+    config.dram_pages = 192ull * kMiB / kPageSize;
+    config.compression = CompressionMode::kModeled;
+    config.kstaled.scan_stride = stride;
+    Machine machine(0, config, seed);
+    TraceLog trace;
+    machine.set_trace_sink(&trace);
+
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(seed + 3);
+    JobId next_id = 1;
+    for (int attempts = 0;
+         machine.resident_pages() < config.dram_pages * 3 / 4 &&
+         attempts < 200;
+         ++attempts) {
+        auto job = std::make_unique<Job>(
+            next_id++, mix.profiles[mix.sample(rng)], rng.next_u64(), 0);
+        if (machine.has_capacity_for(job->memcg().num_pages()))
+            machine.add_job(std::move(job));
+    }
+
+    const SimTime duration = 5 * kHour;
+    for (SimTime now = 0; now < duration; now += kMinute)
+        machine.step(now);
+
+    Outcome outcome;
+    double pages = static_cast<double>(machine.resident_pages() +
+                                       machine.far_memory_pages());
+    double minutes = static_cast<double>(duration) /
+                     static_cast<double>(kMinute);
+    outcome.scan_cycles_per_page_min =
+        machine.counters().kstaled_cycles / pages / minutes;
+    outcome.coverage = machine.cold_memory_coverage();
+    SampleSet rates =
+        promotion_rate_samples(steady_state(trace, 2 * kHour), 0);
+    if (!rates.empty())
+        outcome.promo_p98 = rates.percentile(98.0);
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Ablation: kstaled scan granularity",
+                 "scan CPU scales with 1/stride; recency resolution "
+                 "scales with stride");
+
+    TablePrinter table({"stride", "effective per-page period",
+                        "scan cycles/page/min", "coverage",
+                        "promo p98 (%WSS/min)"});
+    for (std::uint32_t stride : {1u, 2u, 4u, 8u}) {
+        Outcome outcome = run_stride(stride, 71);
+        table.add_row(
+            {fmt_int(stride),
+             fmt_int(static_cast<long long>(stride) * kScanPeriod / 60) +
+                 " min",
+             fmt_double(outcome.scan_cycles_per_page_min, 1),
+             fmt_percent(outcome.coverage),
+             fmt_double(outcome.promo_p98 * 100.0, 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading the table: scanner CPU falls linearly with "
+                 "the stride, as intended. Coverage *appears* to rise "
+                 "because a page idle for one period is indistinguishable "
+                 "from one idle for `stride` periods -- the 120 s cold "
+                 "boundary itself coarsens, so warmer pages get counted "
+                 "(and compressed) as cold. The controller stays "
+                 "self-consistent (promotion ages inflate identically, "
+                 "so the SLO holds), but the operator can no longer "
+                 "express sub-stride coldness definitions. That loss of "
+                 "resolution is why the paper pays <11% of one core for "
+                 "stride-1 scans at 120 s.\n";
+    return 0;
+}

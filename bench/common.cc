@@ -1,0 +1,69 @@
+#include "common.h"
+
+namespace sdfm {
+namespace bench {
+
+FleetConfig
+standard_fleet(std::uint32_t clusters, std::uint32_t machines,
+               FarMemoryPolicy policy, std::uint64_t seed)
+{
+    FleetConfig config;
+    config.num_clusters = clusters;
+    config.cluster.num_machines = machines;
+    config.cluster.machine.dram_pages = 128ull * kMiB / kPageSize;
+    config.cluster.machine.policy = policy;
+    config.cluster.machine.compression = CompressionMode::kModeled;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.target_utilization = 0.78;
+    config.cluster.churn_per_hour = 0.12;
+    config.seed = seed;
+    return config;
+}
+
+TraceLog
+steady_state(const TraceLog &log, SimTime min_timestamp)
+{
+    TraceLog out;
+    for (const TraceEntry &entry : log.entries()) {
+        if (entry.timestamp >= min_timestamp)
+            out.append(entry);
+    }
+    return out;
+}
+
+void
+print_header(const std::string &title, const std::string &paper_note)
+{
+    std::cout << "\n=== " << title << " ===\n";
+    if (!paper_note.empty())
+        std::cout << "paper: " << paper_note << "\n";
+    std::cout << "\n";
+}
+
+const std::vector<double> &
+cdf_grid()
+{
+    static const std::vector<double> grid = {
+        1.0,  2.0,  5.0,  10.0, 25.0, 50.0,
+        75.0, 90.0, 95.0, 98.0, 99.0, 100.0,
+    };
+    return grid;
+}
+
+void
+print_cdf(const std::string &value_label, const SampleSet &samples,
+          const std::string &unit)
+{
+    TablePrinter table({"percentile", value_label + " (" + unit + ")"});
+    for (double p : cdf_grid()) {
+        double v = samples.percentile(p);
+        table.add_row({fmt_double(p, 0),
+                       unit == "%" ? fmt_double(v * 100.0, 4)
+                                   : fmt_double(v, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "samples: " << samples.size() << "\n";
+}
+
+}  // namespace bench
+}  // namespace sdfm

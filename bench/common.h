@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benches: standard fleet
+ * configurations at bench scale, warm-up handling, and uniform
+ * printing of series/CDF tables. Every bench binary prints the rows
+ * the corresponding paper figure plots, plus the paper's reported
+ * numbers for shape comparison (see EXPERIMENTS.md).
+ */
+
+#ifndef SDFM_BENCH_COMMON_H
+#define SDFM_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/far_memory_system.h"
+#include "core/reports.h"
+#include "node/policy.h"
+#include "util/table.h"
+
+namespace sdfm {
+namespace bench {
+
+/** Standard bench-scale fleet: `clusters` x `machines` x 128 MiB. */
+FleetConfig standard_fleet(std::uint32_t clusters, std::uint32_t machines,
+                           FarMemoryPolicy policy, std::uint64_t seed = 42);
+
+/** Filter a trace log to entries at or after @p min_timestamp. */
+TraceLog steady_state(const TraceLog &log, SimTime min_timestamp);
+
+/** Print a titled header for a bench section. */
+void print_header(const std::string &title, const std::string &paper_note);
+
+/**
+ * Print the CDF of a sample set at the standard percentile grid,
+ * with values formatted by @p fmt.
+ */
+void print_cdf(const std::string &value_label, const SampleSet &samples,
+               const std::string &unit);
+
+/** Standard percentile grid used by the CDF figures. */
+const std::vector<double> &cdf_grid();
+
+}  // namespace bench
+}  // namespace sdfm
+
+#endif  // SDFM_BENCH_COMMON_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 5: fleet-wide cold-memory coverage over time across the
+ * rollout -- zswap with hand-tuned parameters first, then the
+ * ML-autotuned configuration.
+ *
+ * The paper: manually tuned parameters reach a stable ~15% coverage;
+ * deploying the GP-Bandit autotuner's configuration raises it to
+ * ~20%, a ~30% relative improvement, with no human in the loop.
+ *
+ * Method: two identically-seeded fleets run side by side. Both start
+ * under a conservative "educated guess" configuration; at mid-run the
+ * experimental fleet deploys the configuration found by GP-Bandit +
+ * fast-far-memory-model offline search over its own telemetry. The
+ * paired design cancels diurnal and churn noise, as the paper's
+ * within-fleet timeline does by spanning months.
+ */
+
+#include <iostream>
+
+#include "autotune/autotuner.h"
+#include "common.h"
+#include "util/thread_pool.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+FleetConfig
+manual_config()
+{
+    // The "educated guess" production configuration before
+    // autotuning: very conservative percentile and a long enablement
+    // delay, set from "a limited set of small-scale experiments".
+    FleetConfig config =
+        standard_fleet(6, 5, FarMemoryPolicy::kProactive, /*seed=*/5);
+    config.cluster.machine.slo.percentile_k = 99.9;
+    config.cluster.machine.slo.enable_delay = 40 * kMinute;
+    // Production-like job churn (Borg jobs are short-lived): capture
+    // must restart for every new job instance, which is what makes
+    // the S parameter and threshold aggressiveness matter.
+    config.cluster.churn_per_hour = 0.15;
+    return config;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 5: cold-memory coverage timeline",
+                 "manual ~15% -> autotuned ~20% (+30% relative)");
+
+    FleetConfig config = manual_config();
+    FarMemorySystem control(config);     // stays manual throughout
+    FarMemorySystem experiment(config);  // switches to autotuned
+    control.populate();
+    experiment.populate();
+
+    TablePrinter timeline({"time", "manual fleet", "experiment fleet",
+                           "experiment phase"});
+    RunningMean manual_mean, tuned_mean;
+
+    auto sample = [&](const char *phase, bool measure) {
+        timeline.add_row({fmt_double(static_cast<double>(control.now()) /
+                                         3600.0, 1) + " h",
+                          fmt_percent(control.fleet_coverage()),
+                          fmt_percent(experiment.fleet_coverage()), phase});
+        if (measure) {
+            manual_mean.add(control.fleet_coverage());
+            tuned_mean.add(experiment.fleet_coverage());
+        }
+    };
+
+    // Phase A-B: both fleets under the manual configuration.
+    for (int half_hour = 0; half_hour < 10; ++half_hour) {
+        control.run(30 * kMinute);
+        experiment.run(30 * kMinute);
+        sample("manual", false);
+    }
+
+    // Autotune offline from the experiment fleet's own telemetry.
+    TraceLog trace = steady_state(experiment.merged_trace(),
+                                  config.start_time + 2 * kHour);
+    std::vector<JobTrace> traces = trace.by_job();
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    AutotunerConfig tuner_config;
+    tuner_config.iterations = 18;
+    tuner_config.seed = 11;
+    Autotuner tuner(tuner_config, config.cluster.machine.slo, &model,
+                    &traces);
+    SloConfig tuned = tuner.run();
+    std::cout << "autotuner: K "
+              << fmt_double(config.cluster.machine.slo.percentile_k, 1)
+              << " -> " << fmt_double(tuned.percentile_k, 1) << ", S "
+              << config.cluster.machine.slo.enable_delay << "s -> "
+              << tuned.enable_delay << "s ("
+              << tuner.history().size() << " model trials)\n\n";
+
+    // Phase C-D: the experiment fleet deploys; both keep running.
+    experiment.deploy_slo(tuned);
+    for (int half_hour = 0; half_hour < 12; ++half_hour) {
+        control.run(30 * kMinute);
+        experiment.run(30 * kMinute);
+        // Skip the redeployment transient, then measure paired.
+        sample("autotuned", half_hour >= 4);
+    }
+
+    timeline.print(std::cout);
+    double gain = manual_mean.mean() > 0.0
+                      ? tuned_mean.mean() / manual_mean.mean() - 1.0
+                      : 0.0;
+    std::cout << "\nsteady coverage (paired hours): manual "
+              << fmt_percent(manual_mean.mean()) << ", autotuned "
+              << fmt_percent(tuned_mean.mean()) << " ("
+              << fmt_percent(gain)
+              << " relative gain; paper: 15% -> 20%, +30%)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 7: fleet-wide distribution of the per-job promotion rate
+ * normalized to working set size, before and after applying the ML
+ * autotuner.
+ *
+ * The paper: the 98th percentile stays below the 0.2 %/min SLO in
+ * both configurations; the autotuner raises the 25th-90th percentile
+ * band slightly -- it pushes harder only where the SLO has margin.
+ */
+
+#include <iostream>
+
+#include "autotune/autotuner.h"
+#include "common.h"
+#include "util/thread_pool.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+/** Run a fleet under the given SLO and return steady per-job
+ *  promotion-rate samples plus the resulting coverage. */
+SampleSet
+run_fleet(const SloConfig &slo, double *coverage, TraceLog *trace_out)
+{
+    FleetConfig config =
+        standard_fleet(6, 5, FarMemoryPolicy::kProactive, /*seed=*/7);
+    config.cluster.machine.slo = slo;
+    config.cluster.churn_per_hour = 0.1;
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    SimTime warmup = fleet.now() + 2 * kHour;
+    fleet.run(5 * kHour);
+    TraceLog steady = steady_state(fleet.merged_trace(), warmup);
+    if (coverage != nullptr)
+        *coverage = fleet.fleet_coverage();
+    if (trace_out != nullptr)
+        *trace_out = steady;
+    return job_promotion_rate_samples(steady, 0, /*skip_leading=*/6);
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 7: promotion rate CDF, before/after autotuner",
+                 "p98 < 0.2%/min of WSS in both; autotuner lifts the "
+                 "25th-90th percentile band");
+
+    // "Before": the conservative manual configuration.
+    SloConfig manual;
+    manual.percentile_k = 99.9;
+    manual.enable_delay = 40 * kMinute;
+    double manual_coverage = 0.0;
+    TraceLog manual_trace;
+    SampleSet before = run_fleet(manual, &manual_coverage, &manual_trace);
+
+    // Autotune offline from the manual run's telemetry.
+    std::vector<JobTrace> traces = manual_trace.by_job();
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    AutotunerConfig tuner_config;
+    tuner_config.iterations = 16;
+    tuner_config.seed = 3;
+    Autotuner tuner(tuner_config, manual, &model, &traces);
+    SloConfig tuned = tuner.run();
+
+    double tuned_coverage = 0.0;
+    SampleSet after = run_fleet(tuned, &tuned_coverage, nullptr);
+
+    TablePrinter table({"percentile", "before autotuner (%WSS/min)",
+                        "after autotuner (%WSS/min)"});
+    for (double p : cdf_grid()) {
+        table.add_row({fmt_double(p, 0),
+                       fmt_double(before.percentile(p) * 100.0, 4),
+                       fmt_double(after.percentile(p) * 100.0, 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\np98 before: "
+              << fmt_double(before.percentile(98.0) * 100.0, 4)
+              << "%/min, after: "
+              << fmt_double(after.percentile(98.0) * 100.0, 4)
+              << "%/min (SLO: 0.2%/min; the autotuner deploys at the "
+                 "modeled SLO boundary, so the realized tail lands "
+                 "within ~10% of it)\n"
+              << "coverage before: " << fmt_percent(manual_coverage)
+              << ", after: " << fmt_percent(tuned_coverage) << "\n";
+    return 0;
+}

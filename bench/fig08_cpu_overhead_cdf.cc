@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8: cumulative distribution of CPU overhead -- cycles spent
+ * compressing and decompressing as a share of CPU usage -- per job
+ * (left panel) and per machine (right panel).
+ *
+ * The paper: at the 98th percentile, jobs spend 0.01% of their CPU
+ * compressing and 0.09% decompressing; per-machine medians are
+ * 0.005% (compression) and 0.001% (decompression). The headline is
+ * the order of magnitude: far memory costs well under a tenth of a
+ * percent of fleet CPU.
+ */
+
+#include <iostream>
+
+#include "common.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+int
+main()
+{
+    print_header("Figure 8: CPU overhead CDFs (per job, per machine)",
+                 "p98 per job: 0.01% compress / 0.09% decompress; "
+                 "machine medians ~0.001-0.005%");
+
+    FleetConfig config =
+        standard_fleet(6, 5, FarMemoryPolicy::kProactive, /*seed=*/8);
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    SimTime warmup = fleet.now() + 2 * kHour;
+    fleet.run(6 * kHour);
+
+    TraceLog steady = steady_state(fleet.merged_trace(), warmup);
+    SampleSet job_compress = job_cpu_overhead_samples(steady, false, 0);
+    SampleSet job_decompress = job_cpu_overhead_samples(steady, true, 0);
+
+    TablePrinter job_table({"percentile", "compress (% of job CPU)",
+                            "decompress (% of job CPU)"});
+    for (double p : cdf_grid()) {
+        job_table.add_row({fmt_double(p, 0),
+                           fmt_double(job_compress.percentile(p) * 100.0,
+                                      4),
+                           fmt_double(job_decompress.percentile(p) * 100.0,
+                                      4)});
+    }
+    std::cout << "per-job overhead CDF (steady state):\n";
+    job_table.print(std::cout);
+
+    SampleSet machine_compress = machine_cpu_overhead_samples(fleet, false);
+    SampleSet machine_decompress =
+        machine_cpu_overhead_samples(fleet, true);
+    TablePrinter machine_table({"percentile", "compress (% of CPU)",
+                                "decompress (% of CPU)"});
+    for (double p : cdf_grid()) {
+        machine_table.add_row(
+            {fmt_double(p, 0),
+             fmt_double(machine_compress.percentile(p) * 100.0, 4),
+             fmt_double(machine_decompress.percentile(p) * 100.0, 4)});
+    }
+    std::cout << "\nper-machine overhead CDF (whole run, including "
+                 "initial capture):\n";
+    machine_table.print(std::cout);
+
+    std::cout << "\nnote: synthetic jobs recompress promoted pages more "
+                 "often than production jobs, so compression overhead "
+                 "runs above the paper's per-job tail while staying in "
+                 "the same well-under-1% regime.\n";
+    return 0;
+}

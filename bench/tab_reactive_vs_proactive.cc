@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Section 3.2 comparison: proactive SLO-driven zswap vs the upstream
+ * reactive (direct-reclaim-triggered) mechanism vs no far memory.
+ *
+ * The paper's observations, reproduced here as a table:
+ *   - reactive zswap materializes no savings until machines are
+ *     nearly saturated, and when it does trigger it stalls
+ *     application allocations (bursty last-minute compression,
+ *     unbounded decompression overhead);
+ *   - proactive compression harvests cold memory continuously with
+ *     bounded promotion rates and no allocation stalls.
+ *
+ * Two load levels are shown: moderate (70% packing) and high (97%
+ * packing with growing pressure).
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "node/machine.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+struct Outcome
+{
+    double freed_frac = 0.0;       ///< DRAM freed by compression
+    double stall_cycles_pct = 0.0; ///< direct-reclaim stalls / app CPU
+    std::uint64_t direct_reclaims = 0;
+    std::uint64_t evictions = 0;
+    double promotion_rate_p98 = 0.0;
+};
+
+Outcome
+run_machine(FarMemoryPolicy policy, double packing, std::uint64_t seed)
+{
+    MachineConfig config;
+    config.dram_pages = 192ull * kMiB / kPageSize;
+    config.policy = policy;
+    config.compression = CompressionMode::kModeled;
+    Machine machine(0, config, seed);
+    TraceLog trace;
+    machine.set_trace_sink(&trace);
+
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(seed * 7 + 1);
+    JobId next_id = 1;
+    auto target = static_cast<std::uint64_t>(
+        packing * static_cast<double>(config.dram_pages));
+    // Keep sampling until the target packing is met; jobs that do not
+    // fit are skipped (the cluster scheduler would place them
+    // elsewhere).
+    for (int attempts = 0;
+         machine.resident_pages() < target && attempts < 400;
+         ++attempts) {
+        auto job = std::make_unique<Job>(
+            next_id++, mix.profiles[mix.sample(rng)], rng.next_u64(), 0);
+        if (machine.resident_pages() + job->memcg().num_pages() <=
+            target) {
+            machine.add_job(std::move(job));
+        }
+    }
+
+    for (SimTime now = 0; now < 4 * kHour; now += kMinute)
+        machine.step(now);
+
+    Outcome outcome;
+    double app = 0.0, stalls = 0.0;
+    for (const auto &job : machine.jobs()) {
+        app += job->memcg().stats().app_cycles;
+        stalls += job->memcg().stats().direct_stall_cycles;
+    }
+    // Freed DRAM: stored uncompressed-equivalent minus the pool that
+    // holds the payloads.
+    double freed = static_cast<double>(machine.zswap_stored_pages()) -
+                   static_cast<double>(machine.zswap_pool_pages());
+    outcome.freed_frac = freed / static_cast<double>(config.dram_pages);
+    outcome.stall_cycles_pct = app > 0.0 ? stalls / app * 100.0 : 0.0;
+    outcome.direct_reclaims = machine.counters().direct_reclaims;
+    outcome.evictions = machine.counters().evictions;
+    SampleSet rates =
+        promotion_rate_samples(steady_state(trace, 2 * kHour), 0);
+    if (!rates.empty())
+        outcome.promotion_rate_p98 = rates.percentile(98.0);
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Section 3.2: reactive vs proactive zswap",
+                 "reactive saves nothing until saturation, then stalls "
+                 "allocations; proactive harvests continuously under "
+                 "the SLO");
+
+    TablePrinter table({"policy", "packing", "DRAM freed", "alloc stalls",
+                        "direct reclaims", "evictions",
+                        "promo p98 (%WSS/min)"});
+    struct Case
+    {
+        FarMemoryPolicy policy;
+        double packing;
+        const char *label;
+    };
+    const Case cases[] = {
+        {FarMemoryPolicy::kOff, 0.70, "off"},
+        {FarMemoryPolicy::kReactive, 0.70, "reactive"},
+        {FarMemoryPolicy::kProactive, 0.70, "proactive"},
+        {FarMemoryPolicy::kOff, 0.97, "off"},
+        {FarMemoryPolicy::kReactive, 0.97, "reactive"},
+        {FarMemoryPolicy::kProactive, 0.97, "proactive"},
+    };
+    for (const Case &c : cases) {
+        Outcome outcome = run_machine(c.policy, c.packing, 31);
+        table.add_row(
+            {c.label, fmt_percent(c.packing, 0),
+             fmt_percent(outcome.freed_frac),
+             fmt_double(outcome.stall_cycles_pct, 3) + "%",
+             fmt_int(static_cast<long long>(outcome.direct_reclaims)),
+             fmt_int(static_cast<long long>(outcome.evictions)),
+             fmt_double(outcome.promotion_rate_p98 * 100.0, 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected: at 70% packing, reactive == off (no "
+                 "savings); proactive frees memory at every load level "
+                 "with zero allocation stalls.\n";
+    return 0;
+}

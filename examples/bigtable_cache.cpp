@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bigtable-like in-memory cache servers under software-defined far
+ * memory (the paper's Section 6.4 case study).
+ *
+ * Runs an A/B pair of machine groups -- zswap disabled vs the
+ * proactive control plane -- over a simulated day of diurnal load,
+ * printing the hourly coverage of the experimental group and the
+ * application-level impact at the end.
+ *
+ * Run: ./bigtable_cache [hours]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "node/machine.h"
+#include "util/table.h"
+#include "workload/job.h"
+
+using namespace sdfm;
+
+namespace {
+
+struct Group
+{
+    std::vector<std::unique_ptr<Machine>> machines;
+};
+
+Group
+make_group(FarMemoryPolicy policy, std::uint64_t seed)
+{
+    Group group;
+    JobProfile bigtable = profile_by_name("bigtable");
+    MachineConfig config;
+    config.dram_pages = 192ull * kMiB / kPageSize;
+    config.policy = policy;
+    config.compression = CompressionMode::kModeled;
+    Rng rng(seed);
+    JobId next_id = policy == FarMemoryPolicy::kOff ? 1 : 1000;
+    for (int m = 0; m < 4; ++m) {
+        auto machine = std::make_unique<Machine>(
+            static_cast<std::uint32_t>(m), config, rng.next_u64());
+        for (int j = 0; j < 3; ++j) {
+            auto job = std::make_unique<Job>(next_id++, bigtable,
+                                             rng.next_u64(), 0);
+            if (machine->has_capacity_for(job->memcg().num_pages()))
+                machine->add_job(std::move(job));
+        }
+        group.machines.push_back(std::move(machine));
+    }
+    return group;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimTime hours = argc > 1 ? std::atoll(argv[1]) : 26;
+    if (hours <= 0)
+        hours = 26;
+
+    // Paired groups: identical workload seeds, only the policy
+    // differs.
+    Group control = make_group(FarMemoryPolicy::kOff, 7);
+    Group experiment = make_group(FarMemoryPolicy::kProactive, 7);
+
+    TablePrinter table({"hour", "coverage", "compressed memory",
+                        "promotions/min"});
+    std::uint64_t last_promotions = 0;
+    for (SimTime now = 0; now < hours * kHour; now += kMinute) {
+        for (auto &machine : control.machines)
+            machine->step(now);
+        std::uint64_t promotions = 0;
+        for (auto &machine : experiment.machines) {
+            machine->step(now);
+            promotions += machine->counters().promotions;
+        }
+        if ((now + kMinute) % (2 * kHour) == 0) {
+            std::uint64_t stored = 0, cold = 0, pool = 0;
+            for (auto &machine : experiment.machines) {
+                stored += machine->zswap_stored_pages();
+                cold += machine->cold_pages_min_threshold();
+                pool += machine->zswap_pool_pages();
+            }
+            double coverage =
+                cold > 0 ? static_cast<double>(stored) /
+                               static_cast<double>(cold)
+                         : 0.0;
+            table.add_row(
+                {fmt_int(((now + kMinute) / kHour) % 24),
+                 fmt_percent(coverage),
+                 fmt_bytes(static_cast<double>(stored - pool) * kPageSize),
+                 fmt_double(static_cast<double>(promotions -
+                                                last_promotions) /
+                                120.0, 1)});
+            last_promotions = promotions;
+        }
+    }
+    table.print(std::cout);
+
+    // Application impact: share of job CPU lost to far-memory stalls.
+    double app = 0.0, stalls = 0.0;
+    for (auto &machine : experiment.machines) {
+        for (const auto &job : machine->jobs()) {
+            app += job->memcg().stats().app_cycles;
+            stalls += job->memcg().stats().decompress_cycles;
+        }
+    }
+    std::printf("\napplication slowdown from far-memory faults: %.4f%% "
+                "(paper: IPC delta within noise)\n",
+                app > 0.0 ? stalls / app * 100.0 : 0.0);
+    return 0;
+}

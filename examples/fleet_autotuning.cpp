@@ -1,0 +1,119 @@
+/**
+ * @file
+ * End-to-end autotuning walkthrough (the paper's Section 5.3
+ * pipeline):
+ *
+ *   1. run a small fleet under the production configuration and
+ *      collect its 5-minute telemetry traces,
+ *   2. save/reload the traces through the text format (the external
+ *      database role),
+ *   3. replay them offline in the fast far-memory model under a few
+ *      hand-picked what-if configurations,
+ *   4. run the GP-Bandit autotuner and print its trial history,
+ *   5. deploy the winner back to the fleet.
+ *
+ * Run: ./fleet_autotuning
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "autotune/autotuner.h"
+#include "core/far_memory_system.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace sdfm;
+
+int
+main()
+{
+    // 1. Fleet under the production SLO.
+    FleetConfig config;
+    config.num_clusters = 3;
+    config.cluster.num_machines = 4;
+    config.cluster.machine.dram_pages = 128ull * kMiB / kPageSize;
+    config.cluster.machine.compression = CompressionMode::kModeled;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.churn_per_hour = 0.15;
+    config.seed = 17;
+    SloConfig production = config.cluster.machine.slo;
+
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    std::cout << "running " << fleet.num_jobs()
+              << " jobs for 4 simulated hours...\n";
+    SimTime warmup = fleet.now() + 90 * kMinute;
+    fleet.run(4 * kHour);
+
+    // 2. Telemetry round-trips through the external-database format.
+    std::stringstream db;
+    fleet.merged_trace().save(db);
+    TraceLog loaded;
+    if (!loaded.load(db)) {
+        std::cerr << "trace reload failed\n";
+        return 1;
+    }
+    TraceLog steady;
+    for (const TraceEntry &entry : loaded.entries()) {
+        if (entry.timestamp >= warmup)
+            steady.append(entry);
+    }
+    std::vector<JobTrace> traces = steady.by_job();
+    std::cout << "collected " << steady.size() << " trace windows from "
+              << traces.size() << " jobs\n\n";
+
+    // 3. Manual what-if analysis.
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    TablePrinter whatif({"K", "S", "captured pages", "p98 rate (%WSS/min)",
+                         "feasible"});
+    for (double k : {80.0, 98.0, 99.9}) {
+        for (SimTime s : {SimTime{60}, SimTime{600}, SimTime{1800}}) {
+            SloConfig candidate = production;
+            candidate.percentile_k = k;
+            candidate.enable_delay = s;
+            ModelResult result = model.evaluate(traces, candidate);
+            whatif.add_row(
+                {fmt_double(k, 1), fmt_int(s) + "s",
+                 fmt_double(result.mean_captured_pages, 0),
+                 fmt_double(result.p98_promotion_rate * 100.0, 4),
+                 result.p98_promotion_rate <=
+                         candidate.target_promotion_rate
+                     ? "yes"
+                     : "no"});
+        }
+    }
+    std::cout << "offline what-if analysis (fast far-memory model):\n";
+    whatif.print(std::cout);
+
+    // 4. GP-Bandit autotuning.
+    AutotunerConfig tuner_config;
+    tuner_config.iterations = 16;
+    tuner_config.seed = 23;
+    Autotuner tuner(tuner_config, production, &model, &traces);
+    SloConfig best = tuner.run();
+
+    std::cout << "\nGP-Bandit trials:\n";
+    TablePrinter history({"trial", "K", "S", "captured", "p98 rate",
+                          "feasible"});
+    int trial = 0;
+    for (const TrialRecord &record : tuner.history()) {
+        history.add_row(
+            {fmt_int(++trial), fmt_double(record.config.percentile_k, 1),
+             fmt_int(record.config.enable_delay) + "s",
+             fmt_double(record.result.mean_captured_pages, 0),
+             fmt_double(record.result.p98_promotion_rate * 100.0, 4),
+             record.feasible ? "yes" : "no"});
+    }
+    history.print(std::cout);
+
+    // 5. Deploy fleet-wide.
+    fleet.deploy_slo(best);
+    std::cout << "\ndeployed: K = " << fmt_double(best.percentile_k, 1)
+              << ", S = " << best.enable_delay << "s\n";
+    fleet.run(kHour);
+    std::cout << "fleet coverage one hour after deployment: "
+              << fmt_percent(fleet.fleet_coverage()) << "\n";
+    return 0;
+}

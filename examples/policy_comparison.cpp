@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Policy comparison on one machine: the paper's proactive SLO-driven
+ * control plane vs upstream Linux's reactive zswap vs a fixed
+ * threshold vs no far memory (Sections 3.2 and 4).
+ *
+ * Prints, per policy: memory freed, promotion behaviour, CPU
+ * overhead, and allocation stalls -- the trade-offs that motivated
+ * the paper's design.
+ *
+ * Run: ./policy_comparison
+ */
+
+#include <iostream>
+
+#include "node/machine.h"
+#include "util/table.h"
+#include "workload/job.h"
+
+using namespace sdfm;
+
+namespace {
+
+struct Row
+{
+    std::string freed;
+    std::string promotions;
+    std::string overhead;
+    std::string stalls;
+    std::string evictions;
+};
+
+Row
+run_policy(FarMemoryPolicy policy)
+{
+    MachineConfig config;
+    config.dram_pages = 256ull * kMiB / kPageSize;
+    config.policy = policy;
+    config.compression = CompressionMode::kModeled;
+    config.static_threshold = age_to_bucket(30 * kMinute);
+    Machine machine(0, config, 99);
+
+    // Pack to ~90% so the reactive baseline has something to react
+    // to as working sets breathe.
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(5);
+    JobId next_id = 1;
+    while (machine.resident_pages() <
+           config.dram_pages * 9 / 10) {
+        auto job = std::make_unique<Job>(
+            next_id++, mix.profiles[mix.sample(rng)], rng.next_u64(), 0);
+        if (machine.resident_pages() + job->memcg().num_pages() >
+            config.dram_pages) {
+            break;
+        }
+        machine.add_job(std::move(job));
+    }
+
+    for (SimTime now = 0; now < 4 * kHour; now += kMinute)
+        machine.step(now);
+
+    double app = 0.0, stalls = 0.0;
+    for (const auto &job : machine.jobs()) {
+        app += job->memcg().stats().app_cycles;
+        stalls += job->memcg().stats().direct_stall_cycles;
+    }
+    const ZswapStats &zs = machine.zswap().stats();
+    double freed =
+        (static_cast<double>(machine.zswap_stored_pages()) -
+         static_cast<double>(machine.zswap_pool_pages())) *
+        kPageSize;
+
+    Row row;
+    row.freed = fmt_bytes(freed);
+    row.promotions = fmt_int(static_cast<long long>(zs.promotions));
+    row.overhead =
+        app > 0.0
+            ? fmt_percent((zs.compress_cycles + zs.decompress_cycles) /
+                              app, 3)
+            : "-";
+    row.stalls = app > 0.0 ? fmt_percent(stalls / app, 4) : "-";
+    row.evictions =
+        fmt_int(static_cast<long long>(machine.counters().evictions));
+    return row;
+}
+
+}  // namespace
+
+int
+main()
+{
+    TablePrinter table({"policy", "DRAM freed", "promotions",
+                        "zswap CPU overhead", "alloc stalls",
+                        "evictions"});
+    struct Entry
+    {
+        FarMemoryPolicy policy;
+        const char *name;
+    };
+    const Entry entries[] = {
+        {FarMemoryPolicy::kOff, "off"},
+        {FarMemoryPolicy::kReactive, "reactive (upstream zswap)"},
+        {FarMemoryPolicy::kStatic, "static threshold (30 min)"},
+        {FarMemoryPolicy::kProactive, "proactive + SLO (paper)"},
+    };
+    for (const Entry &entry : entries) {
+        Row row = run_policy(entry.policy);
+        table.add_row({entry.name, row.freed, row.promotions,
+                       row.overhead, row.stalls, row.evictions});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nthe paper's design point: proactive frees memory "
+                 "continuously with bounded promotions and zero "
+                 "allocation stalls; reactive only acts under "
+                 "pressure and stalls allocating tasks when it does.\n";
+    return 0;
+}

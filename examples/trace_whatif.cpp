@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Trace tooling: collect fleet telemetry to a file, or replay a
+ * saved trace file through the fast far-memory model under arbitrary
+ * control-plane parameters -- the offline what-if workflow an
+ * operator would actually run (Section 5.3).
+ *
+ * Usage:
+ *   ./trace_whatif collect <out.trace> [hours]
+ *       run a small fleet and save its telemetry
+ *   ./trace_whatif whatif <in.trace> <K> <S_seconds> [window]
+ *       replay the trace under (K, S[, history window])
+ *   ./trace_whatif autotune <in.trace> [trials]
+ *       run the GP-Bandit search over the trace
+ *   ./trace_whatif stats <in.trace>
+ *       summarize the trace
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "autotune/autotuner.h"
+#include "core/far_memory_system.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace sdfm;
+
+namespace {
+
+int
+cmd_collect(const char *path, SimTime hours)
+{
+    FleetConfig config;
+    config.num_clusters = 3;
+    config.cluster.num_machines = 4;
+    config.cluster.machine.dram_pages = 128ull * kMiB / kPageSize;
+    config.cluster.machine.compression = CompressionMode::kModeled;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.churn_per_hour = 0.1;
+    config.seed = 29;
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    std::printf("running %llu jobs for %lld simulated hours...\n",
+                static_cast<unsigned long long>(fleet.num_jobs()),
+                static_cast<long long>(hours));
+    fleet.run(hours * kHour);
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    TraceLog trace = fleet.merged_trace();
+    trace.save(out);
+    std::printf("wrote %zu telemetry windows to %s\n", trace.size(), path);
+    return 0;
+}
+
+bool
+load_trace(const char *path, TraceLog *trace)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return false;
+    }
+    if (!trace->load(in)) {
+        std::fprintf(stderr, "%s: malformed trace\n", path);
+        return false;
+    }
+    return true;
+}
+
+int
+cmd_whatif(const char *path, double k, SimTime s, long window)
+{
+    TraceLog trace;
+    if (!load_trace(path, &trace))
+        return 1;
+    SloConfig slo;
+    slo.percentile_k = k;
+    slo.enable_delay = s;
+    if (window > 0)
+        slo.history_window = static_cast<std::size_t>(window);
+
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    ModelResult result = model.evaluate(trace.by_job(), slo);
+
+    TablePrinter table({"metric", "value"});
+    table.add_row({"K", fmt_double(k, 1)});
+    table.add_row({"S", fmt_int(s) + "s"});
+    table.add_row({"history window",
+                   fmt_int(static_cast<long long>(slo.history_window))});
+    table.add_row({"captured cold memory",
+                   fmt_bytes(result.mean_captured_pages * kPageSize)});
+    table.add_row({"captured fraction (mean job)",
+                   fmt_percent(result.mean_captured_fraction)});
+    table.add_row({"p98 promotion rate",
+                   fmt_double(result.p98_promotion_rate * 100.0, 4) +
+                       "%/min of WSS"});
+    table.add_row({"meets SLO (0.2%/min)",
+                   result.p98_promotion_rate <= 0.002 ? "yes" : "no"});
+    table.add_row({"windows replayed",
+                   fmt_int(static_cast<long long>(
+                       result.total_windows))});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmd_autotune(const char *path, std::size_t trials)
+{
+    TraceLog trace;
+    if (!load_trace(path, &trace))
+        return 1;
+    std::vector<JobTrace> traces = trace.by_job();
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    SloConfig base;
+    AutotunerConfig config;
+    config.iterations = trials;
+    Autotuner tuner(config, base, &model, &traces);
+    SloConfig best = tuner.run();
+    std::printf("best configuration after %zu trials: K = %.1f, "
+                "S = %lld s, window = %zu\n",
+                tuner.history().size(), best.percentile_k,
+                static_cast<long long>(best.enable_delay),
+                best.history_window);
+    ModelResult result = model.evaluate(traces, best);
+    std::printf("  captured: %s, p98 promotion rate: %.4f%%/min\n",
+                fmt_bytes(result.mean_captured_pages * kPageSize).c_str(),
+                result.p98_promotion_rate * 100.0);
+    return 0;
+}
+
+int
+cmd_stats(const char *path)
+{
+    TraceLog trace;
+    if (!load_trace(path, &trace))
+        return 1;
+    auto jobs = trace.by_job();
+    std::uint64_t promos = 0, stores = 0, rejects = 0;
+    double wss = 0.0;
+    for (const TraceEntry &entry : trace.entries()) {
+        promos += entry.sli.zswap_promotions_delta;
+        stores += entry.sli.zswap_stores_delta;
+        rejects += entry.sli.zswap_rejects_delta;
+        wss += static_cast<double>(entry.wss_pages);
+    }
+    std::printf("windows: %zu   jobs: %zu\n", trace.size(), jobs.size());
+    std::printf("promotions: %llu   stores: %llu   rejects: %llu\n",
+                static_cast<unsigned long long>(promos),
+                static_cast<unsigned long long>(stores),
+                static_cast<unsigned long long>(rejects));
+    if (!trace.entries().empty()) {
+        std::printf("mean WSS per window: %s\n",
+                    fmt_bytes(wss /
+                              static_cast<double>(trace.size()) *
+                              kPageSize)
+                        .c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_whatif collect <out.trace> [hours]\n"
+                 "  trace_whatif whatif <in.trace> <K> <S_seconds> "
+                 "[window]\n"
+                 "  trace_whatif autotune <in.trace> [trials]\n"
+                 "  trace_whatif stats <in.trace>\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+    if (std::strcmp(argv[1], "collect") == 0) {
+        SimTime hours = argc > 3 ? std::atoll(argv[3]) : 4;
+        return cmd_collect(argv[2], hours > 0 ? hours : 4);
+    }
+    if (std::strcmp(argv[1], "whatif") == 0 && argc >= 5) {
+        long window = argc > 5 ? std::atol(argv[5]) : 0;
+        return cmd_whatif(argv[2], std::atof(argv[3]),
+                          std::atoll(argv[4]), window);
+    }
+    if (std::strcmp(argv[1], "autotune") == 0) {
+        std::size_t trials =
+            argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 16;
+        return cmd_autotune(argv[2], trials == 0 ? 16 : trials);
+    }
+    if (std::strcmp(argv[1], "stats") == 0)
+        return cmd_stats(argv[2]);
+    usage();
+    return 2;
+}

@@ -1,0 +1,156 @@
+#include "autotune/autotuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sdfm {
+
+Autotuner::Autotuner(const AutotunerConfig &config, const SloConfig &base,
+                     const FarMemoryModel *model,
+                     const std::vector<JobTrace> *traces)
+    : config_(config), base_(base), model_(model), traces_(traces)
+{
+    SDFM_ASSERT(model_ != nullptr && traces_ != nullptr);
+    SDFM_ASSERT(config_.k_min < config_.k_max);
+    SDFM_ASSERT(config_.s_min < config_.s_max);
+    SDFM_ASSERT(config_.w_min < config_.w_max);
+}
+
+SloConfig
+Autotuner::decode(const Vector &x) const
+{
+    SDFM_ASSERT(x.size() == 3);
+    SloConfig slo = base_;
+    slo.percentile_k = config_.k_min + x[0] * (config_.k_max - config_.k_min);
+    slo.enable_delay =
+        config_.s_min +
+        static_cast<SimTime>(std::llround(
+            x[1] * static_cast<double>(config_.s_max - config_.s_min)));
+    slo.history_window =
+        config_.w_min +
+        static_cast<std::size_t>(std::llround(
+            x[2] * static_cast<double>(config_.w_max - config_.w_min)));
+    return slo;
+}
+
+Vector
+Autotuner::encode(const SloConfig &slo) const
+{
+    Vector x(3);
+    x[0] = (slo.percentile_k - config_.k_min) /
+           (config_.k_max - config_.k_min);
+    x[1] = static_cast<double>(slo.enable_delay - config_.s_min) /
+           static_cast<double>(config_.s_max - config_.s_min);
+    x[2] = (static_cast<double>(slo.history_window) -
+            static_cast<double>(config_.w_min)) /
+           static_cast<double>(config_.w_max - config_.w_min);
+    for (double &v : x)
+        v = std::clamp(v, 0.0, 1.0);
+    return x;
+}
+
+TrialRecord
+Autotuner::evaluate(const SloConfig &candidate)
+{
+    TrialRecord record;
+    record.config = candidate;
+    record.result = model_->evaluate(*traces_, candidate);
+    record.feasible =
+        record.result.p98_promotion_rate <=
+        candidate.target_promotion_rate * config_.feasibility_margin;
+    return record;
+}
+
+SloConfig
+Autotuner::run()
+{
+    history_.clear();
+    Rng rng(config_.seed);
+
+    auto record_trial = [&](const Vector &x, GpBandit *bandit) {
+        TrialRecord record = evaluate(decode(x));
+        history_.push_back(record);
+        if (bandit != nullptr) {
+            bandit->add_observation(x,
+                                    record.result.mean_captured_pages,
+                                    record.result.p98_promotion_rate);
+        }
+        return record;
+    };
+
+    switch (config_.strategy) {
+      case SearchStrategy::kGpBandit: {
+        BanditConfig bandit_config = config_.bandit;
+        bandit_config.dims = 3;
+        GpBandit bandit(bandit_config,
+                        base_.target_promotion_rate *
+                            config_.feasibility_margin,
+                        rng.next_u64());
+        // Seed with the production configuration plus random probes.
+        record_trial(encode(base_), &bandit);
+        for (std::size_t i = 1;
+             i < config_.initial_random && i < config_.iterations; ++i) {
+            Vector x = {rng.next_double(), rng.next_double(),
+                        rng.next_double()};
+            record_trial(x, &bandit);
+        }
+        while (history_.size() < config_.iterations)
+            record_trial(bandit.suggest(), &bandit);
+        break;
+      }
+      case SearchStrategy::kRandom: {
+        record_trial(encode(base_), nullptr);
+        while (history_.size() < config_.iterations) {
+            Vector x = {rng.next_double(), rng.next_double(),
+                        rng.next_double()};
+            record_trial(x, nullptr);
+        }
+        break;
+      }
+      case SearchStrategy::kGrid: {
+        auto side = static_cast<std::size_t>(std::floor(
+            std::cbrt(static_cast<double>(config_.iterations))));
+        if (side < 2)
+            side = 2;
+        for (std::size_t i = 0; i < side; ++i) {
+            for (std::size_t j = 0; j < side; ++j) {
+                for (std::size_t k = 0; k < side; ++k) {
+                    if (history_.size() >= config_.iterations)
+                        break;
+                    Vector x = {
+                        static_cast<double>(i) /
+                            static_cast<double>(side - 1),
+                        static_cast<double>(j) /
+                            static_cast<double>(side - 1),
+                        static_cast<double>(k) /
+                            static_cast<double>(side - 1),
+                    };
+                    record_trial(x, nullptr);
+                }
+            }
+        }
+        break;
+      }
+    }
+
+    // Pick the best feasible trial.
+    const TrialRecord *best = nullptr;
+    for (const auto &record : history_) {
+        if (!record.feasible)
+            continue;
+        if (best == nullptr || record.result.mean_captured_pages >
+                                   best->result.mean_captured_pages) {
+            best = &record;
+        }
+    }
+    if (best == nullptr) {
+        warn("autotuner: no feasible configuration found; keeping base");
+        return base_;
+    }
+    return best->config;
+}
+
+}  // namespace sdfm

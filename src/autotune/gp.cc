@@ -1,0 +1,190 @@
+#include "autotune/gp.h"
+
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+GaussianProcess::GaussianProcess(KernelType kernel) : kernel_type_(kernel)
+{
+}
+
+double
+GaussianProcess::kernel(const Vector &a, const Vector &b,
+                        const GpParams &params) const
+{
+    SDFM_ASSERT(a.size() == b.size());
+    SDFM_ASSERT(params.length_scales.size() == a.size());
+    double r2 = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+        double diff = (a[d] - b[d]) / params.length_scales[d];
+        r2 += diff * diff;
+    }
+    switch (kernel_type_) {
+      case KernelType::kRbf:
+        return params.signal_variance * std::exp(-0.5 * r2);
+      case KernelType::kMatern52: {
+        double r = std::sqrt(r2);
+        double s = std::sqrt(5.0) * r;
+        return params.signal_variance * (1.0 + s + 5.0 * r2 / 3.0) *
+               std::exp(-s);
+      }
+      default:
+        panic("bad KernelType %d", static_cast<int>(kernel_type_));
+    }
+}
+
+bool
+GaussianProcess::factor(const std::vector<Vector> &x, const GpParams &params,
+                        std::unique_ptr<Cholesky> *chol) const
+{
+    std::size_t n = x.size();
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double v = kernel(x[i], x[j], params);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += params.noise_variance;
+    }
+    // Jitter escalation for numerical robustness.
+    double jitter = 0.0;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        Matrix kj = k;
+        for (std::size_t i = 0; i < n; ++i)
+            kj(i, i) += jitter;
+        auto candidate = std::make_unique<Cholesky>(kj);
+        if (candidate->ok()) {
+            *chol = std::move(candidate);
+            return true;
+        }
+        jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
+    }
+    return false;
+}
+
+double
+GaussianProcess::log_marginal_likelihood(const std::vector<Vector> &x,
+                                         const Vector &y,
+                                         const GpParams &params) const
+{
+    std::unique_ptr<Cholesky> chol;
+    if (!factor(x, params, &chol))
+        return -1e300;
+    Vector alpha = chol->solve(y);
+    double n = static_cast<double>(x.size());
+    return -0.5 * dot(y, alpha) - 0.5 * chol->log_det() -
+           0.5 * n * std::log(2.0 * M_PI);
+}
+
+void
+GaussianProcess::fit_with_params(const std::vector<Vector> &x,
+                                 const Vector &y, const GpParams &params)
+{
+    SDFM_ASSERT(!x.empty() && x.size() == y.size());
+    x_ = x;
+    params_ = params;
+
+    // Standardize targets.
+    double sum = 0.0;
+    for (double v : y)
+        sum += v;
+    y_mean_ = sum / static_cast<double>(y.size());
+    double var = 0.0;
+    for (double v : y)
+        var += (v - y_mean_) * (v - y_mean_);
+    y_std_ = std::sqrt(var / static_cast<double>(y.size()));
+    if (y_std_ < 1e-12)
+        y_std_ = 1.0;
+    y_standardized_.resize(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y_standardized_[i] = (y[i] - y_mean_) / y_std_;
+
+    bool ok = factor(x_, params_, &chol_);
+    SDFM_ASSERT(ok);
+    alpha_ = chol_->solve(y_standardized_);
+}
+
+void
+GaussianProcess::fit(const std::vector<Vector> &x, const Vector &y)
+{
+    SDFM_ASSERT(!x.empty() && x.size() == y.size());
+    std::size_t dims = x.front().size();
+
+    // Standardize targets first so the grid's signal variance of 1
+    // is appropriate.
+    Vector ys(y.size());
+    double sum = 0.0;
+    for (double v : y)
+        sum += v;
+    double mean = sum / static_cast<double>(y.size());
+    double var = 0.0;
+    for (double v : y)
+        var += (v - mean) * (v - mean);
+    double stddev = std::sqrt(var / static_cast<double>(y.size()));
+    if (stddev < 1e-12)
+        stddev = 1.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        ys[i] = (y[i] - mean) / stddev;
+
+    static const double kScales[] = {0.08, 0.15, 0.3, 0.6, 1.2};
+    static const double kNoises[] = {1e-6, 1e-4, 1e-2};
+
+    GpParams best;
+    best.length_scales.assign(dims, 0.3);
+    double best_lml = -1e300;
+    // Isotropic grid first (all dims share a scale), then refine one
+    // dimension at a time -- cheap and adequate for 2-3 dims.
+    for (double scale : kScales) {
+        for (double noise : kNoises) {
+            GpParams candidate;
+            candidate.signal_variance = 1.0;
+            candidate.noise_variance = noise;
+            candidate.length_scales.assign(dims, scale);
+            double lml = log_marginal_likelihood(x, ys, candidate);
+            if (lml > best_lml) {
+                best_lml = lml;
+                best = candidate;
+            }
+        }
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+        for (double scale : kScales) {
+            GpParams candidate = best;
+            candidate.length_scales[d] = scale;
+            double lml = log_marginal_likelihood(x, ys, candidate);
+            if (lml > best_lml) {
+                best_lml = lml;
+                best = candidate;
+            }
+        }
+    }
+    fit_with_params(x, y, best);
+}
+
+GpPrediction
+GaussianProcess::predict(const Vector &x) const
+{
+    SDFM_ASSERT(chol_ != nullptr);
+    std::size_t n = x_.size();
+    Vector k_star(n);
+    for (std::size_t i = 0; i < n; ++i)
+        k_star[i] = kernel(x_[i], x, params_);
+
+    GpPrediction pred;
+    double mean_std = dot(k_star, alpha_);
+    // var = k(x,x) - k*^T K^-1 k*  via the Cholesky factor.
+    Vector v = chol_->solve_lower(k_star);
+    double var_std = kernel(x, x, params_) - dot(v, v);
+    if (var_std < 0.0)
+        var_std = 0.0;
+
+    pred.mean = mean_std * y_std_ + y_mean_;
+    pred.variance = var_std * y_std_ * y_std_;
+    return pred;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Exact Gaussian-process regression: the surrogate model inside the
+ * GP-Bandit optimizer (Section 5.3). Supports RBF and Matern-5/2
+ * kernels with per-dimension (ARD) length scales, jittered Cholesky
+ * factorization, and hyperparameter selection by maximizing the log
+ * marginal likelihood over a small grid.
+ *
+ * Inputs are expected in the unit hypercube; targets are standardized
+ * internally.
+ */
+
+#ifndef SDFM_AUTOTUNE_GP_H
+#define SDFM_AUTOTUNE_GP_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/linalg.h"
+
+namespace sdfm {
+
+/** Kernel families. */
+enum class KernelType
+{
+    kRbf,
+    kMatern52,
+};
+
+/** GP hyperparameters. */
+struct GpParams
+{
+    double signal_variance = 1.0;
+    double noise_variance = 1e-4;
+    std::vector<double> length_scales;  ///< one per input dimension
+};
+
+/** Posterior mean and variance at one point. */
+struct GpPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0;
+};
+
+/** Exact GP regressor. */
+class GaussianProcess
+{
+  public:
+    explicit GaussianProcess(KernelType kernel = KernelType::kMatern52);
+
+    /**
+     * Fit to observations, selecting hyperparameters by grid search
+     * over length scales and noise that maximizes the log marginal
+     * likelihood. Requires at least one observation; all x must share
+     * one dimensionality.
+     */
+    void fit(const std::vector<Vector> &x, const Vector &y);
+
+    /**
+     * Fit with fixed hyperparameters (no grid search). Exposed for
+     * tests and for callers that tune externally.
+     */
+    void fit_with_params(const std::vector<Vector> &x, const Vector &y,
+                         const GpParams &params);
+
+    /** Posterior prediction at @p x (in original y units). */
+    GpPrediction predict(const Vector &x) const;
+
+    /**
+     * Log marginal likelihood of the standardized targets under the
+     * given hyperparameters (for tests / external tuning).
+     */
+    double log_marginal_likelihood(const std::vector<Vector> &x,
+                                   const Vector &y,
+                                   const GpParams &params) const;
+
+    const GpParams &params() const { return params_; }
+    std::size_t num_observations() const { return x_.size(); }
+
+  private:
+    double kernel(const Vector &a, const Vector &b,
+                  const GpParams &params) const;
+
+    /** Build K + noise*I and factor it; false if not SPD even with
+     *  jitter. */
+    bool factor(const std::vector<Vector> &x, const GpParams &params,
+                std::unique_ptr<Cholesky> *chol) const;
+
+    KernelType kernel_type_;
+    GpParams params_;
+    std::vector<Vector> x_;
+    Vector y_standardized_;
+    double y_mean_ = 0.0;
+    double y_std_ = 1.0;
+    std::unique_ptr<Cholesky> chol_;
+    Vector alpha_;  ///< K^-1 y
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_AUTOTUNE_GP_H

@@ -1,0 +1,136 @@
+#include "autotune/gp_bandit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+namespace {
+
+/** Standard normal CDF. */
+double
+normal_cdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+GpBandit::GpBandit(const BanditConfig &config, double constraint_limit,
+                   std::uint64_t seed)
+    : config_(config), constraint_limit_(constraint_limit), rng_(seed)
+{
+    SDFM_ASSERT(config_.dims > 0);
+}
+
+void
+GpBandit::add_observation(const Vector &x, double objective,
+                          double constraint)
+{
+    SDFM_ASSERT(x.size() == config_.dims);
+    for (double v : x)
+        SDFM_ASSERT(v >= 0.0 && v <= 1.0);
+    observations_.push_back({x, objective, constraint});
+}
+
+Vector
+GpBandit::random_point()
+{
+    Vector x(config_.dims);
+    for (double &v : x)
+        v = rng_.next_double();
+    return x;
+}
+
+double
+GpBandit::acquisition(const GaussianProcess &objective_gp,
+                      const GaussianProcess &constraint_gp,
+                      const Vector &x) const
+{
+    GpPrediction obj = objective_gp.predict(x);
+    double ucb = obj.mean + config_.ucb_beta * std::sqrt(obj.variance);
+
+    GpPrediction con = constraint_gp.predict(x);
+    double stddev = std::sqrt(con.variance);
+    double feasible_prob =
+        stddev > 1e-15
+            ? normal_cdf((constraint_limit_ - con.mean) / stddev)
+            : (con.mean <= constraint_limit_ ? 1.0 : 0.0);
+
+    // Feasibility-weighted UCB with a large penalty for likely
+    // violations: the penalty dominates wherever the constraint GP is
+    // confident the SLO would be breached.
+    return ucb * feasible_prob - (1.0 - feasible_prob) * 1e6;
+}
+
+Vector
+GpBandit::suggest()
+{
+    if (observations_.size() < 2)
+        return random_point();
+
+    std::vector<Vector> xs;
+    Vector obj_ys, con_ys;
+    xs.reserve(observations_.size());
+    for (const auto &obs : observations_) {
+        xs.push_back(obs.x);
+        obj_ys.push_back(obs.objective);
+        con_ys.push_back(obs.constraint);
+    }
+    GaussianProcess objective_gp(KernelType::kMatern52);
+    objective_gp.fit(xs, obj_ys);
+    GaussianProcess constraint_gp(KernelType::kMatern52);
+    constraint_gp.fit(xs, con_ys);
+
+    Vector best_x = random_point();
+    double best_acq = acquisition(objective_gp, constraint_gp, best_x);
+
+    auto consider = [&](const Vector &x) {
+        double acq = acquisition(objective_gp, constraint_gp, x);
+        if (acq > best_acq) {
+            best_acq = acq;
+            best_x = x;
+        }
+    };
+
+    for (std::size_t i = 1; i < config_.candidates; ++i)
+        consider(random_point());
+
+    // Local refinement around the incumbent.
+    BanditObservation incumbent = best_feasible();
+    for (std::size_t i = 0; i < config_.local_candidates; ++i) {
+        Vector x = incumbent.x;
+        for (double &v : x) {
+            v += rng_.next_gaussian(0.0, config_.local_sigma);
+            v = std::clamp(v, 0.0, 1.0);
+        }
+        consider(x);
+    }
+    return best_x;
+}
+
+BanditObservation
+GpBandit::best_feasible() const
+{
+    SDFM_ASSERT(!observations_.empty());
+    const BanditObservation *best = nullptr;
+    for (const auto &obs : observations_) {
+        if (obs.constraint > constraint_limit_)
+            continue;
+        if (best == nullptr || obs.objective > best->objective)
+            best = &obs;
+    }
+    if (best == nullptr) {
+        // Nothing feasible yet: least-violating point.
+        best = &observations_.front();
+        for (const auto &obs : observations_) {
+            if (obs.constraint < best->constraint)
+                best = &obs;
+        }
+    }
+    return *best;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Constrained GP-UCB bandit: the black-box optimizer behind the
+ * autotuner (Section 5.3; Srinivas et al., "GP optimization in the
+ * bandit setting").
+ *
+ * The objective (fleet cold memory captured) and the constraint
+ * (fleet p98 promotion rate) each get their own GP surrogate. The
+ * acquisition is UCB of the objective multiplied by the posterior
+ * probability of constraint feasibility, maximized over random
+ * candidates plus local perturbations of the incumbent.
+ */
+
+#ifndef SDFM_AUTOTUNE_GP_BANDIT_H
+#define SDFM_AUTOTUNE_GP_BANDIT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "autotune/gp.h"
+#include "util/rng.h"
+
+namespace sdfm {
+
+/** Bandit settings. */
+struct BanditConfig
+{
+    std::size_t dims = 2;
+
+    /** UCB exploration weight: acquisition mean + beta * stddev. */
+    double ucb_beta = 2.0;
+
+    /** Random candidates scored per suggest() call. */
+    std::size_t candidates = 512;
+
+    /** Local perturbations of the best feasible observation. */
+    std::size_t local_candidates = 64;
+
+    /** Stddev of local perturbations (unit-cube units). */
+    double local_sigma = 0.07;
+};
+
+/** One observation. */
+struct BanditObservation
+{
+    Vector x;           ///< point in the unit hypercube
+    double objective;   ///< value to maximize
+    double constraint;  ///< feasible iff <= the configured limit
+};
+
+/** Constrained GP-UCB optimizer. */
+class GpBandit
+{
+  public:
+    /**
+     * @param config Settings; config.dims must match all points.
+     * @param constraint_limit Feasibility: constraint <= limit.
+     * @param seed Candidate-sampling seed.
+     */
+    GpBandit(const BanditConfig &config, double constraint_limit,
+             std::uint64_t seed);
+
+    /** Record an evaluated point. */
+    void add_observation(const Vector &x, double objective,
+                         double constraint);
+
+    /**
+     * Propose the next point to evaluate. With fewer than two
+     * observations, returns a quasi-random point.
+     */
+    Vector suggest();
+
+    /**
+     * Best observed feasible point; falls back to the point with the
+     * smallest constraint value if nothing is feasible yet.
+     */
+    BanditObservation best_feasible() const;
+
+    const std::vector<BanditObservation> &observations() const
+    {
+        return observations_;
+    }
+
+  private:
+    double acquisition(const GaussianProcess &objective_gp,
+                       const GaussianProcess &constraint_gp,
+                       const Vector &x) const;
+
+    Vector random_point();
+
+    BanditConfig config_;
+    double constraint_limit_;
+    Rng rng_;
+    std::vector<BanditObservation> observations_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_AUTOTUNE_GP_BANDIT_H

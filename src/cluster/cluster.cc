@@ -1,0 +1,228 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+Cluster::Cluster(std::uint32_t cluster_id, const ClusterConfig &config,
+                 std::uint64_t seed)
+    : cluster_id_(cluster_id), config_(config), rng_(seed),
+      next_job_id_(static_cast<JobId>(cluster_id) << 40)
+{
+    SDFM_ASSERT(config_.num_machines > 0);
+    SDFM_ASSERT(!config_.mix.profiles.empty());
+    machines_.reserve(config_.num_machines);
+    for (std::uint32_t m = 0; m < config_.num_machines; ++m) {
+        MachineConfig machine_config = config_.machine;
+        if (!config_.platform_ghz.empty()) {
+            machine_config.cost_model.cpu_ghz = config_.platform_ghz
+                [rng_.next_below(config_.platform_ghz.size())];
+        }
+        machines_.push_back(std::make_unique<Machine>(
+            m, machine_config, rng_.next_u64()));
+        machines_.back()->set_trace_sink(&trace_log_);
+    }
+}
+
+Machine *
+Cluster::pick_machine(std::uint64_t pages)
+{
+    std::vector<Machine *> fits;
+    for (auto &machine : machines_) {
+        if (machine->has_capacity_for(pages))
+            fits.push_back(machine.get());
+    }
+    if (fits.empty())
+        return nullptr;
+    switch (config_.placement) {
+      case PlacementStrategy::kFirstFit:
+        return fits.front();
+      case PlacementStrategy::kRandomFit:
+        return fits[rng_.next_below(fits.size())];
+      case PlacementStrategy::kWorstFit:
+      default:
+        return *std::max_element(fits.begin(), fits.end(),
+                                 [](Machine *a, Machine *b) {
+                                     return a->free_pages() <
+                                            b->free_pages();
+                                 });
+    }
+}
+
+bool
+Cluster::schedule_new_job(SimTime now)
+{
+    std::size_t profile_idx = config_.mix.sample(rng_);
+    const JobProfile &profile = config_.mix.profiles[profile_idx];
+    auto job = std::make_unique<Job>(next_job_id_, profile,
+                                     rng_.next_u64(), now);
+    Machine *machine = pick_machine(job->memcg().num_pages());
+    if (machine == nullptr)
+        return false;
+    ++next_job_id_;
+    machine->add_job(std::move(job));
+    return true;
+}
+
+void
+Cluster::populate(SimTime now)
+{
+    std::uint64_t total_dram =
+        static_cast<std::uint64_t>(config_.num_machines) *
+        config_.machine.dram_pages;
+    auto target = static_cast<std::uint64_t>(
+        config_.target_utilization * static_cast<double>(total_dram));
+    std::uint64_t resident = 0;
+    for (const auto &machine : machines_)
+        resident += machine->resident_pages();
+    while (resident < target) {
+        std::uint64_t before = resident;
+        if (!schedule_new_job(now))
+            break;
+        resident = 0;
+        for (const auto &machine : machines_)
+            resident += machine->resident_pages();
+        SDFM_ASSERT(resident > before);
+    }
+}
+
+ClusterStepResult
+Cluster::step(SimTime now)
+{
+    ClusterStepResult result;
+
+    for (auto &machine : machines_) {
+        MachineStepResult step = machine->step(now);
+        result.accesses += step.accesses;
+        result.promotions += step.promotions;
+        result.evicted += step.evicted.size();
+        // Evicted best-effort jobs restart fresh on another machine
+        // (the cluster scheduler's reschedule path).
+        for (std::size_t i = 0; i < step.evicted.size(); ++i) {
+            if (schedule_new_job(now))
+                ++result.rescheduled;
+        }
+    }
+
+    // Churn: replace a Poisson-ish number of jobs with fresh samples.
+    double per_step = config_.churn_per_hour *
+                      static_cast<double>(config_.machine.control_period) /
+                      static_cast<double>(kHour) *
+                      static_cast<double>(num_jobs());
+    std::uint64_t kills = static_cast<std::uint64_t>(per_step);
+    if (rng_.next_double() < per_step - static_cast<double>(kills))
+        ++kills;
+    for (std::uint64_t k = 0; k < kills; ++k) {
+        // Pick a random machine with jobs, then a random job on it.
+        std::vector<Machine *> occupied;
+        for (auto &machine : machines_) {
+            if (!machine->jobs().empty())
+                occupied.push_back(machine.get());
+        }
+        if (occupied.empty())
+            break;
+        Machine *machine = occupied[rng_.next_below(occupied.size())];
+        const auto &jobs = machine->jobs();
+        JobId victim = jobs[rng_.next_below(jobs.size())]->id();
+        machine->remove_job(victim);
+        ++result.churned;
+        if (schedule_new_job(now))
+            ++result.rescheduled;
+    }
+
+    return result;
+}
+
+std::uint64_t
+Cluster::num_jobs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &machine : machines_)
+        total += machine->jobs().size();
+    return total;
+}
+
+double
+Cluster::cold_memory_fraction() const
+{
+    std::uint64_t cold = 0;
+    std::uint64_t used = 0;
+    for (const auto &machine : machines_) {
+        cold += machine->cold_pages_min_threshold();
+        used += machine->resident_pages() + machine->zswap_stored_pages();
+    }
+    if (used == 0)
+        return 0.0;
+    return static_cast<double>(cold) / static_cast<double>(used);
+}
+
+double
+Cluster::coverage() const
+{
+    std::uint64_t cold = 0;
+    std::uint64_t stored = 0;
+    for (const auto &machine : machines_) {
+        cold += machine->cold_pages_min_threshold();
+        stored += machine->zswap_stored_pages();
+    }
+    if (cold == 0)
+        return 0.0;
+    return static_cast<double>(stored) / static_cast<double>(cold);
+}
+
+SampleSet
+Cluster::machine_cold_fractions() const
+{
+    SampleSet samples;
+    for (const auto &machine : machines_) {
+        std::uint64_t used =
+            machine->resident_pages() + machine->zswap_stored_pages();
+        if (used == 0)
+            continue;
+        samples.add(static_cast<double>(
+                        machine->cold_pages_min_threshold()) /
+                    static_cast<double>(used));
+    }
+    return samples;
+}
+
+SampleSet
+Cluster::machine_coverages() const
+{
+    SampleSet samples;
+    for (const auto &machine : machines_) {
+        if (machine->cold_pages_min_threshold() == 0)
+            continue;
+        samples.add(machine->cold_memory_coverage());
+    }
+    return samples;
+}
+
+SampleSet
+Cluster::job_cold_fractions() const
+{
+    SampleSet samples;
+    for (const auto &machine : machines_) {
+        for (const auto &job : machine->jobs()) {
+            const Memcg &cg = job->memcg();
+            std::uint64_t used = cg.resident_pages() + cg.zswap_pages();
+            if (used == 0)
+                continue;
+            samples.add(
+                static_cast<double>(cg.cold_pages_min_threshold()) /
+                static_cast<double>(used));
+        }
+    }
+    return samples;
+}
+
+void
+Cluster::deploy_slo(const SloConfig &slo)
+{
+    for (auto &machine : machines_)
+        machine->agent().set_slo(slo);
+}
+
+}  // namespace sdfm

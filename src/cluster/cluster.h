@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A cluster: tens of machines, a Borg-like scheduler placing a churn
+ * of jobs drawn from a fleet mix, and cluster-level aggregation.
+ * Evicted best-effort jobs are rescheduled onto other machines with
+ * capacity ("fail fast and restart elsewhere", Section 4.2 / 5.1).
+ */
+
+#ifndef SDFM_CLUSTER_CLUSTER_H
+#define SDFM_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "node/machine.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/job_profile.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/** Placement strategies (ablation surface). */
+enum class PlacementStrategy
+{
+    kWorstFit,   ///< machine with most free memory (Borg-like spreading)
+    kFirstFit,   ///< first machine that fits
+    kRandomFit,  ///< random machine among those that fit
+};
+
+/** Cluster configuration. */
+struct ClusterConfig
+{
+    std::uint32_t num_machines = 16;
+    MachineConfig machine;
+    FleetMix mix;
+
+    /**
+     * Initial packing: jobs are placed until the fleet's resident
+     * footprint reaches this fraction of total DRAM.
+     */
+    double target_utilization = 0.80;
+
+    /** Fraction of jobs replaced per hour (workload churn). */
+    double churn_per_hour = 0.01;
+
+    /**
+     * CPU frequencies of the server generations in the cluster; each
+     * machine draws one uniformly. The paper notes old platforms form
+     * a large share of the fleet -- exactly why retrofittable
+     * software-defined far memory matters -- and platform speed
+     * spreads the decompression-latency distribution (Figure 9b).
+     */
+    std::vector<double> platform_ghz = {2.0, 2.3, 2.6, 3.0};
+
+    PlacementStrategy placement = PlacementStrategy::kWorstFit;
+};
+
+/** Per-step cluster result. */
+struct ClusterStepResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t rescheduled = 0;
+    std::uint64_t churned = 0;
+};
+
+/** One cluster. */
+class Cluster
+{
+  public:
+    Cluster(std::uint32_t cluster_id, const ClusterConfig &config,
+            std::uint64_t seed);
+
+    std::uint32_t cluster_id() const { return cluster_id_; }
+
+    /**
+     * Initial placement: schedule sampled jobs until the target
+     * utilization is reached (or nothing more fits).
+     */
+    void populate(SimTime now);
+
+    /** Step every machine by one control period; churn and evictions
+     *  are handled (evicted jobs restart fresh elsewhere). */
+    ClusterStepResult step(SimTime now);
+
+    // -- aggregation -------------------------------------------------
+
+    /** All machines. */
+    std::vector<std::unique_ptr<Machine>> &machines() { return machines_; }
+    const std::vector<std::unique_ptr<Machine>> &machines() const
+    {
+        return machines_;
+    }
+
+    /** Total jobs currently running. */
+    std::uint64_t num_jobs() const;
+
+    /**
+     * Fleet-wide cold-memory fraction at the minimum threshold:
+     * sum(cold pages) / sum(used uncompressed-equivalent pages).
+     */
+    double cold_memory_fraction() const;
+
+    /** Cluster-level cold-memory coverage (Section 6.1). */
+    double coverage() const;
+
+    /** Per-machine cold-memory fractions (Figure 2). */
+    SampleSet machine_cold_fractions() const;
+
+    /** Per-machine coverage values (Figure 6). */
+    SampleSet machine_coverages() const;
+
+    /** Per-job cold fractions (Figure 3). */
+    SampleSet job_cold_fractions() const;
+
+    /** The cluster's telemetry database. */
+    TraceLog &trace_log() { return trace_log_; }
+
+    /** Change SLO tunables fleet-wide (autotuner deployment). */
+    void deploy_slo(const SloConfig &slo);
+
+  private:
+    /** Place a job on a machine with capacity; null if none fits. */
+    Machine *pick_machine(std::uint64_t pages);
+
+    /** Create and place one sampled job; false if nothing fits. */
+    bool schedule_new_job(SimTime now);
+
+    std::uint32_t cluster_id_;
+    ClusterConfig config_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Machine>> machines_;
+    TraceLog trace_log_;
+    JobId next_job_id_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_CLUSTER_CLUSTER_H

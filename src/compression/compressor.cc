@@ -1,0 +1,151 @@
+#include "compression/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compression/szo.h"
+#include "util/logging.h"
+
+namespace sdfm {
+
+double
+CompressionResult::ratio() const
+{
+    SDFM_ASSERT(compressed_size > 0);
+    return static_cast<double>(kPageSize) /
+           static_cast<double>(compressed_size);
+}
+
+double
+Compressor::decompress_cycles(std::uint32_t compressed_size) const
+{
+    return cost_model_.decompress_cycles(compressed_size, kPageSize);
+}
+
+double
+Compressor::sample_decompress_latency_us(std::uint32_t compressed_size,
+                                         Rng &rng) const
+{
+    return cost_model_.sample_decompress_latency_us(compressed_size,
+                                                    kPageSize, rng);
+}
+
+RealCompressor::RealCompressor(const CostModel &cost_model)
+    : Compressor(cost_model)
+{
+}
+
+CompressionResult
+RealCompressor::compress_page(ContentClass cls, std::uint64_t seed)
+{
+    std::uint8_t page[kPageSize];
+    generate_page_content(cls, seed, page);
+
+    std::uint8_t out[kPageSize + kPageSize / 14 + 16];
+    std::size_t n = szo_compress(page, kPageSize, out, sizeof(out));
+    SDFM_ASSERT(n > 0);
+
+    CompressionResult result;
+    result.compressed_size = static_cast<std::uint32_t>(n);
+    result.compress_cycles = cost_model_.compress_cycles(kPageSize);
+    return result;
+}
+
+bool
+RealCompressor::compress_page_bytes(ContentClass cls, std::uint64_t seed,
+                                    CompressionResult *result,
+                                    std::vector<std::uint8_t> *payload)
+{
+    SDFM_ASSERT(result != nullptr && payload != nullptr);
+    std::uint8_t page[kPageSize];
+    generate_page_content(cls, seed, page);
+    payload->resize(szo_max_compressed_size(kPageSize));
+    std::size_t n = szo_compress(page, kPageSize, payload->data(),
+                                 payload->size());
+    SDFM_ASSERT(n > 0);
+    payload->resize(n);
+    result->compressed_size = static_cast<std::uint32_t>(n);
+    result->compress_cycles = cost_model_.compress_cycles(kPageSize);
+    return true;
+}
+
+ModeledCompressor::ModeledCompressor(const CostModel &cost_model)
+    : Compressor(cost_model)
+{
+}
+
+namespace {
+
+/**
+ * Modeled payload parameters per class; means calibrated against
+ * RealCompressor output over the synthetic content generators (see
+ * tests/compression_test.cc, which cross-checks within 20%).
+ */
+struct ClassPayloadModel
+{
+    double mean;
+    double stddev;
+};
+
+const ClassPayloadModel &
+payload_model(ContentClass cls)
+{
+    static const ClassPayloadModel models[] = {
+        {30.0, 5.0},       // kZero
+        {1019.0, 120.0},   // kText
+        {1532.0, 185.0},   // kStructured
+        {1868.0, 75.0},    // kBinary
+        {4114.0, 10.0},    // kIncompressible (always rejected)
+    };
+    return models[static_cast<int>(cls)];
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+CompressionResult
+ModeledCompressor::compress_page(ContentClass cls, std::uint64_t seed)
+{
+    const ClassPayloadModel &model = payload_model(cls);
+    // Deterministic per (cls, seed): draw from an Rng seeded by both.
+    Rng rng(mix64(seed * 31 + static_cast<std::uint64_t>(cls)));
+    double size = rng.next_gaussian(model.mean, model.stddev);
+    size = std::clamp(size, 24.0,
+                      static_cast<double>(kPageSize + kPageSize / 14));
+
+    CompressionResult result;
+    result.compressed_size = static_cast<std::uint32_t>(size);
+    result.compress_cycles = cost_model_.compress_cycles(kPageSize);
+    return result;
+}
+
+double
+ModeledCompressor::class_mean_payload(ContentClass cls)
+{
+    return payload_model(cls).mean;
+}
+
+std::unique_ptr<Compressor>
+make_compressor(CompressionMode mode, const CostModel &cost_model)
+{
+    switch (mode) {
+      case CompressionMode::kReal:
+        return std::make_unique<RealCompressor>(cost_model);
+      case CompressionMode::kModeled:
+        return std::make_unique<ModeledCompressor>(cost_model);
+      default:
+        panic("bad CompressionMode %d", static_cast<int>(mode));
+    }
+}
+
+}  // namespace sdfm

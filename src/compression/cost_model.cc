@@ -1,0 +1,47 @@
+#include "compression/cost_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+CostModel::CostModel(const CostModelParams &params) : params_(params)
+{
+    SDFM_ASSERT(params_.cpu_ghz > 0.0);
+}
+
+double
+CostModel::compress_cycles(std::uint32_t input_bytes) const
+{
+    return params_.compress_base_cycles +
+           params_.compress_cycles_per_input_byte * input_bytes;
+}
+
+double
+CostModel::decompress_cycles(std::uint32_t compressed_bytes,
+                             std::uint32_t output_bytes) const
+{
+    return params_.decompress_base_cycles +
+           params_.decompress_cycles_per_input_byte * compressed_bytes +
+           params_.decompress_cycles_per_output_byte * output_bytes;
+}
+
+double
+CostModel::cycles_to_us(double cycles) const
+{
+    return cycles / (params_.cpu_ghz * 1e3);
+}
+
+double
+CostModel::sample_decompress_latency_us(std::uint32_t compressed_bytes,
+                                        std::uint32_t output_bytes,
+                                        Rng &rng) const
+{
+    double mean_us =
+        cycles_to_us(decompress_cycles(compressed_bytes, output_bytes));
+    double jitter = rng.next_lognormal(0.0, params_.jitter_sigma);
+    return mean_us * jitter;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CPU-cost and latency model for compression and decompression.
+ *
+ * The paper reports zswap decompression latencies of 6.4 us at the
+ * median and 9.1 us at the 98th percentile (Figure 9b), and per-job
+ * CPU overheads of 0.01% (compression) / 0.09% (decompression) of job
+ * CPU at p98 (Figure 8). We model cycle counts as an affine function
+ * of input/output bytes, calibrated so 4 KiB pages land in that
+ * range on a nominal 2.6 GHz core, with a lognormal jitter term for
+ * the tail.
+ */
+
+#ifndef SDFM_COMPRESSION_COST_MODEL_H
+#define SDFM_COMPRESSION_COST_MODEL_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sdfm {
+
+/** Cycle/latency model parameters. */
+struct CostModelParams
+{
+    double cpu_ghz = 2.6;              ///< nominal core frequency
+
+    // compress: reads the 4 KiB page, hashes and matches.
+    double compress_base_cycles = 4000.0;
+    double compress_cycles_per_input_byte = 8.0;
+
+    // decompress: reads compressed payload, writes the 4 KiB page.
+    double decompress_base_cycles = 2500.0;
+    double decompress_cycles_per_input_byte = 3.2;
+    double decompress_cycles_per_output_byte = 2.2;
+
+    /** sigma of the lognormal latency jitter (mu = 0). */
+    double jitter_sigma = 0.13;
+};
+
+/** Deterministic-mean cost model with optional sampled jitter. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostModelParams &params = CostModelParams{});
+
+    /** Mean cycles to compress @p input_bytes of page data. */
+    double compress_cycles(std::uint32_t input_bytes) const;
+
+    /**
+     * Mean cycles to decompress a payload of @p compressed_bytes back
+     * into @p output_bytes.
+     */
+    double decompress_cycles(std::uint32_t compressed_bytes,
+                             std::uint32_t output_bytes) const;
+
+    /** Convert cycles to microseconds at the modelled frequency. */
+    double cycles_to_us(double cycles) const;
+
+    /**
+     * One sampled decompression latency in microseconds, including
+     * the lognormal jitter term (for latency-distribution figures).
+     */
+    double sample_decompress_latency_us(std::uint32_t compressed_bytes,
+                                        std::uint32_t output_bytes,
+                                        Rng &rng) const;
+
+    const CostModelParams &params() const { return params_; }
+
+  private:
+    CostModelParams params_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_COMPRESSION_COST_MODEL_H

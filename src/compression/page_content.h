@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic page-content generation.
+ *
+ * Production page contents are proprietary, so jobs synthesize
+ * deterministic 4 KiB pages from a (job seed, page id) pair. Content
+ * classes reproduce the compressibility population the paper reports
+ * (Section 6.3 / Figure 9a): median 3x ratio, 2-6x spread, and an
+ * incompressible tail (multimedia, encrypted user content) that is
+ * ~31% of cold memory.
+ *
+ * Determinism matters: page contents are regenerable on demand, so
+ * the simulator never has to keep uncompressed bytes resident.
+ */
+
+#ifndef SDFM_COMPRESSION_PAGE_CONTENT_H
+#define SDFM_COMPRESSION_PAGE_CONTENT_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace sdfm {
+
+/**
+ * Content classes with distinct compressibility, mirroring the data
+ * populations the paper names.
+ */
+enum class ContentClass : std::uint8_t
+{
+    kZero = 0,        ///< untouched/zeroed pages: maximally compressible
+    kText,            ///< textual/log data: ~4-6x
+    kStructured,      ///< in-memory records, pointers-and-ints: ~3x
+    kBinary,          ///< code/serialized protos: ~2x
+    kIncompressible,  ///< multimedia / encrypted: rejected by zswap
+    kNumClasses,
+};
+
+/** Human-readable class name. */
+const char *content_class_name(ContentClass cls);
+
+/**
+ * Fill @p out (kPageSize bytes) with deterministic synthetic content
+ * for the given class and seed.
+ */
+void generate_page_content(ContentClass cls, std::uint64_t seed,
+                           std::uint8_t *out);
+
+/**
+ * A job's content mix: the probability of each class for a fresh
+ * page. Probabilities are normalized on construction.
+ */
+class ContentMix
+{
+  public:
+    /** Weights per class, in ContentClass order. */
+    ContentMix(double zero, double text, double structured, double binary,
+               double incompressible);
+
+    /** A representative WSC mix (calibrated to Figure 9a). */
+    static ContentMix typical();
+
+    /** Pick a class for a page given a deterministic hash draw. */
+    ContentClass pick(std::uint64_t seed) const;
+
+    /** Probability of a class. */
+    double probability(ContentClass cls) const;
+
+  private:
+    double cdf_[static_cast<int>(ContentClass::kNumClasses)];
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_COMPRESSION_PAGE_CONTENT_H

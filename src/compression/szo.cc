@@ -1,0 +1,315 @@
+#include "compression/szo.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace sdfm {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr std::size_t kMaxOffset = 65535;
+
+std::uint32_t
+read_u32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::size_t
+hash4(std::uint32_t v, std::size_t bits = kHashBits)
+{
+    return (v * 2654435761u) >> (32 - bits);
+}
+
+/** Emit a length nibble's extension bytes; returns false on overflow. */
+bool
+emit_ext_len(std::uint8_t *dst, std::size_t &pos, std::size_t cap,
+             std::size_t extra)
+{
+    // extra is the amount beyond the nibble's max of 14.
+    for (;;) {
+        if (pos >= cap)
+            return false;
+        if (extra >= 255) {
+            dst[pos++] = 255;
+            extra -= 255;
+        } else {
+            dst[pos++] = static_cast<std::uint8_t>(extra);
+            return true;
+        }
+    }
+}
+
+}  // namespace
+
+const char *
+szo_level_name(SzoLevel level)
+{
+    switch (level) {
+      case SzoLevel::kFast: return "fast";
+      case SzoLevel::kHigh: return "high";
+      case SzoLevel::kDefault:
+      default: return "default";
+    }
+}
+
+std::size_t
+szo_max_compressed_size(std::size_t src_len)
+{
+    // One control byte per 14 literals plus extension slack.
+    return src_len + src_len / 14 + 16;
+}
+
+std::size_t
+szo_compress(const std::uint8_t *src, std::size_t src_len,
+             std::uint8_t *dst, std::size_t dst_cap)
+{
+    return szo_compress_level(src, src_len, dst, dst_cap,
+                              SzoLevel::kDefault);
+}
+
+namespace {
+
+/** Hash-chain depth searched by the kHigh level. */
+constexpr int kHighChainDepth = 24;
+
+}  // namespace
+
+std::size_t
+szo_compress_level(const std::uint8_t *src, std::size_t src_len,
+                   std::uint8_t *dst, std::size_t dst_cap, SzoLevel level)
+{
+    std::size_t out = 0;
+    if (src_len == 0)
+        return 0;
+
+    std::uint16_t table[kHashSize];
+    bool table_set[kHashSize];
+    std::memset(table_set, 0, sizeof(table_set));
+
+    // kFast trades match quality for speed with a 4x smaller hash
+    // table (more collisions, fewer candidates) on top of its skip
+    // acceleration.
+    const std::size_t hash_bits =
+        level == SzoLevel::kFast ? kHashBits - 2 : kHashBits;
+
+    // kHigh keeps per-position chain links so several candidates per
+    // hash bucket can be tried (bounded window of 64 KiB positions).
+    std::vector<std::uint16_t> chain;
+    if (level == SzoLevel::kHigh)
+        chain.assign(std::min<std::size_t>(src_len, 65536), 0xFFFF);
+
+    std::size_t pos = 0;         // current scan position
+    std::size_t literal_start = 0;
+    std::size_t misses = 0;      // kFast skip acceleration
+
+    auto flush_token = [&](std::size_t lit_len, std::size_t match_len,
+                           std::size_t offset) -> bool {
+        std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+        std::size_t match_code = match_len >= kMinMatch
+                                     ? match_len - kMinMatch
+                                     : 0;
+        std::size_t match_nibble = match_code < 15 ? match_code : 15;
+        if (out >= dst_cap)
+            return false;
+        dst[out++] = static_cast<std::uint8_t>((lit_nibble << 4) |
+                                               match_nibble);
+        if (lit_nibble == 15 && !emit_ext_len(dst, out, dst_cap,
+                                              lit_len - 15)) {
+            return false;
+        }
+        if (out + lit_len > dst_cap)
+            return false;
+        std::memcpy(dst + out, src + literal_start, lit_len);
+        out += lit_len;
+        if (match_len >= kMinMatch) {
+            if (out + 2 > dst_cap)
+                return false;
+            dst[out++] = static_cast<std::uint8_t>(offset & 0xFF);
+            dst[out++] = static_cast<std::uint8_t>(offset >> 8);
+            if (match_nibble == 15 && !emit_ext_len(dst, out, dst_cap,
+                                                    match_code - 15)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // The last kMinMatch-1 bytes can never start a match (we read a
+    // 4-byte window), and we must leave room to terminate with a
+    // literals-only token.
+    std::size_t match_limit = src_len >= kMinMatch ? src_len - kMinMatch + 1
+                                                   : 0;
+
+    auto match_length = [&](std::size_t candidate,
+                            std::size_t from) -> std::size_t {
+        std::size_t len = 0;
+        while (from + len < src_len &&
+               src[candidate + len] == src[from + len]) {
+            ++len;
+        }
+        return len;
+    };
+
+    auto insert = [&](std::size_t p) {
+        std::size_t h = hash4(read_u32(src + p), hash_bits);
+        if (level == SzoLevel::kHigh) {
+            if (table_set[h])
+                chain[p % chain.size()] = table[h];
+        }
+        table[h] = static_cast<std::uint16_t>(p);
+        table_set[h] = true;
+    };
+
+    while (pos < match_limit) {
+        std::uint32_t window = read_u32(src + pos);
+        std::size_t h = hash4(window, hash_bits);
+
+        std::size_t best_candidate = 0;
+        std::size_t best_len = 0;
+        if (table_set[h]) {
+            if (level == SzoLevel::kHigh) {
+                // Walk the chain, keeping the longest valid match.
+                std::size_t candidate = table[h];
+                for (int depth = 0; depth < kHighChainDepth; ++depth) {
+                    if (candidate >= pos || pos - candidate > kMaxOffset)
+                        break;
+                    if (read_u32(src + candidate) == window) {
+                        std::size_t len = match_length(candidate, pos);
+                        if (len > best_len) {
+                            best_len = len;
+                            best_candidate = candidate;
+                        }
+                    }
+                    std::uint16_t next = chain[candidate % chain.size()];
+                    if (next == 0xFFFF || next >= candidate)
+                        break;
+                    candidate = next;
+                }
+            } else {
+                std::size_t candidate = table[h];
+                if (candidate < pos && pos - candidate <= kMaxOffset &&
+                    read_u32(src + candidate) == window) {
+                    best_len = match_length(candidate, pos);
+                    best_candidate = candidate;
+                }
+            }
+        }
+        insert(pos);
+
+        if (best_len < kMinMatch) {
+            // kFast accelerates through incompressible stretches by
+            // stepping further after consecutive misses.
+            std::size_t step = 1;
+            if (level == SzoLevel::kFast)
+                step = 1 + (misses++ >> 5);
+            pos += step;
+            continue;
+        }
+        misses = 0;
+        std::size_t match_len = best_len;
+        std::size_t lit_len = pos - literal_start;
+        if (!flush_token(lit_len, match_len, pos - best_candidate))
+            return 0;
+        // kHigh seeds every in-match position: with chain search the
+        // extra candidates only ever lengthen matches. The greedy
+        // levels must not seed -- a single-slot table would replace
+        // long-match anchors with closer-but-shorter ones.
+        std::size_t end = pos + match_len;
+        if (level == SzoLevel::kHigh) {
+            for (std::size_t p = pos + 1;
+                 p + kMinMatch <= end && p < match_limit; ++p) {
+                insert(p);
+            }
+        }
+        pos = end;
+        literal_start = pos;
+    }
+
+    // Terminating literals-only token.
+    std::size_t tail = src_len - literal_start;
+    std::size_t save = literal_start;
+    {
+        std::size_t lit_nibble = tail < 15 ? tail : 15;
+        if (out >= dst_cap)
+            return 0;
+        dst[out++] = static_cast<std::uint8_t>(lit_nibble << 4);
+        if (lit_nibble == 15 && !emit_ext_len(dst, out, dst_cap, tail - 15))
+            return 0;
+        if (out + tail > dst_cap)
+            return 0;
+        std::memcpy(dst + out, src + save, tail);
+        out += tail;
+    }
+    return out;
+}
+
+std::size_t
+szo_decompress(const std::uint8_t *src, std::size_t src_len,
+               std::uint8_t *dst, std::size_t dst_cap)
+{
+    std::size_t in = 0;
+    std::size_t out = 0;
+
+    auto read_ext = [&](std::size_t base) -> std::size_t {
+        std::size_t len = base;
+        for (;;) {
+            if (in >= src_len)
+                return static_cast<std::size_t>(-1);
+            std::uint8_t b = src[in++];
+            len += b;
+            if (b != 255)
+                return len;
+        }
+    };
+
+    while (in < src_len) {
+        std::uint8_t control = src[in++];
+        std::size_t lit_len = control >> 4;
+        std::size_t match_code = control & 0x0F;
+        if (lit_len == 15) {
+            lit_len = read_ext(15);
+            if (lit_len == static_cast<std::size_t>(-1))
+                return 0;
+        }
+        if (in + lit_len > src_len || out + lit_len > dst_cap)
+            return 0;
+        std::memcpy(dst + out, src + in, lit_len);
+        in += lit_len;
+        out += lit_len;
+        if (in == src_len)
+            break;  // terminating literals-only token
+        if (in + 2 > src_len)
+            return 0;
+        std::size_t offset = src[in] | (static_cast<std::size_t>(src[in + 1])
+                                        << 8);
+        in += 2;
+        if (offset == 0 || offset > out)
+            return 0;
+        std::size_t match_len = match_code + kMinMatch;
+        if (match_code == 15) {
+            std::size_t ext = read_ext(15 + kMinMatch);
+            if (ext == static_cast<std::size_t>(-1))
+                return 0;
+            match_len = ext;
+        }
+        if (out + match_len > dst_cap)
+            return 0;
+        // Byte-by-byte copy: overlapping matches (offset < length)
+        // are the RLE case and must propagate forward.
+        const std::uint8_t *from = dst + out - offset;
+        std::uint8_t *to = dst + out;
+        for (std::size_t i = 0; i < match_len; ++i)
+            to[i] = from[i];
+        out += match_len;
+    }
+    return out;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * szo -- a from-scratch LZ77 byte compressor standing in for the
+ * lzo algorithm the paper uses inside zswap (Section 5.1, footnote 1:
+ * lzo was chosen for the best speed/ratio trade-off).
+ *
+ * Format (LZ4-flavoured token stream):
+ *
+ *   token   := control byte | ext-lit-len* | literals
+ *              [ offset(2, LE) | ext-match-len* ]
+ *   control := (literal_len : 4 bits high) (match_len - 4 : 4 bits low)
+ *
+ * A nibble value of 15 means "extended": subsequent bytes are added,
+ * each byte of value 255 continuing the run. The stream ends when the
+ * source is exhausted after a token's literals (no offset follows).
+ * Match offsets are 1..65535 back-references; matches may overlap
+ * forward (RLE via offset < length is legal).
+ */
+
+#ifndef SDFM_COMPRESSION_SZO_H
+#define SDFM_COMPRESSION_SZO_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdfm {
+
+/**
+ * Effort levels, standing in for the lzo/lz4/snappy family the paper
+ * compared (footnote 1: lzo chosen for the best speed/ratio
+ * trade-off). All levels share one stream format; only the match
+ * search differs:
+ *  - kFast: skip-accelerated greedy search (lowest CPU, worst ratio);
+ *  - kDefault: greedy hash-table search (the paper's operating point);
+ *  - kHigh: hash-chain search picking the longest of several
+ *    candidates (best ratio, most CPU).
+ */
+enum class SzoLevel
+{
+    kFast,
+    kDefault,
+    kHigh,
+};
+
+/** Human-readable level name. */
+const char *szo_level_name(SzoLevel level);
+
+/** Worst-case compressed size for @p src_len input bytes. */
+std::size_t szo_max_compressed_size(std::size_t src_len);
+
+/**
+ * Compress @p src_len bytes into @p dst.
+ *
+ * @param dst_cap Capacity of @p dst; must be at least
+ *        szo_max_compressed_size(src_len) unless the caller is happy
+ *        to treat overflow as "incompressible".
+ * @return Compressed size, or 0 if the output did not fit in dst_cap.
+ */
+std::size_t szo_compress(const std::uint8_t *src, std::size_t src_len,
+                         std::uint8_t *dst, std::size_t dst_cap);
+
+/** Compress at a specific effort level. */
+std::size_t szo_compress_level(const std::uint8_t *src,
+                               std::size_t src_len, std::uint8_t *dst,
+                               std::size_t dst_cap, SzoLevel level);
+
+/**
+ * Decompress into @p dst.
+ *
+ * @return Decompressed size, or 0 on malformed input / overflow of
+ *         dst_cap.
+ */
+std::size_t szo_decompress(const std::uint8_t *src, std::size_t src_len,
+                           std::uint8_t *dst, std::size_t dst_cap);
+
+}  // namespace sdfm
+
+#endif  // SDFM_COMPRESSION_SZO_H

@@ -1,0 +1,124 @@
+#include "core/far_memory_system.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sdfm {
+
+FarMemorySystem::FarMemorySystem(const FleetConfig &config)
+    : config_(config), now_(config.start_time)
+{
+    SDFM_ASSERT(config_.num_clusters > 0);
+    Rng rng(config_.seed);
+    clusters_.reserve(config_.num_clusters);
+    for (std::uint32_t c = 0; c < config_.num_clusters; ++c) {
+        ClusterConfig cluster_config = config_.cluster;
+        // Per-cluster workload diversity: jitter the archetype
+        // weights so clusters have different cold-memory profiles
+        // (Figure 2's cluster-to-cluster spread).
+        for (double &w : cluster_config.mix.weights)
+            w *= rng.next_lognormal(0.0, config_.mix_weight_jitter);
+        clusters_.push_back(
+            std::make_unique<Cluster>(c, cluster_config, rng.next_u64()));
+    }
+}
+
+void
+FarMemorySystem::populate()
+{
+    for (auto &cluster : clusters_)
+        cluster->populate(now_);
+}
+
+FleetStepResult
+FarMemorySystem::step()
+{
+    FleetStepResult result;
+    for (auto &cluster : clusters_) {
+        ClusterStepResult step = cluster->step(now_);
+        result.accesses += step.accesses;
+        result.promotions += step.promotions;
+        result.evictions += step.evicted;
+    }
+    now_ += config_.cluster.machine.control_period;
+    return result;
+}
+
+void
+FarMemorySystem::run(SimTime duration)
+{
+    SimTime end = now_ + duration;
+    while (now_ < end)
+        step();
+}
+
+double
+FarMemorySystem::fleet_cold_fraction() const
+{
+    std::uint64_t cold = 0;
+    std::uint64_t used = 0;
+    for (const auto &cluster : clusters_) {
+        for (const auto &machine : cluster->machines()) {
+            cold += machine->cold_pages_min_threshold();
+            used += machine->resident_pages() +
+                    machine->zswap_stored_pages();
+        }
+    }
+    if (used == 0)
+        return 0.0;
+    return static_cast<double>(cold) / static_cast<double>(used);
+}
+
+double
+FarMemorySystem::fleet_coverage() const
+{
+    std::uint64_t cold = 0;
+    std::uint64_t stored = 0;
+    for (const auto &cluster : clusters_) {
+        for (const auto &machine : cluster->machines()) {
+            cold += machine->cold_pages_min_threshold();
+            stored += machine->zswap_stored_pages();
+        }
+    }
+    if (cold == 0)
+        return 0.0;
+    return static_cast<double>(stored) / static_cast<double>(cold);
+}
+
+SampleSet
+FarMemorySystem::job_cold_fractions() const
+{
+    SampleSet all;
+    for (const auto &cluster : clusters_)
+        all.add_all(cluster->job_cold_fractions().samples());
+    return all;
+}
+
+std::uint64_t
+FarMemorySystem::num_jobs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cluster : clusters_)
+        total += cluster->num_jobs();
+    return total;
+}
+
+TraceLog
+FarMemorySystem::merged_trace() const
+{
+    TraceLog merged;
+    for (const auto &cluster : clusters_) {
+        for (const auto &entry : cluster->trace_log().entries())
+            merged.append(entry);
+    }
+    return merged;
+}
+
+void
+FarMemorySystem::deploy_slo(const SloConfig &slo)
+{
+    for (auto &cluster : clusters_)
+        cluster->deploy_slo(slo);
+}
+
+}  // namespace sdfm

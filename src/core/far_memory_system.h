@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Public facade: a warehouse-scale fleet of clusters running the
+ * software-defined far-memory control plane. This is the entry point
+ * examples and benches use; everything underneath (machines, kernel
+ * daemons, zswap, node agents, scheduler) is wired up from one
+ * configuration struct.
+ */
+
+#ifndef SDFM_CORE_FAR_MEMORY_SYSTEM_H
+#define SDFM_CORE_FAR_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "node/slo.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/** Whole-fleet configuration. */
+struct FleetConfig
+{
+    /** Number of clusters. */
+    std::uint32_t num_clusters = 4;
+
+    /**
+     * Per-cluster template; seeds are derived per cluster, and
+     * archetype weights are jittered (below) so clusters differ the
+     * way Figure 2's do.
+     */
+    ClusterConfig cluster;
+
+    /** Lognormal sigma applied to each archetype weight per cluster. */
+    double mix_weight_jitter = 0.6;
+
+    /**
+     * Wall-clock hour the simulation starts at. Characterization runs
+     * shorter than a day should start in the morning so steady-state
+     * measurement covers representative daytime load rather than the
+     * diurnal trough.
+     */
+    SimTime start_time = 8 * kHour;
+
+    std::uint64_t seed = 1;
+};
+
+/** Fleet-level step aggregate. */
+struct FleetStepResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** The warehouse-scale system. */
+class FarMemorySystem
+{
+  public:
+    explicit FarMemorySystem(const FleetConfig &config);
+
+    /** Place the initial job population (time 0 unless told
+     *  otherwise). */
+    void populate();
+
+    /** Advance the fleet by one control period. */
+    FleetStepResult step();
+
+    /** Run for @p duration of simulated time. */
+    void run(SimTime duration);
+
+    /** Current simulation time. */
+    SimTime now() const { return now_; }
+
+    std::vector<std::unique_ptr<Cluster>> &clusters() { return clusters_; }
+    const std::vector<std::unique_ptr<Cluster>> &clusters() const
+    {
+        return clusters_;
+    }
+
+    // -- fleet aggregates --------------------------------------------
+
+    /** Cold fraction at the minimum threshold across the fleet. */
+    double fleet_cold_fraction() const;
+
+    /** Cold-memory coverage across the fleet (Section 6.1). */
+    double fleet_coverage() const;
+
+    /** Per-job cold fractions across all clusters (Figure 3). */
+    SampleSet job_cold_fractions() const;
+
+    /** Total jobs running. */
+    std::uint64_t num_jobs() const;
+
+    /** Merge every cluster's telemetry into one log. */
+    TraceLog merged_trace() const;
+
+    /** Deploy new SLO tunables fleet-wide (autotuner output). */
+    void deploy_slo(const SloConfig &slo);
+
+    const FleetConfig &config() const { return config_; }
+
+  private:
+    FleetConfig config_;
+    SimTime now_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+};
+
+/**
+ * Memory-TCO accounting (Section 6.1): the fraction of DRAM spend
+ * saved given coverage, the cold-memory bound, and the achieved
+ * compression ratio.
+ */
+struct TcoModel
+{
+    double coverage = 0.20;           ///< cold memory stored in zswap
+    double cold_fraction = 0.32;      ///< cold bound at T = 120 s
+    double compression_ratio = 3.0;   ///< median ratio of stored pages
+
+    /** Fraction of all memory that ends up compressed. */
+    double compressed_fraction() const { return coverage * cold_fraction; }
+
+    /** Cost reduction for compressed bytes (67% at 3x). */
+    double per_byte_saving() const
+    {
+        return 1.0 - 1.0 / compression_ratio;
+    }
+
+    /** Fleet DRAM TCO savings fraction. */
+    double tco_savings() const
+    {
+        return compressed_fraction() * per_byte_saving();
+    }
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_CORE_FAR_MEMORY_SYSTEM_H

@@ -1,0 +1,183 @@
+#include "core/reports.h"
+
+#include <map>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace sdfm {
+
+SampleSet
+promotion_rate_samples(const TraceLog &trace, SimTime min_timestamp)
+{
+    SampleSet samples;
+    double window_minutes = static_cast<double>(kTraceWindow) /
+                            static_cast<double>(kMinute);
+    for (const TraceEntry &entry : trace.entries()) {
+        if (entry.wss_pages == 0 || entry.timestamp < min_timestamp)
+            continue;
+        double rate =
+            static_cast<double>(entry.sli.zswap_promotions_delta) /
+            window_minutes / static_cast<double>(entry.wss_pages);
+        samples.add(rate);
+    }
+    return samples;
+}
+
+SampleSet
+job_promotion_rate_samples(const TraceLog &trace, SimTime min_timestamp,
+                           std::size_t skip_leading_windows)
+{
+    struct Acc
+    {
+        double promotions = 0.0;
+        double wss_sum = 0.0;
+        double windows = 0.0;
+        std::size_t seen = 0;
+    };
+    std::map<JobId, Acc> per_job;
+    for (const TraceEntry &entry : trace.entries()) {
+        if (entry.timestamp < min_timestamp || entry.wss_pages == 0)
+            continue;
+        Acc &acc = per_job[entry.job];
+        // Skip each job's leading windows: the one-time initial
+        // capture transient, which week-long production traces
+        // amortize away but short simulations do not.
+        if (acc.seen++ < skip_leading_windows)
+            continue;
+        acc.promotions +=
+            static_cast<double>(entry.sli.zswap_promotions_delta);
+        acc.wss_sum += static_cast<double>(entry.wss_pages);
+        acc.windows += 1.0;
+    }
+    double window_minutes = static_cast<double>(kTraceWindow) /
+                            static_cast<double>(kMinute);
+    SampleSet samples;
+    for (const auto &[job, acc] : per_job) {
+        // Jobs observed for under half an hour yield quantization
+        // noise, exactly as in the offline model's job filter.
+        if (acc.windows < 6.0 || acc.wss_sum <= 0.0)
+            continue;
+        double mean_wss = acc.wss_sum / acc.windows;
+        samples.add(acc.promotions / (acc.windows * window_minutes) /
+                    mean_wss);
+    }
+    return samples;
+}
+
+SampleSet
+job_cpu_overhead_samples(const TraceLog &trace, bool decompress,
+                         SimTime min_timestamp)
+{
+    struct Acc
+    {
+        double zswap_cycles = 0.0;
+        double app_cycles = 0.0;
+    };
+    std::map<JobId, Acc> per_job;
+    for (const TraceEntry &entry : trace.entries()) {
+        if (entry.timestamp < min_timestamp)
+            continue;
+        Acc &acc = per_job[entry.job];
+        acc.zswap_cycles += decompress ? entry.sli.decompress_cycles_delta
+                                       : entry.sli.compress_cycles_delta;
+        acc.app_cycles += entry.sli.app_cycles_delta;
+    }
+    SampleSet samples;
+    for (const auto &[job, acc] : per_job) {
+        if (acc.app_cycles <= 0.0)
+            continue;
+        samples.add(acc.zswap_cycles / acc.app_cycles);
+    }
+    return samples;
+}
+
+SampleSet
+machine_cpu_overhead_samples(const FarMemorySystem &fleet, bool decompress)
+{
+    SampleSet samples;
+    for (const auto &cluster : fleet.clusters()) {
+        for (const auto &machine : cluster->machines()) {
+            double app = 0.0;
+            for (const auto &job : machine->jobs())
+                app += job->memcg().stats().app_cycles;
+            if (app <= 0.0)
+                continue;
+            const ZswapStats &z = machine->zswap().stats();
+            double cycles =
+                decompress ? z.decompress_cycles : z.compress_cycles;
+            samples.add(cycles / app);
+        }
+    }
+    return samples;
+}
+
+SampleSet
+job_compression_ratio_samples(const FarMemorySystem &fleet)
+{
+    SampleSet samples;
+    for (const auto &cluster : fleet.clusters()) {
+        for (const auto &machine : cluster->machines()) {
+            for (const auto &job : machine->jobs()) {
+                const Memcg &cg = job->memcg();
+                if (cg.zswap_pages() == 0 ||
+                    cg.stats().compressed_bytes_stored == 0) {
+                    continue;
+                }
+                double uncompressed =
+                    static_cast<double>(cg.zswap_pages()) * kPageSize;
+                samples.add(uncompressed /
+                            static_cast<double>(
+                                cg.stats().compressed_bytes_stored));
+            }
+        }
+    }
+    return samples;
+}
+
+SampleSet
+job_decompress_latency_samples(const FarMemorySystem &fleet)
+{
+    SampleSet samples;
+    for (const auto &cluster : fleet.clusters()) {
+        for (const auto &machine : cluster->machines()) {
+            for (const auto &job : machine->jobs()) {
+                const MemcgStats &stats = job->memcg().stats();
+                if (stats.zswap_promotions == 0)
+                    continue;
+                samples.add(stats.decompress_latency_us_sum /
+                            static_cast<double>(stats.zswap_promotions));
+            }
+        }
+    }
+    return samples;
+}
+
+SampleSet
+job_ipc_proxy_samples(const FarMemorySystem &fleet, double noise_sigma,
+                      std::uint64_t seed)
+{
+    Rng rng(seed);
+    SampleSet samples;
+    for (const auto &cluster : fleet.clusters()) {
+        for (const auto &machine : cluster->machines()) {
+            for (const auto &job : machine->jobs()) {
+                const MemcgStats &stats = job->memcg().stats();
+                if (stats.app_cycles <= 0.0)
+                    continue;
+                // User-level IPC excludes kernel compression work
+                // (Section 6.4): only synchronous fault stalls and
+                // direct-reclaim stalls dilate the job's time.
+                double total = stats.app_cycles +
+                               stats.decompress_cycles +
+                               stats.direct_stall_cycles;
+                double ipc = stats.app_cycles / total;
+                ipc *= rng.next_lognormal(0.0, noise_sigma);
+                samples.add(ipc);
+            }
+        }
+    }
+    return samples;
+}
+
+}  // namespace sdfm

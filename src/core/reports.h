@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Evaluation-metric extraction: turns fleet state and telemetry
+ * traces into the distributions the paper's figures plot.
+ */
+
+#ifndef SDFM_CORE_REPORTS_H
+#define SDFM_CORE_REPORTS_H
+
+#include "core/far_memory_system.h"
+#include "util/stats.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/**
+ * Per-(job, window) realized promotion rate as a fraction of WSS per
+ * minute (Figure 7's SLI). Windows with zero WSS or a timestamp
+ * before @p min_timestamp (warm-up exclusion) are skipped.
+ */
+SampleSet promotion_rate_samples(const TraceLog &trace,
+                                 SimTime min_timestamp = 0);
+
+/**
+ * Per-job aggregate promotion rate over the whole (filtered) trace:
+ * total promotions / total minutes / mean WSS. This is Figure 7's
+ * actual x-axis -- a distribution over jobs -- and is what the
+ * fleet-wide p98 SLO constrains.
+ */
+SampleSet job_promotion_rate_samples(const TraceLog &trace,
+                                     SimTime min_timestamp = 0,
+                                     std::size_t skip_leading_windows = 0);
+
+/**
+ * Per-job CPU overhead: cycles spent on compression (or
+ * decompression) divided by the job's application cycles, aggregated
+ * over each job's whole trace (Figure 8, left).
+ */
+SampleSet job_cpu_overhead_samples(const TraceLog &trace, bool decompress,
+                                   SimTime min_timestamp = 0);
+
+/**
+ * Per-machine CPU overhead across the fleet (Figure 8, right):
+ * machine-total compression (or decompression) cycles over
+ * machine-total application cycles.
+ */
+SampleSet machine_cpu_overhead_samples(const FarMemorySystem &fleet,
+                                       bool decompress);
+
+/**
+ * Per-job average compression ratio of currently stored pages,
+ * excluding incompressible pages (Figure 9a). Jobs with nothing
+ * stored are skipped.
+ */
+SampleSet job_compression_ratio_samples(const FarMemorySystem &fleet);
+
+/**
+ * Per-job mean decompression latency in microseconds (Figure 9b).
+ * Jobs that never promoted are skipped.
+ */
+SampleSet job_decompress_latency_samples(const FarMemorySystem &fleet);
+
+/**
+ * Per-job IPC proxy: the fraction of a job's cycles doing application
+ * work rather than stalled on far-memory faults or direct-reclaim
+ * stalls, with sampled machine noise (Figure 10's user-level IPC).
+ *
+ * @param noise_sigma Relative gaussian noise (machine-to-machine and
+ *        query-mix variation the paper describes as inherent).
+ */
+SampleSet job_ipc_proxy_samples(const FarMemorySystem &fleet,
+                                double noise_sigma, std::uint64_t seed);
+
+}  // namespace sdfm
+
+#endif  // SDFM_CORE_REPORTS_H

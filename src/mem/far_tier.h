@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Interface for a second far-memory tier beyond zswap: a hardware
+ * device (NVM) or remote machines' memory. Section 2.1 of the paper
+ * surveys both; Section 8 anticipates running them alongside zswap.
+ *
+ * Pages in a second tier are uncompressed but out of local DRAM;
+ * access promotes them back at the tier's latency. Unlike zswap, a
+ * second tier can reject stores (fixed capacity) and -- for remote
+ * memory -- can LOSE pages when a donor machine fails, which is the
+ * failure-domain expansion that kept remote memory out of the
+ * paper's production deployment.
+ */
+
+#ifndef SDFM_MEM_FAR_TIER_H
+#define SDFM_MEM_FAR_TIER_H
+
+#include <cstdint>
+
+#include "mem/memcg.h"
+
+namespace sdfm {
+
+/** Second-tier interface. */
+class FarTier
+{
+  public:
+    virtual ~FarTier() = default;
+
+    /** True iff a free page slot exists. */
+    virtual bool has_space() const = 0;
+
+    /**
+     * Demote page @p p of @p cg to this tier. The page must be
+     * resident and evictable. Returns false when full.
+     */
+    virtual bool store(Memcg &cg, PageId p) = 0;
+
+    /** Promote page @p p back to DRAM; it must be in this tier. */
+    virtual void load(Memcg &cg, PageId p) = 0;
+
+    /** Discard a stored page without promotion (teardown). */
+    virtual void drop(Memcg &cg, PageId p) = 0;
+
+    /** Release every stored page of a job. */
+    virtual void drop_all(Memcg &cg) = 0;
+
+    virtual std::uint64_t used_pages() const = 0;
+    virtual std::uint64_t capacity_pages() const = 0;
+
+    /** Device/pool utilization in [0, 1]. */
+    double
+    utilization() const
+    {
+        std::uint64_t capacity = capacity_pages();
+        if (capacity == 0)
+            return 0.0;
+        return static_cast<double>(used_pages()) /
+               static_cast<double>(capacity);
+    }
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_MEM_FAR_TIER_H

@@ -1,0 +1,124 @@
+#include "mem/kreclaimd.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sdfm {
+
+namespace {
+
+/** Eligible for demotion to any tier (compressibility aside). */
+bool
+demotable(const PageMeta &meta)
+{
+    return !meta.test(kPageInZswap) && !meta.test(kPageInNvm) &&
+           !meta.test(kPageUnevictable) && !meta.test(kPageAccessed);
+}
+
+/** Eligible for the zswap (compression) path specifically. */
+bool
+eligible(const PageMeta &meta)
+{
+    return demotable(meta) && !meta.test(kPageIncompressible);
+}
+
+}  // namespace
+
+Kreclaimd::Kreclaimd(const KreclaimdParams &params) : params_(params)
+{
+}
+
+ReclaimResult
+Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
+                        AgeBucket deep_threshold) const
+{
+    ReclaimResult result;
+    AgeBucket threshold = cg.reclaim_threshold();
+    if (!cg.zswap_enabled() || threshold == 0)
+        return result;
+
+    // Cold huge regions must be split before their pages can go to
+    // far memory (one PTE cannot be partially swapped). All 512 pages
+    // share the region age, so the check is cheap.
+    std::uint32_t num_regions = cg.num_regions();
+    for (std::uint32_t region = 0; region < num_regions; ++region) {
+        if (!cg.region_is_huge(region))
+            continue;
+        PageId first = region * kHugeRegionPages;
+        if (cg.page(first).age >= threshold &&
+            !cg.page(first).test(kPageAccessed)) {
+            cg.split_huge_region(region);
+            ++result.huge_splits;
+            result.walk_cycles += params_.split_cycles;
+        }
+    }
+
+    std::uint32_t n = cg.num_pages();
+    for (PageId p = 0; p < n; ++p) {
+        PageMeta &meta = cg.page(p);
+        if (cg.region_is_huge(Memcg::region_of(p)))
+            continue;  // not demotable until split
+        ++result.pages_walked;
+        if (!demotable(meta) || meta.age < threshold)
+            continue;
+        // Moderately-cold pages (the likeliest to be promoted) go to
+        // the fast hardware tier when one is configured; deep-cold
+        // and overflow pages go to zswap.
+        if (tier != nullptr && deep_threshold > threshold &&
+            meta.age < deep_threshold && tier->store(cg, p)) {
+            ++result.pages_stored;
+            ++result.pages_to_nvm;
+            continue;
+        }
+        if (meta.test(kPageIncompressible))
+            continue;  // zswap would reject it again
+        if (zswap.store(cg, p) == Zswap::StoreResult::kStored)
+            ++result.pages_stored;
+        else
+            ++result.pages_rejected;
+    }
+    result.walk_cycles +=
+        params_.cycles_per_page * static_cast<double>(result.pages_walked);
+    return result;
+}
+
+ReclaimResult
+Kreclaimd::direct_reclaim(Memcg &cg, Zswap &zswap,
+                          std::uint64_t target_pages) const
+{
+    ReclaimResult result;
+    if (target_pages == 0)
+        return result;
+
+    // Collect eligible pages, oldest first (the LRU tail).
+    std::uint32_t n = cg.num_pages();
+    std::vector<PageId> order;
+    order.reserve(n);
+    for (PageId p = 0; p < n; ++p) {
+        ++result.pages_walked;
+        if (cg.region_is_huge(Memcg::region_of(p)))
+            continue;  // direct reclaim does not split huge mappings
+        if (eligible(cg.page(p)))
+            order.push_back(p);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](PageId a, PageId b) {
+                         return cg.page(a).age > cg.page(b).age;
+                     });
+
+    for (PageId p : order) {
+        if (result.pages_stored >= target_pages)
+            break;
+        if (cg.resident_pages() <= cg.soft_limit_pages())
+            break;  // never reclaim below the protected working set
+        if (zswap.store(cg, p) == Zswap::StoreResult::kStored)
+            ++result.pages_stored;
+        else
+            ++result.pages_rejected;
+    }
+    result.walk_cycles =
+        params_.cycles_per_page * static_cast<double>(result.pages_walked);
+    return result;
+}
+
+}  // namespace sdfm

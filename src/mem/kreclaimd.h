@@ -1,0 +1,86 @@
+/**
+ * @file
+ * kreclaimd: the proactive reclaim daemon (Section 5.1), plus the
+ * direct-reclaim path used when a machine runs out of memory and by
+ * the reactive-zswap baseline (Section 3.2).
+ *
+ * Proactive mode compares each page's age against the job's
+ * agent-chosen cold-age threshold and moves everything older into
+ * zswap. Only LRU-eligible pages are considered: unevictable
+ * (mlocked) and incompressible-marked pages are skipped, as are
+ * pages touched since the last scan.
+ */
+
+#ifndef SDFM_MEM_KRECLAIMD_H
+#define SDFM_MEM_KRECLAIMD_H
+
+#include <cstdint>
+
+#include "mem/memcg.h"
+#include "mem/far_tier.h"
+#include "mem/zswap.h"
+
+namespace sdfm {
+
+/** Result of one reclaim pass over a job. */
+struct ReclaimResult
+{
+    std::uint64_t pages_stored = 0;    ///< total demoted (zswap + NVM)
+    std::uint64_t pages_to_nvm = 0;    ///< demoted to the NVM tier
+    std::uint64_t pages_rejected = 0;  ///< incompressible rejections
+    std::uint64_t pages_walked = 0;
+    std::uint64_t huge_splits = 0;     ///< cold huge regions split
+    double walk_cycles = 0.0;  ///< page-walk + split cost
+};
+
+/** Reclaim daemon parameters. */
+struct KreclaimdParams
+{
+    /** Modelled CPU cycles per page considered. */
+    double cycles_per_page = 80.0;
+
+    /** One-time CPU cycles to split a 2 MiB huge mapping. */
+    double split_cycles = 40000.0;
+};
+
+/** The kreclaimd daemon. */
+class Kreclaimd
+{
+  public:
+    explicit Kreclaimd(const KreclaimdParams &params = KreclaimdParams{});
+
+    /**
+     * Proactive pass: move every eligible page with
+     * age >= cg.reclaim_threshold() into far memory. A threshold of 0
+     * means reclaim is disabled for the job. No-op when the job's
+     * zswap is disabled.
+     *
+     * Two-tier routing (the paper's future-work configuration): when
+     * @p nvm is non-null and @p deep_threshold > 0, pages with
+     * threshold <= age < deep_threshold go to the fast NVM tier
+     * (space permitting; incompressible pages are welcome there since
+     * no compression is involved), and deeper-cold pages go to zswap.
+     */
+    ReclaimResult reclaim_cold(Memcg &cg, Zswap &zswap,
+                               FarTier *tier = nullptr,
+                               AgeBucket deep_threshold = 0) const;
+
+    /**
+     * Direct reclaim (the reactive path): compress the job's oldest
+     * pages -- regardless of any threshold -- until @p target_pages
+     * have been freed or the job's resident set reaches its soft
+     * limit. Used on machine memory pressure; the caller charges the
+     * faulting job for the stall.
+     *
+     * @return Result; pages_stored may be less than target_pages.
+     */
+    ReclaimResult direct_reclaim(Memcg &cg, Zswap &zswap,
+                                 std::uint64_t target_pages) const;
+
+  private:
+    KreclaimdParams params_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_MEM_KRECLAIMD_H

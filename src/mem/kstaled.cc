@@ -1,0 +1,96 @@
+#include "mem/kstaled.h"
+
+namespace sdfm {
+
+Kstaled::Kstaled(const KstaledParams &params) : params_(params)
+{
+}
+
+ScanResult
+Kstaled::scan(Memcg &cg, std::uint32_t phase) const
+{
+    ScanResult result;
+    AgeHistogram &promo = cg.mutable_promo_hist();
+    AgeHistogram &cold = cg.mutable_cold_hist();
+    cold.clear();
+
+    std::uint32_t stride = params_.scan_stride == 0 ? 1
+                                                    : params_.scan_stride;
+    std::uint32_t n = cg.num_pages();
+
+    // Huge-mapped regions have one PTE: a single accessed bit covers
+    // 512 pages. Reading it costs one PTE visit; all the region's
+    // pages share its fate (reset together or age together) -- the
+    // resolution loss that makes huge pages hard for cold detection.
+    std::uint32_t num_regions = cg.num_regions();
+    for (std::uint32_t region = 0; region < num_regions; ++region) {
+        if (!cg.region_is_huge(region))
+            continue;
+        PageId first = region * kHugeRegionPages;
+        PageId end = first + kHugeRegionPages;
+        bool accessed = false;
+        bool dirty = false;
+        for (PageId p = first; p < end; ++p) {
+            accessed |= cg.page(p).test(kPageAccessed);
+            dirty |= cg.page(p).test(kPageDirty);
+        }
+        ++result.pages_scanned;  // one PTE walk for the whole region
+        if (accessed)
+            ++result.accessed_pages;
+        for (PageId p = first; p < end; ++p) {
+            PageMeta &meta = cg.page(p);
+            if (accessed) {
+                promo.add(meta.age);
+                meta.age = 0;
+            } else if (meta.age < 255) {
+                ++meta.age;
+            }
+            meta.clear(kPageAccessed);
+            if (dirty) {
+                meta.clear(kPageIncompressible);
+                meta.clear(kPageDirty);
+            }
+        }
+    }
+
+    for (PageId p = 0; p < n; ++p) {
+        PageMeta &meta = cg.page(p);
+        if (cg.region_is_huge(Memcg::region_of(p))) {
+            cold.add(meta.age);
+            continue;  // handled above
+        }
+        if (p % stride == phase % stride) {
+            // This stripe's PTE walk: the expensive part kstaled pays
+            // cycles for. The accessed bit is sticky between visits,
+            // so striping coarsens recency rather than losing it.
+            ++result.pages_scanned;
+            if (meta.test(kPageAccessed)) {
+                ++result.accessed_pages;
+                // The age the page had reached when it was
+                // re-accessed: a would-be promotion under any
+                // threshold <= that age.
+                promo.add(meta.age);
+                meta.age = 0;
+                meta.clear(kPageAccessed);
+                if (meta.test(kPageDirty)) {
+                    // Contents changed: a stale incompressible
+                    // verdict no longer applies.
+                    meta.clear(kPageIncompressible);
+                    meta.clear(kPageDirty);
+                }
+            } else {
+                // A visit covers `stride` scan periods of idleness.
+                std::uint32_t aged = meta.age + stride;
+                meta.age = aged > 255
+                               ? 255
+                               : static_cast<std::uint8_t>(aged);
+            }
+        }
+        cold.add(meta.age);
+    }
+    result.cpu_cycles =
+        params_.cycles_per_page * static_cast<double>(result.pages_scanned);
+    return result;
+}
+
+}  // namespace sdfm

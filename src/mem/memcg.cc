@@ -1,0 +1,198 @@
+#include "mem/memcg.h"
+
+#include "mem/far_tier.h"
+#include "mem/zswap.h"
+#include "util/logging.h"
+
+namespace sdfm {
+
+Memcg::Memcg(JobId id, std::uint32_t num_pages, std::uint64_t content_seed,
+             const ContentMix &mix, SimTime start_time)
+    : id_(id), content_seed_(content_seed), start_time_(start_time)
+{
+    SDFM_ASSERT(num_pages > 0);
+    pages_.resize(num_pages);
+    for (PageId p = 0; p < num_pages; ++p) {
+        pages_[p].content =
+            mix.pick(content_seed ^ (static_cast<std::uint64_t>(p) << 20));
+    }
+    resident_pages_ = num_pages;
+    region_huge_.assign((num_pages + kHugeRegionPages - 1) /
+                            kHugeRegionPages,
+                        false);
+    // Before the first scan every page counts as just-accessed.
+    cold_hist_.add(0, num_pages);
+}
+
+void
+Memcg::map_huge_region(PageId first)
+{
+    SDFM_ASSERT(first % kHugeRegionPages == 0);
+    SDFM_ASSERT(first + kHugeRegionPages <= num_pages());
+    std::uint32_t region = region_of(first);
+    SDFM_ASSERT(!region_huge_[region]);
+    for (PageId p = first; p < first + kHugeRegionPages; ++p) {
+        SDFM_ASSERT(!pages_[p].test(kPageInZswap) &&
+                    !pages_[p].test(kPageInNvm));
+    }
+    region_huge_[region] = true;
+    ++huge_count_;
+}
+
+void
+Memcg::split_huge_region(std::uint32_t region)
+{
+    SDFM_ASSERT(region < region_huge_.size());
+    SDFM_ASSERT(region_huge_[region]);
+    region_huge_[region] = false;
+    SDFM_ASSERT(huge_count_ > 0);
+    --huge_count_;
+}
+
+bool
+Memcg::region_is_huge(std::uint32_t region) const
+{
+    SDFM_ASSERT(region < region_huge_.size());
+    return region_huge_[region];
+}
+
+PageMeta &
+Memcg::page(PageId p)
+{
+    SDFM_ASSERT(p < pages_.size());
+    return pages_[p];
+}
+
+const PageMeta &
+Memcg::page(PageId p) const
+{
+    SDFM_ASSERT(p < pages_.size());
+    return pages_[p];
+}
+
+std::uint64_t
+Memcg::content_seed_of(PageId p) const
+{
+    return page_content_seed(content_seed_, p, page(p).version);
+}
+
+bool
+Memcg::touch(PageId p, bool is_write, Zswap &zswap, FarTier *tier)
+{
+    PageMeta &meta = page(p);
+    bool promoted = false;
+    if (meta.test(kPageInZswap)) {
+        zswap.load(*this, p);
+        promoted = true;
+    } else if (meta.test(kPageInNvm)) {
+        SDFM_ASSERT(tier != nullptr);
+        tier->load(*this, p);
+        promoted = true;
+    }
+    meta.set(kPageAccessed);
+    if (is_write) {
+        meta.set(kPageDirty);
+        ++meta.version;  // contents changed; seed rotates
+    }
+    return promoted;
+}
+
+void
+Memcg::set_unevictable(PageId p, bool unevictable)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(!meta.test(kPageInZswap));
+    if (unevictable)
+        meta.set(kPageUnevictable);
+    else
+        meta.clear(kPageUnevictable);
+}
+
+ZsHandle
+Memcg::zswap_handle(PageId p) const
+{
+    auto it = zswap_handles_.find(p);
+    return it == zswap_handles_.end() ? 0 : it->second;
+}
+
+void
+Memcg::set_zswap_handle(PageId p, ZsHandle h)
+{
+    SDFM_ASSERT(h != 0);
+    auto [it, inserted] = zswap_handles_.emplace(p, h);
+    SDFM_ASSERT(inserted);
+}
+
+void
+Memcg::clear_zswap_handle(PageId p)
+{
+    std::size_t erased = zswap_handles_.erase(p);
+    SDFM_ASSERT(erased == 1);
+}
+
+std::vector<PageId>
+Memcg::zswap_page_ids() const
+{
+    std::vector<PageId> ids;
+    ids.reserve(zswap_handles_.size());
+    for (const auto &[p, h] : zswap_handles_)
+        ids.push_back(p);
+    return ids;
+}
+
+void
+Memcg::note_stored_in_zswap(PageId p)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(!meta.test(kPageInZswap));
+    meta.set(kPageInZswap);
+    SDFM_ASSERT(resident_pages_ > 0);
+    --resident_pages_;
+    ++zswap_pages_;
+}
+
+void
+Memcg::note_loaded_from_zswap(PageId p)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(meta.test(kPageInZswap));
+    meta.clear(kPageInZswap);
+    SDFM_ASSERT(zswap_pages_ > 0);
+    --zswap_pages_;
+    ++resident_pages_;
+}
+
+void
+Memcg::note_stored_in_nvm(PageId p)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(!meta.test(kPageInNvm) && !meta.test(kPageInZswap));
+    meta.set(kPageInNvm);
+    SDFM_ASSERT(resident_pages_ > 0);
+    --resident_pages_;
+    ++nvm_pages_;
+}
+
+void
+Memcg::note_loaded_from_nvm(PageId p)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(meta.test(kPageInNvm));
+    meta.clear(kPageInNvm);
+    SDFM_ASSERT(nvm_pages_ > 0);
+    --nvm_pages_;
+    ++resident_pages_;
+}
+
+std::vector<PageId>
+Memcg::nvm_page_ids() const
+{
+    std::vector<PageId> ids;
+    for (PageId p = 0; p < num_pages(); ++p) {
+        if (pages_[p].test(kPageInNvm))
+            ids.push_back(p);
+    }
+    return ids;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Memory cgroup: the per-job unit of isolation and accounting
+ * (Section 5.1). Owns the job's page metadata, the two per-job
+ * histograms kstaled maintains (cold-age and promotion), the
+ * agent-controlled zswap state (threshold, enablement, soft limit),
+ * and the per-job far-memory counters the evaluation reads.
+ */
+
+#ifndef SDFM_MEM_MEMCG_H
+#define SDFM_MEM_MEMCG_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/page.h"
+#include "util/age_histogram.h"
+#include "util/sim_time.h"
+#include "zsmalloc/zsmalloc.h"
+
+namespace sdfm {
+
+class Zswap;
+class FarTier;
+
+/** Cumulative per-job far-memory counters. */
+struct MemcgStats
+{
+    std::uint64_t zswap_stores = 0;       ///< pages compressed & kept
+    std::uint64_t zswap_rejects = 0;      ///< payload > 2990 B
+    std::uint64_t zswap_promotions = 0;   ///< pages decompressed on access
+    double compress_cycles = 0.0;         ///< incl. rejected attempts
+    double decompress_cycles = 0.0;
+    double app_cycles = 0.0;              ///< job CPU (for normalization)
+    std::uint64_t compressed_bytes_stored = 0;  ///< running sum of payloads
+    double decompress_latency_us_sum = 0.0;     ///< for Figure 9b
+    double direct_stall_cycles = 0.0;     ///< reactive-path alloc stalls
+
+    // Hardware (NVM) far-memory tier counters (future-work two-tier
+    // configuration; zero when the tier is disabled).
+    std::uint64_t nvm_stores = 0;
+    std::uint64_t nvm_promotions = 0;
+    double nvm_read_latency_us_sum = 0.0;
+    double nvm_stall_cycles = 0.0;
+};
+
+/** Pages per transparent huge page (2 MiB / 4 KiB). */
+inline constexpr std::uint32_t kHugeRegionPages = 512;
+
+/** Per-job memory cgroup. */
+class Memcg
+{
+  public:
+    /**
+     * @param id Fleet-unique job id.
+     * @param num_pages Size of the job's address space in pages.
+     * @param content_seed Seed for deterministic page contents.
+     * @param mix Content-class mix for fresh pages.
+     * @param start_time Job start (for the agent's S-second delay).
+     */
+    Memcg(JobId id, std::uint32_t num_pages, std::uint64_t content_seed,
+          const ContentMix &mix, SimTime start_time);
+
+    JobId id() const { return id_; }
+    std::uint32_t num_pages() const
+    {
+        return static_cast<std::uint32_t>(pages_.size());
+    }
+    SimTime start_time() const { return start_time_; }
+    std::uint64_t content_seed() const { return content_seed_; }
+
+    /** Mutable page metadata (kstaled/kreclaimd/zswap use this). */
+    PageMeta &page(PageId p);
+    const PageMeta &page(PageId p) const;
+
+    /** Content seed of a page's current contents. */
+    std::uint64_t content_seed_of(PageId p) const;
+
+    /**
+     * Application access to a page. Sets the accessed (and on write,
+     * dirty) bit; a page resident in far memory (zswap, or the NVM
+     * tier when configured) is promoted first -- the far-memory
+     * fault path.
+     *
+     * @return true iff the access promoted a page out of far memory.
+     */
+    bool touch(PageId p, bool is_write, Zswap &zswap,
+               FarTier *tier = nullptr);
+
+    /** Mark/unmark a page unevictable (mlocked). */
+    void set_unevictable(PageId p, bool unevictable);
+
+    // -- transparent huge pages --------------------------------------
+    //
+    // A huge-backed region has ONE page-table entry: one accessed bit
+    // for 512 pages, and its pages cannot go to far memory until the
+    // mapping is split. The paper's accessed-bit technique "covers
+    // both huge and regular pages" (Section 7) -- kstaled tracks
+    // region-grain recency and kreclaimd splits cold regions before
+    // compressing them.
+
+    /** Map the region containing pages [first, first+512) as huge.
+     *  @p first must be region-aligned and in range. */
+    void map_huge_region(PageId first);
+
+    /** Split a huge region back to 4 KiB mappings. */
+    void split_huge_region(std::uint32_t region);
+
+    /** Whether a region is currently huge-mapped. */
+    bool region_is_huge(std::uint32_t region) const;
+
+    /** Region index of a page. */
+    static std::uint32_t
+    region_of(PageId p)
+    {
+        return p / kHugeRegionPages;
+    }
+
+    /** Number of regions covering the address space. */
+    std::uint32_t num_regions() const
+    {
+        return (num_pages() + kHugeRegionPages - 1) / kHugeRegionPages;
+    }
+
+    /** Count of currently huge-mapped regions. */
+    std::uint32_t huge_regions() const { return huge_count_; }
+
+    /** Pages currently resident uncompressed in DRAM. */
+    std::uint64_t resident_pages() const { return resident_pages_; }
+
+    /** Pages currently stored compressed in zswap. */
+    std::uint64_t zswap_pages() const { return zswap_pages_; }
+
+    /** Pages currently stored in the NVM tier. */
+    std::uint64_t nvm_pages() const { return nvm_pages_; }
+
+    /** Adjust NVM residency counters (called by NvmTier). */
+    void note_stored_in_nvm(PageId p);
+    void note_loaded_from_nvm(PageId p);
+
+    /** Pages currently in this memcg's NVM tier (for teardown). */
+    std::vector<PageId> nvm_page_ids() const;
+
+    /**
+     * Cold-age histogram: pages by current age, rebuilt by each
+     * kstaled scan (Section 4.4).
+     */
+    const AgeHistogram &cold_hist() const { return cold_hist_; }
+    AgeHistogram &mutable_cold_hist() { return cold_hist_; }
+
+    /**
+     * Promotion histogram: cumulative count of re-accesses by the age
+     * the page had reached when re-accessed (Section 4.3). The agent
+     * diffs snapshots to get per-minute rates.
+     */
+    const AgeHistogram &promo_hist() const { return promo_hist_; }
+    AgeHistogram &mutable_promo_hist() { return promo_hist_; }
+
+    /**
+     * Working set size in pages: pages accessed within the minimum
+     * cold-age threshold (age bucket 0 after a scan). Section 4.2.
+     */
+    std::uint64_t wss_pages() const { return cold_hist_.count_below(1); }
+
+    /** Cold pages under the minimum threshold (age >= 120 s). */
+    std::uint64_t cold_pages_min_threshold() const
+    {
+        return cold_hist_.count_at_least(1);
+    }
+
+    /** Cold pages under an arbitrary threshold bucket. */
+    std::uint64_t
+    cold_pages(AgeBucket threshold) const
+    {
+        return cold_hist_.count_at_least(threshold);
+    }
+
+    // -- agent-controlled state ------------------------------------
+
+    /** Cold-age threshold in buckets; 0 disables reclaim. */
+    AgeBucket reclaim_threshold() const { return reclaim_threshold_; }
+    void set_reclaim_threshold(AgeBucket t) { reclaim_threshold_ = t; }
+
+    /** zswap on/off (off during the first S seconds, and at limit). */
+    bool zswap_enabled() const { return zswap_enabled_; }
+    void set_zswap_enabled(bool enabled) { zswap_enabled_ = enabled; }
+
+    /** Soft limit in pages: direct reclaim will not go below this. */
+    std::uint64_t soft_limit_pages() const { return soft_limit_pages_; }
+    void set_soft_limit_pages(std::uint64_t p) { soft_limit_pages_ = p; }
+
+    /** Whether the job is best-effort (evictable under pressure). */
+    bool best_effort() const { return best_effort_; }
+    void set_best_effort(bool be) { best_effort_ = be; }
+
+    // -- bookkeeping used by Zswap ---------------------------------
+
+    /** zswap handle for a page (0 if not stored). */
+    ZsHandle zswap_handle(PageId p) const;
+    void set_zswap_handle(PageId p, ZsHandle h);
+    void clear_zswap_handle(PageId p);
+
+    /** Iterate pages currently in zswap (for teardown). */
+    std::vector<PageId> zswap_page_ids() const;
+
+    /** Adjust residency counters (called by Zswap on store/load). */
+    void note_stored_in_zswap(PageId p);
+    void note_loaded_from_zswap(PageId p);
+
+    MemcgStats &stats() { return stats_; }
+    const MemcgStats &stats() const { return stats_; }
+
+  private:
+    JobId id_;
+    std::uint64_t content_seed_;
+    SimTime start_time_;
+    std::vector<PageMeta> pages_;
+    std::unordered_map<PageId, ZsHandle> zswap_handles_;
+    AgeHistogram cold_hist_;
+    AgeHistogram promo_hist_;
+    std::uint64_t resident_pages_ = 0;
+    std::uint64_t zswap_pages_ = 0;
+    std::uint64_t nvm_pages_ = 0;
+    AgeBucket reclaim_threshold_ = 0;
+    bool zswap_enabled_ = false;
+    bool best_effort_ = false;
+    std::uint64_t soft_limit_pages_ = 0;
+    std::vector<bool> region_huge_;
+    std::uint32_t huge_count_ = 0;
+    MemcgStats stats_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_MEM_MEMCG_H

@@ -1,0 +1,20 @@
+#include "mem/page.h"
+
+namespace sdfm {
+
+std::uint64_t
+page_content_seed(std::uint64_t job_seed, PageId page, std::uint16_t version)
+{
+    // Any good mix of the three works; stay stable across runs.
+    std::uint64_t x = job_seed;
+    x ^= 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(page) +
+         (static_cast<std::uint64_t>(version) << 32);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-page metadata, the analog of the bits our kernel packs into
+ * struct page (Section 5.1): an 8-bit age in kstaled scan periods,
+ * the PTE accessed/dirty bits, the incompressible mark, and
+ * evictability.
+ */
+
+#ifndef SDFM_MEM_PAGE_H
+#define SDFM_MEM_PAGE_H
+
+#include <cstdint>
+
+#include "compression/page_content.h"
+
+namespace sdfm {
+
+/** Page index within one job's address space. */
+using PageId = std::uint32_t;
+
+/** Job identifier, unique fleet-wide. */
+using JobId = std::uint64_t;
+
+/** Per-page flag bits. */
+enum PageFlag : std::uint8_t
+{
+    /** Set by the (modelled) MMU on access; cleared by kstaled. */
+    kPageAccessed = 1 << 0,
+
+    /** Set on write; kstaled uses it to clear kPageIncompressible. */
+    kPageDirty = 1 << 1,
+
+    /** mlocked/unevictable: never moved to far memory. */
+    kPageUnevictable = 1 << 2,
+
+    /**
+     * A previous compression attempt produced a payload larger than
+     * kMaxZswapPayload; do not retry until the page is dirtied.
+     */
+    kPageIncompressible = 1 << 3,
+
+    /** The page currently lives compressed in zswap. */
+    kPageInZswap = 1 << 4,
+
+    /** The page currently lives in the hardware NVM tier. */
+    kPageInNvm = 1 << 5,
+};
+
+/**
+ * Metadata for one 4 KiB page. Content bytes are never stored: they
+ * are regenerable from (job content seed, page id, version).
+ */
+struct PageMeta
+{
+    /** Age in scan periods since last observed access (saturating). */
+    std::uint8_t age = 0;
+
+    /** PageFlag bits. */
+    std::uint8_t flags = 0;
+
+    /** Compressibility class of the current contents. */
+    ContentClass content = ContentClass::kStructured;
+
+    /** Bumped on every write; changes the content seed. */
+    std::uint16_t version = 0;
+
+    bool test(PageFlag f) const { return (flags & f) != 0; }
+    void set(PageFlag f) { flags = static_cast<std::uint8_t>(flags | f); }
+    void
+    clear(PageFlag f)
+    {
+        flags = static_cast<std::uint8_t>(flags & ~f);
+    }
+};
+
+/** Deterministic content seed for a page's current contents. */
+std::uint64_t page_content_seed(std::uint64_t job_seed, PageId page,
+                                std::uint16_t version);
+
+}  // namespace sdfm
+
+#endif  // SDFM_MEM_PAGE_H

@@ -1,0 +1,140 @@
+#include "mem/remote_tier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+RemoteTier::RemoteTier(const RemoteTierParams &params,
+                       std::uint64_t rng_seed)
+    : params_(params), rng_(rng_seed)
+{
+    SDFM_ASSERT(params_.num_donors > 0);
+}
+
+std::uint64_t
+RemoteTier::key(const Memcg &cg, PageId p)
+{
+    // Jobs are unique within one machine's tier, and 24 bits of job
+    // id plus the page id cannot collide across the handful of jobs a
+    // machine hosts; mix the full id to be safe.
+    std::uint64_t x = cg.id() * 0x9E3779B97F4A7C15ULL;
+    return (x << 32) ^ p;
+}
+
+bool
+RemoteTier::has_space() const
+{
+    return used_pages_ < params_.capacity_pages;
+}
+
+bool
+RemoteTier::store(Memcg &cg, PageId p)
+{
+    PageMeta &meta = cg.page(p);
+    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInNvm));
+    SDFM_ASSERT(!meta.test(kPageUnevictable));
+    if (!has_space()) {
+        ++stats_.rejected_full;
+        return false;
+    }
+    std::uint32_t donor = next_donor_;
+    next_donor_ = (next_donor_ + 1) % params_.num_donors;
+    auto [it, inserted] =
+        placements_.emplace(key(cg, p), Placement{&cg, p, donor});
+    SDFM_ASSERT(inserted);
+    ++used_pages_;
+    cg.note_stored_in_nvm(p);
+    ++stats_.stores;
+    ++cg.stats().nvm_stores;
+    // Pages leaving the machine must be encrypted (Section 2.1).
+    stats_.crypto_cycles += params_.crypto_cycles_per_page;
+    cg.stats().compress_cycles += params_.crypto_cycles_per_page;
+    return true;
+}
+
+void
+RemoteTier::load(Memcg &cg, PageId p)
+{
+    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    std::size_t erased = placements_.erase(key(cg, p));
+    SDFM_ASSERT(erased == 1);
+    SDFM_ASSERT(used_pages_ > 0);
+    --used_pages_;
+    cg.note_loaded_from_nvm(p);
+
+    double latency = params_.read_latency_us *
+                     rng_.next_lognormal(0.0, params_.jitter_sigma);
+    ++stats_.promotions;
+    stats_.read_latency_us_sum += latency;
+    ++cg.stats().nvm_promotions;
+    cg.stats().nvm_read_latency_us_sum += latency;
+    cg.stats().nvm_stall_cycles += latency * 2.6e3;
+    // Decryption on arrival.
+    stats_.crypto_cycles += params_.crypto_cycles_per_page;
+    cg.stats().decompress_cycles += params_.crypto_cycles_per_page;
+}
+
+void
+RemoteTier::drop(Memcg &cg, PageId p)
+{
+    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    std::size_t erased = placements_.erase(key(cg, p));
+    SDFM_ASSERT(erased == 1);
+    SDFM_ASSERT(used_pages_ > 0);
+    --used_pages_;
+    cg.note_loaded_from_nvm(p);
+}
+
+void
+RemoteTier::drop_all(Memcg &cg)
+{
+    for (PageId p : cg.nvm_page_ids())
+        drop(cg, p);
+}
+
+std::vector<JobId>
+RemoteTier::fail_donor(std::uint32_t donor)
+{
+    ++stats_.donor_failures;
+    std::set<JobId> affected;
+    std::vector<std::uint64_t> lost_keys;
+    for (const auto &[k, placement] : placements_) {
+        if (placement.donor != donor)
+            continue;
+        lost_keys.push_back(k);
+        affected.insert(placement.cg->id());
+    }
+    for (std::uint64_t k : lost_keys) {
+        Placement placement = placements_[k];
+        placements_.erase(k);
+        SDFM_ASSERT(used_pages_ > 0);
+        --used_pages_;
+        ++stats_.pages_lost;
+        // The page's data is gone; the owning job is about to be
+        // killed, so just restore the residency accounting.
+        placement.cg->note_loaded_from_nvm(placement.page);
+    }
+    return {affected.begin(), affected.end()};
+}
+
+std::vector<JobId>
+RemoteTier::fail_random_donor()
+{
+    return fail_donor(static_cast<std::uint32_t>(
+        rng_.next_below(params_.num_donors)));
+}
+
+std::uint64_t
+RemoteTier::donor_pages(std::uint32_t donor) const
+{
+    std::uint64_t count = 0;
+    for (const auto &[k, placement] : placements_) {
+        if (placement.donor == donor)
+            ++count;
+    }
+    return count;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Remote-memory far tier: swapping cold pages to other machines'
+ * unused memory over the network (memory disaggregation,
+ * Section 2.1).
+ *
+ * The paper lists three reasons this stayed out of their production
+ * deployment, all modelled here:
+ *   - failure-domain expansion: a donor machine's failure loses every
+ *     page it hosts, killing the owning jobs (fail_donor());
+ *   - encryption: pages must be encrypted before leaving the machine,
+ *     adding CPU cycles to every demotion and promotion;
+ *   - tail latency: network round-trips are both slower and
+ *     heavier-tailed than local decompression.
+ */
+
+#ifndef SDFM_MEM_REMOTE_TIER_H
+#define SDFM_MEM_REMOTE_TIER_H
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/far_tier.h"
+#include "util/rng.h"
+
+namespace sdfm {
+
+/** Remote-memory parameters. */
+struct RemoteTierParams
+{
+    /** Total donor capacity reachable from this machine, in pages. */
+    std::uint64_t capacity_pages = 0;
+
+    /** Number of donor machines the capacity is spread across. */
+    std::uint32_t num_donors = 8;
+
+    /** Mean network read (promotion) latency in microseconds. */
+    double read_latency_us = 12.0;
+
+    /** Lognormal latency jitter sigma (network tails are heavy). */
+    double jitter_sigma = 0.6;
+
+    /** CPU cycles to encrypt or decrypt one page (AES-ish). */
+    double crypto_cycles_per_page = 6000.0;
+};
+
+/** Remote-tier counters. */
+struct RemoteTierStats
+{
+    std::uint64_t stores = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t donor_failures = 0;
+    std::uint64_t pages_lost = 0;  ///< pages on failed donors
+    double read_latency_us_sum = 0.0;
+    double crypto_cycles = 0.0;
+};
+
+/** The remote-memory tier for one machine. */
+class RemoteTier : public FarTier
+{
+  public:
+    RemoteTier(const RemoteTierParams &params, std::uint64_t rng_seed);
+
+    bool has_space() const override;
+    bool store(Memcg &cg, PageId p) override;
+    void load(Memcg &cg, PageId p) override;
+    void drop(Memcg &cg, PageId p) override;
+    void drop_all(Memcg &cg) override;
+    std::uint64_t used_pages() const override { return used_pages_; }
+    std::uint64_t
+    capacity_pages() const override
+    {
+        return params_.capacity_pages;
+    }
+
+    /**
+     * Fail one donor machine: every page it hosts is lost. The
+     * owning jobs cannot recover those pages and must be killed --
+     * the failure-domain expansion of Section 2.1.
+     *
+     * @return The distinct jobs that lost pages (the caller evicts
+     *         them and reschedules).
+     */
+    std::vector<JobId> fail_donor(std::uint32_t donor);
+
+    /** Fail a uniformly random donor. */
+    std::vector<JobId> fail_random_donor();
+
+    /** Pages currently hosted by a donor. */
+    std::uint64_t donor_pages(std::uint32_t donor) const;
+
+    const RemoteTierParams &params() const { return params_; }
+    const RemoteTierStats &stats() const { return stats_; }
+
+  private:
+    struct Placement
+    {
+        Memcg *cg;
+        PageId page;
+        std::uint32_t donor;
+    };
+
+    static std::uint64_t key(const Memcg &cg, PageId p);
+
+    RemoteTierParams params_;
+    RemoteTierStats stats_;
+    std::uint64_t used_pages_ = 0;
+    std::uint32_t next_donor_ = 0;  ///< round-robin placement
+    std::unordered_map<std::uint64_t, Placement> placements_;
+    Rng rng_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_MEM_REMOTE_TIER_H

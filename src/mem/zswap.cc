@@ -1,0 +1,137 @@
+#include "mem/zswap.h"
+
+#include <cstring>
+#include <vector>
+
+#include "compression/szo.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace sdfm {
+
+Zswap::Zswap(Compressor *compressor, std::uint64_t rng_seed,
+             bool verify_roundtrip)
+    : compressor_(compressor),
+      arena_(/*keep_payload_bytes=*/verify_roundtrip), rng_(rng_seed),
+      verify_roundtrip_(verify_roundtrip)
+{
+    SDFM_ASSERT(compressor_ != nullptr);
+}
+
+Zswap::StoreResult
+Zswap::store(Memcg &cg, PageId p)
+{
+    PageMeta &meta = cg.page(p);
+    SDFM_ASSERT(!meta.test(kPageInZswap));
+    SDFM_ASSERT(!meta.test(kPageUnevictable));
+    SDFM_ASSERT(!meta.test(kPageIncompressible));
+
+    CompressionResult result;
+    std::vector<std::uint8_t> payload;
+    bool have_bytes = false;
+    if (verify_roundtrip_) {
+        have_bytes = compressor_->compress_page_bytes(
+            meta.content, cg.content_seed_of(p), &result, &payload);
+        if (!have_bytes) {
+            warn("zswap: verify_roundtrip requested but the "
+                 "compression backend cannot produce payload bytes; "
+                 "disabling verification");
+            verify_roundtrip_ = false;
+        }
+    }
+    if (!have_bytes) {
+        result = compressor_->compress_page(meta.content,
+                                            cg.content_seed_of(p));
+    }
+    cg.stats().compress_cycles += result.compress_cycles;
+    stats_.compress_cycles += result.compress_cycles;
+
+    if (!result.accepted()) {
+        // Payload larger than kMaxZswapPayload: metadata overhead
+        // would exceed the savings. Mark the page so we do not retry
+        // until its contents change (kstaled clears the mark on a
+        // dirty PTE).
+        meta.set(kPageIncompressible);
+        ++cg.stats().zswap_rejects;
+        ++stats_.rejects;
+        return StoreResult::kRejected;
+    }
+
+    ZsHandle handle =
+        have_bytes ? arena_.store(result.compressed_size, payload.data())
+                   : arena_.store(result.compressed_size);
+    cg.set_zswap_handle(p, handle);
+    cg.note_stored_in_zswap(p);
+    ++cg.stats().zswap_stores;
+    cg.stats().compressed_bytes_stored += result.compressed_size;
+    ++stats_.stores;
+    return StoreResult::kStored;
+}
+
+void
+Zswap::load(Memcg &cg, PageId p)
+{
+    PageMeta &meta = cg.page(p);
+    SDFM_ASSERT(meta.test(kPageInZswap));
+    ZsHandle handle = cg.zswap_handle(p);
+    SDFM_ASSERT(handle != 0);
+
+    std::uint32_t payload_size = arena_.payload_size(handle);
+    double cycles = compressor_->decompress_cycles(payload_size);
+    cg.stats().decompress_cycles += cycles;
+    stats_.decompress_cycles += cycles;
+    cg.stats().decompress_latency_us_sum +=
+        compressor_->sample_decompress_latency_us(payload_size, rng_);
+
+    if (verify_roundtrip_) {
+        const std::uint8_t *stored = arena_.payload(handle);
+        if (stored != nullptr) {
+            // Decompress the stored payload for real and verify the
+            // bytes match the page's regenerated contents: the full
+            // zswap path exercises the codec end to end.
+            std::uint8_t decompressed[kPageSize];
+            std::size_t n = szo_decompress(stored, payload_size,
+                                           decompressed,
+                                           sizeof(decompressed));
+            SDFM_ASSERT(n == kPageSize);
+            std::uint8_t expected[kPageSize];
+            generate_page_content(meta.content, cg.content_seed_of(p),
+                                  expected);
+            SDFM_ASSERT(std::memcmp(decompressed, expected, kPageSize) ==
+                        0);
+            ++stats_.verified_roundtrips;
+        }
+    }
+
+    SDFM_ASSERT(cg.stats().compressed_bytes_stored >= payload_size);
+    cg.stats().compressed_bytes_stored -= payload_size;
+    arena_.release(handle);
+    cg.clear_zswap_handle(p);
+    cg.note_loaded_from_zswap(p);
+    ++cg.stats().zswap_promotions;
+    ++stats_.promotions;
+}
+
+void
+Zswap::drop(Memcg &cg, PageId p)
+{
+    PageMeta &meta = cg.page(p);
+    SDFM_ASSERT(meta.test(kPageInZswap));
+    ZsHandle handle = cg.zswap_handle(p);
+    SDFM_ASSERT(handle != 0);
+    std::uint32_t payload = arena_.payload_size(handle);
+    SDFM_ASSERT(cg.stats().compressed_bytes_stored >= payload);
+    cg.stats().compressed_bytes_stored -= payload;
+    arena_.release(handle);
+    cg.clear_zswap_handle(p);
+    cg.note_loaded_from_zswap(p);
+}
+
+void
+Zswap::drop_all(Memcg &cg)
+{
+    for (PageId p : cg.zswap_page_ids())
+        drop(cg, p);
+}
+
+}  // namespace sdfm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The fast far-memory model (Section 5.3): offline what-if replay of
+ * telemetry traces under arbitrary control-plane parameters.
+ *
+ * For each job it re-runs the *same* ThresholdController the node
+ * agent runs online, feeding it the recorded per-window promotion
+ * histograms and working set sizes, and computes from the recorded
+ * cold-age histograms how much memory the chosen thresholds would
+ * have captured and what promotion rate they would have suffered.
+ * Jobs replay independently, so the pipeline parallelizes over a
+ * thread pool (the paper's MapReduce analog).
+ *
+ * Outputs are the autotuner's objective and constraint: fleet cold
+ * memory captured, and the fleet-wide 98th-percentile promotion rate.
+ */
+
+#ifndef SDFM_MODEL_FAR_MEMORY_MODEL_H
+#define SDFM_MODEL_FAR_MEMORY_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "node/slo.h"
+#include "util/thread_pool.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/** What-if outcome for one parameter configuration. */
+struct ModelResult
+{
+    /**
+     * Mean pages captured in far memory per window, summed over jobs
+     * (the objective to maximize).
+     */
+    double mean_captured_pages = 0.0;
+
+    /**
+     * 98th percentile over jobs of the trace-aggregate promotion
+     * rate, as a fraction of WSS per minute (the SLO constraint;
+     * Section 5.3 constrains the fleet-wide 98th percentile).
+     */
+    double p98_promotion_rate = 0.0;
+
+    /** Mean promotion rate over jobs (fraction of WSS/min). */
+    double mean_promotion_rate = 0.0;
+
+    /** Mean fraction of job memory captured (coverage-like metric). */
+    double mean_captured_fraction = 0.0;
+
+    /** Number of (job, window) samples with zswap enabled. */
+    std::uint64_t enabled_windows = 0;
+
+    /** Total (job, window) samples replayed. */
+    std::uint64_t total_windows = 0;
+
+    /** Jobs excluded for having too few scored windows. */
+    std::uint64_t skipped_jobs = 0;
+};
+
+/** The offline replay pipeline. */
+class FarMemoryModel
+{
+  public:
+    /**
+     * @param pool Worker pool for parallel replay; null replays
+     *        serially.
+     * @param warmup_windows Leading windows per job replayed to warm
+     *        the controller's pool but excluded from scoring. The
+     *        paper replays week-long traces of long-running jobs, so
+     *        the controller's cold-start transient is negligible
+     *        there; short traces must skip it explicitly.
+     */
+    explicit FarMemoryModel(ThreadPool *pool = nullptr,
+                            std::size_t warmup_windows = 6,
+                            std::size_t min_scored_windows = 6);
+
+    /**
+     * Replay all job traces under the given tunables.
+     *
+     * @param traces Per-job time-ordered telemetry.
+     * @param slo Configuration to evaluate (K, S, P, window).
+     */
+    ModelResult evaluate(const std::vector<JobTrace> &traces,
+                         const SloConfig &slo) const;
+
+  private:
+    ThreadPool *pool_;
+    std::size_t warmup_windows_;
+
+    /**
+     * Jobs with fewer scored windows than this are excluded: their
+     * aggregates are quantization noise, and the paper's week-long
+     * traces are dominated by long-running jobs.
+     */
+    std::size_t min_scored_windows_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_MODEL_FAR_MEMORY_MODEL_H

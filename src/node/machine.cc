@@ -1,0 +1,282 @@
+#include "node/machine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
+                 std::uint64_t seed)
+    : machine_id_(machine_id), config_(config), rng_(seed),
+      compressor_(make_compressor(config.compression,
+                                  CostModel(config.cost_model))),
+      kstaled_(config.kstaled), kreclaimd_(config.kreclaimd),
+      agent_(NodeAgentConfig{config.slo, config.policy,
+                             config.static_threshold})
+{
+    zswap_ = std::make_unique<Zswap>(compressor_.get(), rng_.next_u64(),
+                                     config_.verify_zswap_roundtrip);
+    SDFM_ASSERT(config_.nvm.capacity_pages == 0 ||
+                config_.remote.capacity_pages == 0);
+    if (config_.nvm.capacity_pages > 0)
+        tier_ = std::make_unique<NvmTier>(config_.nvm, rng_.next_u64());
+    else if (config_.remote.capacity_pages > 0)
+        tier_ = std::make_unique<RemoteTier>(config_.remote,
+                                             rng_.next_u64());
+}
+
+bool
+Machine::has_capacity_for(std::uint64_t pages) const
+{
+    return used_pages() + pages <= config_.dram_pages;
+}
+
+Job &
+Machine::add_job(std::unique_ptr<Job> job)
+{
+    SDFM_ASSERT(job != nullptr);
+    agent_.register_job(job->memcg());
+    jobs_.push_back(std::move(job));
+    return *jobs_.back();
+}
+
+void
+Machine::remove_job(JobId id)
+{
+    auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                           [id](const std::unique_ptr<Job> &j) {
+                               return j->id() == id;
+                           });
+    SDFM_ASSERT(it != jobs_.end());
+    zswap_->drop_all((*it)->memcg());
+    if (tier_)
+        tier_->drop_all((*it)->memcg());
+    agent_.unregister_job(id);
+    jobs_.erase(it);
+}
+
+Job *
+Machine::find_job(JobId id)
+{
+    for (auto &job : jobs_) {
+        if (job->id() == id)
+            return job.get();
+    }
+    return nullptr;
+}
+
+std::vector<Memcg *>
+Machine::memcgs()
+{
+    std::vector<Memcg *> cgs;
+    cgs.reserve(jobs_.size());
+    for (auto &job : jobs_)
+        cgs.push_back(&job->memcg());
+    return cgs;
+}
+
+MachineStepResult
+Machine::step(SimTime now)
+{
+    MachineStepResult result;
+    ++steps_;
+
+    // 1. Applications run; far-memory faults promote pages.
+    for (auto &job : jobs_) {
+        JobStepStats stats =
+            job->run_step(now, config_.control_period, *zswap_,
+                          tier_.get());
+        result.accesses += stats.accesses;
+        result.promotions += stats.promotions;
+    }
+    counters_.accesses += result.accesses;
+    counters_.promotions += result.promotions;
+
+    SimTime period_end = now + config_.control_period;
+
+    // 2. kstaled scan when due (striped; the phase rotates so every
+    // page is visited once per scan_stride periods).
+    if (period_end - last_scan_ >= kScanPeriod) {
+        for (auto &job : jobs_) {
+            ScanResult scan = kstaled_.scan(job->memcg(), scan_phase_);
+            counters_.kstaled_cycles += scan.cpu_cycles;
+        }
+        ++scan_phase_;
+        last_scan_ = period_end;
+    }
+
+    // 3. Node agent control.
+    std::vector<Memcg *> cgs = memcgs();
+    agent_.control(period_end, cgs,
+                   static_cast<double>(config_.control_period) /
+                       static_cast<double>(kMinute));
+
+    // 4. Proactive reclaim (two-tier routing when NVM is present).
+    if (config_.policy == FarMemoryPolicy::kProactive ||
+        config_.policy == FarMemoryPolicy::kStatic) {
+        for (auto &job : jobs_) {
+            AgeBucket deep = 0;
+            if (tier_) {
+                double t = static_cast<double>(
+                    job->memcg().reclaim_threshold());
+                double d = t * config_.nvm_deep_threshold_factor;
+                deep = d > 255.0 ? 255
+                                 : static_cast<AgeBucket>(d);
+            }
+            ReclaimResult reclaim = kreclaimd_.reclaim_cold(
+                job->memcg(), *zswap_, tier_.get(), deep);
+            counters_.kreclaimd_cycles += reclaim.walk_cycles;
+        }
+    }
+
+    // Remote-tier donor failures: pages hosted by a failed donor are
+    // lost; the owning jobs are killed and rescheduled elsewhere
+    // (Section 2.1's failure-domain expansion).
+    if (config_.remote_donor_failures_per_hour > 0.0) {
+        if (RemoteTier *remote = remote_tier()) {
+            double prob = config_.remote_donor_failures_per_hour *
+                          static_cast<double>(config_.control_period) /
+                          static_cast<double>(kHour);
+            if (rng_.next_bool(prob)) {
+                ++result.donor_failures;
+                for (JobId victim : remote->fail_random_donor()) {
+                    remove_job(victim);
+                    result.evicted.push_back(victim);
+                    ++counters_.evictions;
+                }
+            }
+        }
+    }
+
+    // 5. Memory pressure.
+    handle_pressure(&result);
+
+    // 6. Telemetry. Steps 4-5 may have evicted jobs, so the memcg
+    // list from step 3 can hold dangling pointers -- rebuild it.
+    if (period_end - last_telemetry_ >= kTraceWindow) {
+        std::vector<Memcg *> live_cgs = memcgs();
+        agent_.export_telemetry(period_end, live_cgs, trace_sink_);
+        last_telemetry_ = period_end;
+    }
+
+    // Periodic arena compaction (agent-triggered, Section 5.1).
+    if (config_.compact_every > 0 && steps_ % config_.compact_every == 0)
+        zswap_->compact();
+
+    return result;
+}
+
+void
+Machine::handle_pressure(MachineStepResult *result)
+{
+    // Reactive policy: upstream zswap behaviour -- compress from the
+    // LRU tail when free memory dips below the watermark, stalling
+    // the allocating jobs.
+    if (config_.policy == FarMemoryPolicy::kReactive) {
+        std::uint64_t watermark = static_cast<std::uint64_t>(
+            config_.reactive_free_watermark *
+            static_cast<double>(config_.dram_pages));
+        if (free_pages() < watermark) {
+            ++counters_.direct_reclaims;
+            std::uint64_t want = 2 * watermark - free_pages();
+            for (auto &job : jobs_) {
+                if (want == 0)
+                    break;
+                double compress_before =
+                    job->memcg().stats().compress_cycles;
+                ReclaimResult reclaim = kreclaimd_.direct_reclaim(
+                    job->memcg(), *zswap_, want);
+                counters_.kreclaimd_cycles += reclaim.walk_cycles;
+                // Allocation stalls: walking and compressing happen
+                // in the faulting task's context, so the whole cost
+                // is synchronous application slowdown.
+                job->memcg().stats().direct_stall_cycles +=
+                    reclaim.walk_cycles +
+                    (job->memcg().stats().compress_cycles -
+                     compress_before);
+                want -= std::min<std::uint64_t>(want,
+                                                reclaim.pages_stored);
+            }
+        }
+    }
+
+    // Hard OOM: evict best-effort jobs (fail fast + reschedule,
+    // Section 4.2), largest first; then anyone, as a last resort.
+    while (used_pages() > config_.dram_pages && !jobs_.empty()) {
+        auto pick = [&](bool best_effort_only) -> Job * {
+            Job *victim = nullptr;
+            for (auto &job : jobs_) {
+                if (best_effort_only && !job->memcg().best_effort())
+                    continue;
+                if (victim == nullptr ||
+                    job->memcg().resident_pages() >
+                        victim->memcg().resident_pages()) {
+                    victim = job.get();
+                }
+            }
+            return victim;
+        };
+        Job *victim = pick(true);
+        if (victim == nullptr) {
+            warn("machine %u: OOM with no best-effort jobs; evicting "
+                 "a high-priority job",
+                 machine_id_);
+            victim = pick(false);
+        }
+        SDFM_ASSERT(victim != nullptr);
+        JobId id = victim->id();
+        remove_job(id);
+        result->evicted.push_back(id);
+        ++counters_.evictions;
+    }
+}
+
+std::uint64_t
+Machine::resident_pages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &job : jobs_)
+        total += job->memcg().resident_pages();
+    return total;
+}
+
+std::uint64_t
+Machine::zswap_pool_pages() const
+{
+    return (zswap_->pool_bytes() + kPageSize - 1) / kPageSize;
+}
+
+std::uint64_t
+Machine::used_pages() const
+{
+    return resident_pages() + zswap_pool_pages();
+}
+
+std::uint64_t
+Machine::free_pages() const
+{
+    std::uint64_t used = used_pages();
+    return used >= config_.dram_pages ? 0 : config_.dram_pages - used;
+}
+
+std::uint64_t
+Machine::cold_pages_min_threshold() const
+{
+    std::uint64_t total = 0;
+    for (const auto &job : jobs_)
+        total += job->memcg().cold_pages_min_threshold();
+    return total;
+}
+
+double
+Machine::cold_memory_coverage() const
+{
+    std::uint64_t cold = cold_pages_min_threshold();
+    if (cold == 0)
+        return 0.0;
+    return static_cast<double>(far_memory_pages()) /
+           static_cast<double>(cold);
+}
+
+}  // namespace sdfm

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * One production machine: DRAM, a set of jobs in memcgs, the zswap
+ * store with its machine-global zsmalloc arena, the kstaled and
+ * kreclaimd daemons, and the node agent. Stepped at the control
+ * period (one minute); kstaled scans every 120 s.
+ *
+ * Step ordering mirrors the deployed system:
+ *   1. applications access pages (zswap faults promote),
+ *   2. kstaled scans (when due) update ages and histograms,
+ *   3. the node agent reruns the threshold controller,
+ *   4. kreclaimd compresses pages past their job's threshold,
+ *   5. memory pressure is handled (direct reclaim / eviction),
+ *   6. telemetry is exported every 5 minutes.
+ */
+
+#ifndef SDFM_NODE_MACHINE_H
+#define SDFM_NODE_MACHINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compression/compressor.h"
+#include "mem/kreclaimd.h"
+#include "mem/kstaled.h"
+#include "mem/nvm_tier.h"
+#include "mem/remote_tier.h"
+#include "mem/zswap.h"
+#include "node/node_agent.h"
+#include "node/policy.h"
+#include "util/units.h"
+#include "workload/job.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    /** DRAM capacity in 4 KiB pages. */
+    std::uint64_t dram_pages = 64 * 1024;  // 256 MiB at model scale
+
+    FarMemoryPolicy policy = FarMemoryPolicy::kProactive;
+    SloConfig slo;
+    AgeBucket static_threshold = 4;
+
+    CompressionMode compression = CompressionMode::kModeled;
+    CostModelParams cost_model;
+
+    /**
+     * Qualification mode: keep real compressed payloads in the arena
+     * and byte-verify every promotion against regenerated contents
+     * (requires CompressionMode::kReal to take effect).
+     */
+    bool verify_zswap_roundtrip = false;
+
+    /** Control period (the node agent's cadence). */
+    SimTime control_period = kMinute;
+
+    /**
+     * Reactive policy: direct reclaim triggers when free DRAM drops
+     * below this fraction of capacity, and frees up to twice it.
+     */
+    double reactive_free_watermark = 0.04;
+
+    /** Control periods between zsmalloc compactions. */
+    std::uint64_t compact_every = 30;
+
+    KstaledParams kstaled;
+    KreclaimdParams kreclaimd;
+
+    /**
+     * Optional hardware far-memory tier (future-work two-tier
+     * configuration); capacity_pages == 0 disables it.
+     */
+    NvmTierParams nvm;
+
+    /**
+     * Optional remote-memory tier (Section 2.1 alternative);
+     * capacity_pages == 0 disables it. At most one of nvm/remote may
+     * be enabled.
+     */
+    RemoteTierParams remote;
+
+    /**
+     * Mean donor-machine failures per hour when the remote tier is
+     * enabled (the failure-domain expansion experiment).
+     */
+    double remote_donor_failures_per_hour = 0.0;
+
+    /**
+     * Two-tier routing: pages with age in [T, factor * T) go to the
+     * second tier, deeper cold to zswap (T is the job's live
+     * threshold).
+     */
+    double nvm_deep_threshold_factor = 4.0;
+};
+
+/** Machine-level cumulative counters. */
+struct MachineCounters
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t direct_reclaims = 0;     ///< pressure events
+    std::uint64_t evictions = 0;           ///< jobs killed for OOM
+    double kstaled_cycles = 0.0;
+    double kreclaimd_cycles = 0.0;
+};
+
+/** Result of one machine step. */
+struct MachineStepResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t promotions = 0;
+    std::vector<JobId> evicted;  ///< jobs killed this step (OOM or
+                                 ///< remote-tier data loss)
+    std::uint64_t donor_failures = 0;
+};
+
+/** One machine. */
+class Machine
+{
+  public:
+    Machine(std::uint32_t machine_id, const MachineConfig &config,
+            std::uint64_t seed);
+
+    std::uint32_t machine_id() const { return machine_id_; }
+
+    /** True iff @p pages more resident pages fit right now. */
+    bool has_capacity_for(std::uint64_t pages) const;
+
+    /** Schedule a job onto this machine (takes ownership). */
+    Job &add_job(std::unique_ptr<Job> job);
+
+    /** Remove a job (normal exit); drops its zswap pages. */
+    void remove_job(JobId id);
+
+    /** Run one control period ending at @p now + control_period. */
+    MachineStepResult step(SimTime now);
+
+    // -- accounting -------------------------------------------------
+
+    /** Resident uncompressed pages across jobs. */
+    std::uint64_t resident_pages() const;
+
+    /** Pages backing the zswap arena. */
+    std::uint64_t zswap_pool_pages() const;
+
+    /** resident + zswap pool. */
+    std::uint64_t used_pages() const;
+
+    std::uint64_t free_pages() const;
+
+    /** Sum of per-job cold pages under the 120 s threshold. */
+    std::uint64_t cold_pages_min_threshold() const;
+
+    /** Pages stored in zswap (uncompressed-equivalent count). */
+    std::uint64_t zswap_stored_pages() const
+    {
+        return zswap_->stored_pages();
+    }
+
+    /** Pages stored in the second tier (0 when disabled). */
+    std::uint64_t nvm_stored_pages() const
+    {
+        return tier_ ? tier_->used_pages() : 0;
+    }
+
+    /** Pages stored in any far-memory tier. */
+    std::uint64_t far_memory_pages() const
+    {
+        return zswap_stored_pages() + nvm_stored_pages();
+    }
+
+    /**
+     * Cold-memory coverage (Section 6.1): pages stored in far memory
+     * divided by cold pages under the minimum threshold.
+     */
+    double cold_memory_coverage() const;
+
+    const std::vector<std::unique_ptr<Job>> &jobs() const { return jobs_; }
+    Job *find_job(JobId id);
+    Zswap &zswap() { return *zswap_; }
+    FarTier *nvm_tier() { return tier_.get(); }
+    FarTier *second_tier() { return tier_.get(); }
+    RemoteTier *remote_tier()
+    {
+        return dynamic_cast<RemoteTier *>(tier_.get());
+    }
+    NodeAgent &agent() { return agent_; }
+    const MachineCounters &counters() const { return counters_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Telemetry sink; null disables export. */
+    void set_trace_sink(TraceLog *sink) { trace_sink_ = sink; }
+
+  private:
+    void handle_pressure(MachineStepResult *result);
+    std::vector<Memcg *> memcgs();
+
+    std::uint32_t machine_id_;
+    MachineConfig config_;
+    Rng rng_;
+    std::unique_ptr<Compressor> compressor_;
+    std::unique_ptr<Zswap> zswap_;
+    std::unique_ptr<FarTier> tier_;
+    Kstaled kstaled_;
+    Kreclaimd kreclaimd_;
+    NodeAgent agent_;
+    std::vector<std::unique_ptr<Job>> jobs_;
+    TraceLog *trace_sink_ = nullptr;
+    MachineCounters counters_;
+    SimTime last_scan_ = -kScanPeriod;
+    std::uint32_t scan_phase_ = 0;
+    SimTime last_telemetry_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_NODE_MACHINE_H

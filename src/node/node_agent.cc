@@ -1,0 +1,120 @@
+#include "node/node_agent.h"
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+NodeAgent::NodeAgent(const NodeAgentConfig &config) : config_(config)
+{
+}
+
+void
+NodeAgent::register_job(const Memcg &cg)
+{
+    auto [it, inserted] = jobs_.emplace(
+        cg.id(),
+        JobState{ThresholdController(config_.slo, cg.start_time()),
+                 AgeHistogram{}, AgeHistogram{}, MemcgStats{}});
+    SDFM_ASSERT(inserted);
+}
+
+void
+NodeAgent::unregister_job(JobId id)
+{
+    std::size_t erased = jobs_.erase(id);
+    SDFM_ASSERT(erased == 1);
+}
+
+NodeAgent::JobState &
+NodeAgent::state_of(const Memcg &cg)
+{
+    auto it = jobs_.find(cg.id());
+    SDFM_ASSERT(it != jobs_.end());
+    return it->second;
+}
+
+void
+NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
+                   double period_minutes)
+{
+    for (Memcg *cg : jobs) {
+        JobState &state = state_of(*cg);
+        AgeBucket threshold = 0;
+        switch (config_.policy) {
+          case FarMemoryPolicy::kProactive: {
+            AgeHistogram delta = AgeHistogram::delta(
+                cg->promo_hist(), state.control_snapshot);
+            state.control_snapshot = cg->promo_hist();
+            threshold = state.controller.update(now, delta,
+                                                cg->wss_pages(),
+                                                period_minutes);
+            break;
+          }
+          case FarMemoryPolicy::kStatic:
+            threshold = (now - cg->start_time() >= config_.slo.enable_delay)
+                            ? config_.static_threshold
+                            : 0;
+            break;
+          case FarMemoryPolicy::kReactive:
+          case FarMemoryPolicy::kOff:
+            threshold = 0;  // no proactive reclaim
+            break;
+        }
+        cg->set_reclaim_threshold(threshold);
+        cg->set_zswap_enabled(threshold > 0);
+        // Soft limit: protect the working set from direct reclaim.
+        cg->set_soft_limit_pages(cg->wss_pages());
+    }
+}
+
+void
+NodeAgent::export_telemetry(SimTime now, std::vector<Memcg *> &jobs,
+                            TraceLog *sink)
+{
+    for (Memcg *cg : jobs) {
+        JobState &state = state_of(*cg);
+        TraceEntry entry;
+        entry.job = cg->id();
+        entry.timestamp = now;
+        entry.wss_pages = cg->wss_pages();
+        entry.promo_delta =
+            AgeHistogram::delta(cg->promo_hist(), state.telemetry_snapshot);
+        entry.cold_hist = cg->cold_hist();
+
+        const MemcgStats &cur = cg->stats();
+        const MemcgStats &prev = state.sli_snapshot;
+        JobSli &sli = entry.sli;
+        sli.zswap_promotions_delta =
+            cur.zswap_promotions - prev.zswap_promotions;
+        sli.zswap_stores_delta = cur.zswap_stores - prev.zswap_stores;
+        sli.zswap_rejects_delta = cur.zswap_rejects - prev.zswap_rejects;
+        sli.zswap_pages = cg->zswap_pages();
+        sli.resident_pages = cg->resident_pages();
+        sli.cold_pages_min = cg->cold_pages_min_threshold();
+        sli.compressed_bytes = cur.compressed_bytes_stored;
+        sli.compress_cycles_delta =
+            cur.compress_cycles - prev.compress_cycles;
+        sli.decompress_cycles_delta =
+            cur.decompress_cycles - prev.decompress_cycles;
+        sli.app_cycles_delta = cur.app_cycles - prev.app_cycles;
+        sli.decompress_latency_us_delta =
+            cur.decompress_latency_us_sum - prev.decompress_latency_us_sum;
+
+        state.telemetry_snapshot = cg->promo_hist();
+        state.sli_snapshot = cur;
+        if (sink != nullptr)
+            sink->append(std::move(entry));
+    }
+}
+
+void
+NodeAgent::set_slo(const SloConfig &slo)
+{
+    config_.slo = slo;
+    // Controllers keep their observation pools; only the tunables
+    // change (staged autotuner deployment, Section 5.3).
+    for (auto &[id, state] : jobs_)
+        state.controller.set_slo(slo);
+}
+
+}  // namespace sdfm

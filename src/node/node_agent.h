@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The node agent (the paper's Borglet role, Section 5.2): reads each
+ * job's kernel histograms every control period, runs the threshold
+ * controller, programs the per-memcg zswap state (threshold,
+ * enablement, soft limit), and exports 5-minute telemetry windows to
+ * the external trace database.
+ */
+
+#ifndef SDFM_NODE_NODE_AGENT_H
+#define SDFM_NODE_NODE_AGENT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memcg.h"
+#include "node/policy.h"
+#include "node/slo.h"
+#include "node/threshold_controller.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+
+/** Node-agent configuration. */
+struct NodeAgentConfig
+{
+    SloConfig slo;
+    FarMemoryPolicy policy = FarMemoryPolicy::kProactive;
+
+    /** Threshold bucket used by the kStatic policy. */
+    AgeBucket static_threshold = 4;
+};
+
+/** One machine's node agent. */
+class NodeAgent
+{
+  public:
+    explicit NodeAgent(const NodeAgentConfig &config);
+
+    /** Start managing a job (called when the job is scheduled). */
+    void register_job(const Memcg &cg);
+
+    /** Stop managing a job (exit or eviction). */
+    void unregister_job(JobId id);
+
+    /**
+     * Run one control period over the machine's jobs: diff promotion
+     * histograms, update each job's controller, and program the
+     * memcg's threshold / enablement / soft limit.
+     *
+     * @param now Current time (end of the period).
+     * @param period_minutes Period length in minutes.
+     */
+    void control(SimTime now, std::vector<Memcg *> &jobs,
+                 double period_minutes);
+
+    /**
+     * Export one telemetry window per job into @p sink (no-op when
+     * null). Call every kTraceWindow.
+     */
+    void export_telemetry(SimTime now, std::vector<Memcg *> &jobs,
+                          TraceLog *sink);
+
+    const NodeAgentConfig &config() const { return config_; }
+
+    /** Mutate tunables (autotuner deployment path). */
+    void set_slo(const SloConfig &slo);
+
+  private:
+    struct JobState
+    {
+        ThresholdController controller;
+        AgeHistogram control_snapshot;    ///< promo hist at last control
+        AgeHistogram telemetry_snapshot;  ///< promo hist at last export
+        MemcgStats sli_snapshot;          ///< counters at last export
+    };
+
+    JobState &state_of(const Memcg &cg);
+
+    NodeAgentConfig config_;
+    std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_NODE_NODE_AGENT_H

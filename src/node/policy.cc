@@ -1,0 +1,19 @@
+#include "node/policy.h"
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+const char *
+policy_name(FarMemoryPolicy policy)
+{
+    switch (policy) {
+      case FarMemoryPolicy::kOff: return "off";
+      case FarMemoryPolicy::kProactive: return "proactive";
+      case FarMemoryPolicy::kReactive: return "reactive";
+      case FarMemoryPolicy::kStatic: return "static";
+      default: panic("bad FarMemoryPolicy %d", static_cast<int>(policy));
+    }
+}
+
+}  // namespace sdfm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Far-memory control policies compared in the evaluation.
+ */
+
+#ifndef SDFM_NODE_POLICY_H
+#define SDFM_NODE_POLICY_H
+
+namespace sdfm {
+
+/** How a machine drives zswap. */
+enum class FarMemoryPolicy
+{
+    /** zswap disabled entirely (control group). */
+    kOff,
+
+    /**
+     * The paper's system: SLO-driven proactive cold-page compression
+     * with the per-job threshold controller.
+     */
+    kProactive,
+
+    /**
+     * Upstream-Linux behaviour: zswap only on direct reclaim, i.e.
+     * when the machine runs out of memory (the Section 3.2 baseline
+     * that "negatively impacts TCO").
+     */
+    kReactive,
+
+    /**
+     * Fixed cold-age threshold, no SLO adaptation (ablation of the
+     * controller).
+     */
+    kStatic,
+};
+
+/** Human-readable policy name. */
+const char *policy_name(FarMemoryPolicy policy);
+
+}  // namespace sdfm
+
+#endif  // SDFM_NODE_POLICY_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The far-memory performance SLO and the control plane's tunable
+ * parameters (Sections 4.2 and 4.3).
+ *
+ * The SLO: a job's promotion rate must stay below P% of its working
+ * set size per minute (P = 0.2 in production). K and S are the
+ * parameters the ML autotuner optimizes: the percentile of past
+ * best thresholds used for the next period, and the zswap enablement
+ * delay after job start.
+ */
+
+#ifndef SDFM_NODE_SLO_H
+#define SDFM_NODE_SLO_H
+
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** SLO definition plus controller tunables. */
+struct SloConfig
+{
+    /**
+     * P: maximum promotion rate as a fraction of WSS per minute
+     * (0.002 == 0.2%/min, the production value).
+     */
+    double target_promotion_rate = 0.002;
+
+    /**
+     * K: percentile (0-100) of the past best-threshold pool used as
+     * the next period's threshold. Higher is more conservative.
+     */
+    double percentile_k = 98.0;
+
+    /** S: seconds after job start before zswap is enabled. */
+    SimTime enable_delay = 300;
+
+    /**
+     * Size of the best-threshold pool (control periods). The paper
+     * keeps "the past"; we bound it with a sliding window.
+     */
+    std::size_t history_window = 360;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_NODE_SLO_H

@@ -1,0 +1,84 @@
+#include "node/threshold_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+ThresholdController::ThresholdController(const SloConfig &slo,
+                                         SimTime job_start)
+    : slo_(slo), job_start_(job_start)
+{
+    SDFM_ASSERT(slo_.history_window > 0);
+}
+
+void
+ThresholdController::set_slo(const SloConfig &slo)
+{
+    slo_ = slo;
+    while (pool_.size() > slo_.history_window)
+        pool_.pop_front();
+}
+
+AgeBucket
+ThresholdController::best_threshold(const AgeHistogram &promo_delta,
+                                    std::uint64_t wss_pages,
+                                    double target_rate,
+                                    double period_minutes)
+{
+    // Budget: P% of WSS per minute, over the period length.
+    double budget = target_rate * static_cast<double>(wss_pages) *
+                    period_minutes;
+    // count_at_least(T) is non-increasing in T: find the smallest
+    // T >= 1 whose would-be promotions fit the budget.
+    for (std::size_t t = 1; t < kAgeBuckets; ++t) {
+        double would_be = static_cast<double>(
+            promo_delta.count_at_least(static_cast<AgeBucket>(t)));
+        if (would_be <= budget)
+            return static_cast<AgeBucket>(t);
+    }
+    return 255;
+}
+
+AgeBucket
+ThresholdController::pool_percentile() const
+{
+    SDFM_ASSERT(!pool_.empty());
+    std::vector<AgeBucket> sorted(pool_.begin(), pool_.end());
+    std::sort(sorted.begin(), sorted.end());
+    double rank = slo_.percentile_k / 100.0 *
+                  static_cast<double>(sorted.size() - 1);
+    auto idx = static_cast<std::size_t>(std::llround(rank));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+AgeBucket
+ThresholdController::update(SimTime now, const AgeHistogram &promo_delta,
+                            std::uint64_t wss_pages, double period_minutes)
+{
+    AgeBucket best =
+        best_threshold(promo_delta, wss_pages,
+                       slo_.target_promotion_rate, period_minutes);
+    pool_.push_back(best);
+    while (pool_.size() > slo_.history_window)
+        pool_.pop_front();
+
+    if (now - job_start_ < slo_.enable_delay) {
+        // Insufficient history: zswap disabled, but the pool still
+        // accumulates observations for when it turns on.
+        current_ = 0;
+        return current_;
+    }
+
+    // K-th percentile of past bests; react immediately if the last
+    // period was worse (needs a higher threshold) than the pool says.
+    current_ = std::max(pool_percentile(), best);
+    return current_;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The per-job cold-age threshold control algorithm (Section 4.3).
+ *
+ * Each control period the controller computes the smallest threshold
+ * that would have met the promotion-rate SLO over the period just
+ * ended (from the promotion-histogram delta), pushes it into a pool,
+ * and selects max(K-th percentile of the pool, this period's best) as
+ * the threshold for the next period. zswap stays disabled for the
+ * first S seconds of the job.
+ *
+ * This class is deliberately free of any kernel/machine state: the
+ * node agent drives it online and the fast far-memory model drives
+ * the *identical* code offline, which is what makes the autotuner's
+ * what-if analysis faithful.
+ */
+
+#ifndef SDFM_NODE_THRESHOLD_CONTROLLER_H
+#define SDFM_NODE_THRESHOLD_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+
+#include "node/slo.h"
+#include "util/age_histogram.h"
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** Per-job threshold controller. */
+class ThresholdController
+{
+  public:
+    /**
+     * @param slo SLO and tunables.
+     * @param job_start Job start time (for the S-second delay).
+     */
+    ThresholdController(const SloConfig &slo, SimTime job_start);
+
+    /**
+     * Feed one control-period observation and compute the threshold
+     * for the next period.
+     *
+     * @param now End of the period just observed.
+     * @param promo_delta Promotion histogram delta for the period.
+     * @param wss_pages Working set size (pages).
+     * @param period_minutes Length of the observed period in minutes.
+     * @return Threshold bucket for the next period; 0 means zswap
+     *         disabled (still inside the S-second delay).
+     */
+    AgeBucket update(SimTime now, const AgeHistogram &promo_delta,
+                     std::uint64_t wss_pages, double period_minutes = 1.0);
+
+    /** The threshold chosen by the last update (0 = disabled). */
+    AgeBucket current_threshold() const { return current_; }
+
+    /**
+     * Swap in new tunables (autotuner deployment). The pool of past
+     * observations and the job start time are preserved.
+     */
+    void set_slo(const SloConfig &slo);
+
+    /**
+     * The smallest threshold bucket (>= 1) whose would-be promotions
+     * stay within the SLO budget for the period; 255 if none does.
+     * Exposed for tests and the offline model.
+     */
+    static AgeBucket best_threshold(const AgeHistogram &promo_delta,
+                                    std::uint64_t wss_pages,
+                                    double target_rate,
+                                    double period_minutes);
+
+  private:
+    AgeBucket pool_percentile() const;
+
+    SloConfig slo_;
+    SimTime job_start_;
+    std::deque<AgeBucket> pool_;
+    AgeBucket current_ = 0;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_NODE_THRESHOLD_CONTROLLER_H

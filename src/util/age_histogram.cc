@@ -1,0 +1,85 @@
+#include "util/age_histogram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+AgeBucket
+age_to_bucket(SimTime age_seconds)
+{
+    SDFM_ASSERT(age_seconds >= 0);
+    SimTime bucket = age_seconds / kScanPeriod;
+    if (bucket > 255)
+        bucket = 255;
+    return static_cast<AgeBucket>(bucket);
+}
+
+SimTime
+bucket_to_age(AgeBucket bucket)
+{
+    return static_cast<SimTime>(bucket) * kScanPeriod;
+}
+
+void
+AgeHistogram::clear()
+{
+    counts_.fill(0);
+}
+
+void
+AgeHistogram::add(AgeBucket bucket, std::uint64_t count)
+{
+    counts_[bucket] += count;
+}
+
+std::uint64_t
+AgeHistogram::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts_)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+AgeHistogram::count_at_least(AgeBucket bucket) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t b = bucket; b < kAgeBuckets; ++b)
+        sum += counts_[b];
+    return sum;
+}
+
+std::uint64_t
+AgeHistogram::count_below(AgeBucket bucket) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b < bucket; ++b)
+        sum += counts_[b];
+    return sum;
+}
+
+AgeHistogram
+AgeHistogram::delta(const AgeHistogram &cur, const AgeHistogram &prev)
+{
+    AgeHistogram out;
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        std::uint64_t c = cur.counts_[b];
+        std::uint64_t p = prev.counts_[b];
+        SDFM_ASSERT(c >= p);
+        out.counts_[b] = c - p;
+    }
+    return out;
+}
+
+AgeHistogram &
+AgeHistogram::operator+=(const AgeHistogram &other)
+{
+    for (std::size_t b = 0; b < kAgeBuckets; ++b)
+        counts_[b] += other.counts_[b];
+    return *this;
+}
+
+}  // namespace sdfm

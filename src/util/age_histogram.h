@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Histogram over page ages.
+ *
+ * The kernel tracks each page's age as an 8-bit count of kstaled scan
+ * periods (Section 5.1 of the paper), so every per-job histogram --
+ * both the cold-age histogram (pages by current age) and the
+ * promotion histogram (age of a page at the moment it is re-accessed)
+ * -- is a 256-bucket array indexed by that scan-period count.
+ *
+ * Bucket b covers ages in [b * kScanPeriod, (b+1) * kScanPeriod).
+ */
+
+#ifndef SDFM_UTIL_AGE_HISTOGRAM_H
+#define SDFM_UTIL_AGE_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** Number of age buckets (8-bit per-page age). */
+inline constexpr std::size_t kAgeBuckets = 256;
+
+/** Page age in scan periods, saturating at 255. */
+using AgeBucket = std::uint8_t;
+
+/** Convert an age in seconds to its (saturating) bucket. */
+AgeBucket age_to_bucket(SimTime age_seconds);
+
+/** Lower edge, in seconds, of the given bucket. */
+SimTime bucket_to_age(AgeBucket bucket);
+
+/**
+ * Fixed 256-bucket histogram over page ages, with cumulative queries
+ * in both directions. All counts are page counts.
+ */
+class AgeHistogram
+{
+  public:
+    AgeHistogram() { clear(); }
+
+    /** Zero every bucket. */
+    void clear();
+
+    /** Add @p count pages at the given age bucket. */
+    void add(AgeBucket bucket, std::uint64_t count = 1);
+
+    /** Count in one bucket. */
+    std::uint64_t at(AgeBucket bucket) const { return counts_[bucket]; }
+
+    /** Total pages across all buckets. */
+    std::uint64_t total() const;
+
+    /**
+     * Pages whose age is >= the threshold bucket, i.e. pages that a
+     * cold-age threshold of bucket_to_age(bucket) would classify as
+     * cold (for the cold-age histogram) or promotions that threshold
+     * would have suffered (for the promotion histogram).
+     */
+    std::uint64_t count_at_least(AgeBucket bucket) const;
+
+    /** Pages whose age is strictly below the threshold bucket. */
+    std::uint64_t count_below(AgeBucket bucket) const;
+
+    /** Element-wise accumulate. */
+    AgeHistogram &operator+=(const AgeHistogram &other);
+
+    /**
+     * Element-wise difference cur - prev of two cumulative snapshots;
+     * every bucket of @p prev must be <= the same bucket of @p cur.
+     */
+    static AgeHistogram delta(const AgeHistogram &cur,
+                              const AgeHistogram &prev);
+
+    bool operator==(const AgeHistogram &other) const = default;
+
+  private:
+    std::array<std::uint64_t, kAgeBuckets> counts_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_AGE_HISTOGRAM_H

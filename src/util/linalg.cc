@@ -1,0 +1,153 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    SDFM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    SDFM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Vector
+Matrix::mul(const Vector &v) const
+{
+    SDFM_ASSERT(v.size() == cols_);
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::mul(const Matrix &other) const
+{
+    SDFM_ASSERT(other.rows_ == cols_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += a * other(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Cholesky::Cholesky(const Matrix &a)
+{
+    SDFM_ASSERT(a.rows() == a.cols());
+    std::size_t n = a.rows();
+    l_ = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l_(j, k) * l_(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag))
+            return;  // not positive definite; ok_ stays false
+        double ljj = std::sqrt(diag);
+        l_(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l_(i, k) * l_(j, k);
+            l_(i, j) = acc / ljj;
+        }
+    }
+    ok_ = true;
+}
+
+Vector
+Cholesky::solve_lower(const Vector &b) const
+{
+    SDFM_ASSERT(ok_);
+    std::size_t n = l_.rows();
+    SDFM_ASSERT(b.size() == n);
+    Vector y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l_(i, k) * y[k];
+        y[i] = acc / l_(i, i);
+    }
+    return y;
+}
+
+Vector
+Cholesky::solve(const Vector &b) const
+{
+    // A x = b  =>  L y = b, L^T x = y.
+    Vector y = solve_lower(b);
+    std::size_t n = l_.rows();
+    Vector x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l_(k, ii) * x[k];
+        x[ii] = acc / l_(ii, ii);
+    }
+    return x;
+}
+
+double
+Cholesky::log_det() const
+{
+    SDFM_ASSERT(ok_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+        acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    SDFM_ASSERT(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small dense linear algebra: just enough for exact Gaussian-process
+ * regression (symmetric positive-definite solves via Cholesky).
+ *
+ * Matrices are row-major, sized at construction. This is not a
+ * general-purpose BLAS; GP training sets in the autotuner are tens of
+ * points, so clarity beats cache blocking.
+ */
+
+#ifndef SDFM_UTIL_LINALG_H
+#define SDFM_UTIL_LINALG_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sdfm {
+
+using Vector = std::vector<double>;
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Matrix-vector product; v.size() must equal cols(). */
+    Vector mul(const Vector &v) const;
+
+    /** Matrix-matrix product; other.rows() must equal cols(). */
+    Matrix mul(const Matrix &other) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Cholesky factorization L (lower triangular, A = L L^T) of a
+ * symmetric positive-definite matrix, with solves and log-determinant
+ * -- the kernel-matrix operations needed by GP regression.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factor @p a. Fails (returns ok() == false) if the matrix is not
+     * positive definite; callers add jitter and retry.
+     */
+    explicit Cholesky(const Matrix &a);
+
+    bool ok() const { return ok_; }
+
+    /** Solve A x = b. Requires ok(). */
+    Vector solve(const Vector &b) const;
+
+    /** Solve L y = b (forward substitution). Requires ok(). */
+    Vector solve_lower(const Vector &b) const;
+
+    /** log(det(A)) = 2 * sum(log(L_ii)). Requires ok(). */
+    double log_det() const;
+
+    const Matrix &lower() const { return l_; }
+
+  private:
+    Matrix l_;
+    bool ok_ = false;
+};
+
+/** Dot product; sizes must match. */
+double dot(const Vector &a, const Vector &b);
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_LINALG_H

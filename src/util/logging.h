@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting and assertion helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors
+ * (bad configuration, invalid arguments), warn()/inform() are
+ * non-fatal status channels.
+ */
+
+#ifndef SDFM_UTIL_LOGGING_H
+#define SDFM_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace sdfm {
+
+/**
+ * Abort with a formatted message. Use for conditions that indicate a
+ * bug in the library itself, never for user error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit(1) with a formatted message. Use for unrecoverable conditions
+ * caused by the user (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests). */
+void set_log_quiet(bool quiet);
+
+namespace detail {
+
+[[noreturn]] void assert_fail(const char *expr, const char *file, int line);
+
+}  // namespace detail
+
+}  // namespace sdfm
+
+/**
+ * Always-on assertion (unlike <cassert>, not compiled out in release
+ * builds). Simulator state is cheap to check and silent corruption is
+ * far more expensive than the branch.
+ */
+#define SDFM_ASSERT(expr)                                                  \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::sdfm::detail::assert_fail(#expr, __FILE__, __LINE__);        \
+        }                                                                  \
+    } while (0)
+
+#endif  // SDFM_UTIL_LOGGING_H

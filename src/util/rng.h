@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random-number generation and the distributions used
+ * by the synthetic workload generator.
+ *
+ * Everything in the simulator draws from an explicitly seeded Rng so
+ * that experiments are reproducible run-to-run. The generator is
+ * xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef SDFM_UTIL_RNG_H
+#define SDFM_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdfm {
+
+/** xoshiro256** pseudo-random generator with convenience draws. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Raw 64-bit draw. */
+    std::uint64_t next_u64();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next_u64(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Uniform integer in [0, bound), bound > 0 (unbiased). */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool next_bool(double p);
+
+    /** Standard normal via Box-Muller. */
+    double next_gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double next_gaussian(double mean, double stddev);
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double next_exponential(double rate);
+
+    /**
+     * Pareto (type I) draw: support [scale, inf), tail index alpha.
+     * Used for heavy-tailed page inter-access times.
+     */
+    double next_pareto(double scale, double alpha);
+
+    /** Log-normal with the given parameters of the underlying normal. */
+    double next_lognormal(double mu, double sigma);
+
+    /** Fork a child generator with an independent stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool have_gauss_ = false;
+    double gauss_spare_ = 0.0;
+};
+
+/**
+ * Zipf-distributed integer draws over {0, ..., n-1} with exponent s,
+ * using precomputed CDF inversion (O(log n) per draw).
+ *
+ * Rank 0 is the most popular item.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of items; must be >= 1.
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Draw a rank in [0, n). */
+    std::size_t operator()(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_RNG_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Simulation time.
+ *
+ * The whole system runs on a discrete clock with one-second
+ * resolution, mirroring the paper's time constants: the kstaled scan
+ * period is 120 s, the node agent acts every 60 s, page ages are
+ * 8-bit counts of scan periods (up to 255 x 120 s = 8.5 h).
+ */
+
+#ifndef SDFM_UTIL_SIM_TIME_H
+#define SDFM_UTIL_SIM_TIME_H
+
+#include <cstdint>
+
+namespace sdfm {
+
+/** Absolute simulation time or a duration, in seconds. */
+using SimTime = std::int64_t;
+
+/** One minute, the node-agent control period. */
+inline constexpr SimTime kMinute = 60;
+
+/** One hour. */
+inline constexpr SimTime kHour = 3600;
+
+/** One day. */
+inline constexpr SimTime kDay = 24 * kHour;
+
+/**
+ * The kstaled scan period; also the minimum cold-age threshold and
+ * the granularity of page ages.
+ */
+inline constexpr SimTime kScanPeriod = 120;
+
+/** Maximum representable page age: 255 scan periods (8-bit ages). */
+inline constexpr SimTime kMaxAge = 255 * kScanPeriod;
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_SIM_TIME_H

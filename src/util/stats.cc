@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+void
+SampleSet::add(double value)
+{
+    samples_.push_back(value);
+    sorted_valid_ = false;
+}
+
+void
+SampleSet::add_all(const std::vector<double> &values)
+{
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    sorted_valid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    SDFM_ASSERT(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::max() const
+{
+    SDFM_ASSERT(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+SampleSet::ensure_sorted() const
+{
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    SDFM_ASSERT(!samples_.empty());
+    SDFM_ASSERT(p >= 0.0 && p <= 100.0);
+    ensure_sorted();
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double
+SampleSet::cdf_at(double value) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensure_sorted();
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+BoxSummary
+box_summary(const SampleSet &samples)
+{
+    SDFM_ASSERT(!samples.empty());
+    BoxSummary box;
+    box.count = samples.size();
+    box.min = samples.min();
+    box.max = samples.max();
+    box.mean = samples.mean();
+    box.q1 = samples.percentile(25.0);
+    box.median = samples.percentile(50.0);
+    box.q3 = samples.percentile(75.0);
+    double iqr = box.q3 - box.q1;
+    box.whisker_lo = std::max(box.min, box.q1 - 1.5 * iqr);
+    box.whisker_hi = std::min(box.max, box.q3 + 1.5 * iqr);
+    return box;
+}
+
+std::vector<std::pair<double, double>>
+cdf_points(const SampleSet &samples, const std::vector<double> &percentiles)
+{
+    std::vector<std::pair<double, double>> points;
+    points.reserve(percentiles.size());
+    for (double p : percentiles)
+        points.emplace_back(p, samples.percentile(p));
+    return points;
+}
+
+void
+RunningMean::add(double value, double weight)
+{
+    SDFM_ASSERT(weight >= 0.0);
+    sum_ += value * weight;
+    weight_ += weight;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sample statistics used throughout the evaluation harness:
+ * percentile queries, box-plot summaries (for the paper's
+ * violin/box figures), and CDF extraction.
+ */
+
+#ifndef SDFM_UTIL_STATS_H
+#define SDFM_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sdfm {
+
+/**
+ * A collection of double-valued samples with percentile queries.
+ *
+ * Percentile computation sorts lazily; adding samples invalidates the
+ * sorted cache.
+ */
+class SampleSet
+{
+  public:
+    SampleSet() = default;
+
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add many samples. */
+    void add_all(const std::vector<double> &values);
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 for an empty set. */
+    double mean() const;
+
+    double min() const;
+    double max() const;
+
+    /**
+     * Percentile in [0, 100] with linear interpolation between order
+     * statistics. Must not be called on an empty set.
+     */
+    double percentile(double p) const;
+
+    /** Fraction of samples <= value, in [0, 1]. */
+    double cdf_at(double value) const;
+
+    /** Read access to the (unsorted) samples. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensure_sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+/**
+ * Box-plot summary: median, quartiles, and 1.5-IQR whiskers, the
+ * statistics plotted per cluster in Figures 2 and 6.
+ */
+struct BoxSummary
+{
+    double min = 0.0;
+    double whisker_lo = 0.0;   ///< max(min, Q1 - 1.5 IQR) clamped to data
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double whisker_hi = 0.0;   ///< min(max, Q3 + 1.5 IQR) clamped to data
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+};
+
+/** Compute the box-plot summary of a sample set (set must be non-empty). */
+BoxSummary box_summary(const SampleSet &samples);
+
+/**
+ * Evaluate a sample set's empirical CDF on a fixed percentile grid.
+ * Returns pairs of (percentile, value at that percentile).
+ */
+std::vector<std::pair<double, double>>
+cdf_points(const SampleSet &samples, const std::vector<double> &percentiles);
+
+/** Weighted running mean (Welford-style, weight >= 0). */
+class RunningMean
+{
+  public:
+    void add(double value, double weight = 1.0);
+    double mean() const { return weight_ > 0.0 ? sum_ / weight_ : 0.0; }
+    double total_weight() const { return weight_; }
+
+  private:
+    double sum_ = 0.0;
+    double weight_ = 0.0;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_STATS_H

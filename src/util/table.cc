@@ -1,0 +1,116 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    SDFM_ASSERT(!header_.empty());
+}
+
+void
+TablePrinter::add_row(std::vector<std::string> row)
+{
+    SDFM_ASSERT(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " ") << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    auto emit_sep = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-')
+               << "|";
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    emit_sep();
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+fmt_double(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+fmt_percent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmt_bytes(double bytes)
+{
+    const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+    return buf;
+}
+
+std::string
+fmt_int(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+void
+CsvWriter::write_row(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            os_ << ',';
+        const std::string &f = fields[i];
+        bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+        if (!needs_quote) {
+            os_ << f;
+            continue;
+        }
+        os_ << '"';
+        for (char ch : f) {
+            if (ch == '"')
+                os_ << '"';
+            os_ << ch;
+        }
+        os_ << '"';
+    }
+    os_ << '\n';
+}
+
+}  // namespace sdfm

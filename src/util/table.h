@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ASCII table and CSV emission for the benchmark harness. Every
+ * figure-reproduction binary prints its series through these so the
+ * output is uniform and machine-scrapable.
+ */
+
+#ifndef SDFM_UTIL_TABLE_H
+#define SDFM_UTIL_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdfm {
+
+/**
+ * Column-aligned ASCII table. Add a header row, then data rows of the
+ * same arity, then print. Numeric formatting is the caller's job
+ * (pass pre-formatted strings or use the fmt() helpers).
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row; defines the column count. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void add_row(std::vector<std::string> row);
+
+    /** Render the table (header, separator, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmt_double(double value, int digits = 2);
+
+/** Format a percentage (value is a fraction in [0,1] -> "12.3%"). */
+std::string fmt_percent(double fraction, int digits = 1);
+
+/** Format a byte count with a binary-unit suffix (KiB/MiB/GiB). */
+std::string fmt_bytes(double bytes);
+
+/** Format an integer count. */
+std::string fmt_int(long long value);
+
+/**
+ * Write rows as CSV to a stream (quoting fields containing commas or
+ * quotes). Intended for optional machine-readable bench output.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Write one row. */
+    void write_row(const std::vector<std::string> &fields);
+
+  private:
+    std::ostream &os_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_TABLE_H

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Memory units shared across the simulator.
+ */
+
+#ifndef SDFM_UTIL_UNITS_H
+#define SDFM_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace sdfm {
+
+/** Size of an x86 base page, the unit zswap operates on. */
+inline constexpr std::uint32_t kPageSize = 4096;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_UNITS_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-job page-access generation.
+ *
+ * Every page carries a next-access time in a min-heap; accessing a
+ * page draws the next inter-access gap from its reuse class's
+ * distribution (exponential for hot pages, lognormal for warm,
+ * Pareto for cold, mostly-never for frozen, windowed for diurnal).
+ * Stepping the pattern pops all events inside the step window and
+ * invokes a callback per access.
+ *
+ * This renewal-process construction is what makes minute-granularity
+ * fleet simulation tractable: cost is proportional to accesses
+ * performed, not pages owned, and the time-weighted age distribution
+ * it induces is exactly the cold-memory structure the control plane
+ * consumes.
+ */
+
+#ifndef SDFM_WORKLOAD_ACCESS_PATTERN_H
+#define SDFM_WORKLOAD_ACCESS_PATTERN_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mem/page.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "workload/job_profile.h"
+
+namespace sdfm {
+
+/** Generates the access stream for one job. */
+class AccessPattern
+{
+  public:
+    /**
+     * @param profile Archetype parameters (reuse fractions are
+     *        jittered per instance for population diversity).
+     * @param num_pages Job address-space size.
+     * @param rng Private generator (seeded by the caller).
+     * @param start Job start time; initial accesses are staggered
+     *        from here.
+     */
+    AccessPattern(const JobProfile &profile, std::uint32_t num_pages,
+                  Rng rng, SimTime start);
+
+    /**
+     * Generate all accesses with timestamps in [now, now + dt) and
+     * call fn(page, is_write) for each, in time order. Scan events
+     * (whole-job sweeps) fire here too; scan touches do not reset a
+     * page's renewal clock.
+     */
+    template <typename Fn>
+    std::uint64_t
+    step(SimTime now, SimTime dt, Fn &&fn)
+    {
+        std::uint64_t accesses = 0;
+        SimTime end = now + dt;
+        while (!queue_.empty() && queue_.top().first < end) {
+            auto [t, page] = queue_.top();
+            queue_.pop();
+            bool is_write = rng_.next_bool(profile_.write_frac);
+            fn(page, is_write);
+            ++accesses;
+            schedule_next(page, t);
+        }
+        while (next_scan_ != 0 && next_scan_ < end) {
+            for (PageId p = 0; p < num_pages(); ++p) {
+                if (rng_.next_bool(profile_.scan_fraction)) {
+                    fn(p, false);
+                    ++accesses;
+                }
+            }
+            next_scan_ += to_gap_public(rng_.next_exponential(
+                1.0 / static_cast<double>(profile_.scan_interval_mean)));
+        }
+        return accesses;
+    }
+
+    /** Time of the next scan event (0 when scans are disabled). */
+    SimTime next_scan() const { return next_scan_; }
+
+    /** Reuse class assigned to a page. */
+    ReuseClass reuse_class(PageId p) const { return classes_[p]; }
+
+    /** Fraction of pages in a reuse class (post-jitter). */
+    double class_fraction(ReuseClass cls) const;
+
+    /** Load multiplier at time @p t (diurnal curve), in [1-A, 1+A]. */
+    double diurnal_multiplier(SimTime t) const;
+
+    std::uint32_t num_pages() const
+    {
+        return static_cast<std::uint32_t>(classes_.size());
+    }
+
+  private:
+    using Event = std::pair<SimTime, PageId>;
+
+    /** Clamp a floating-point gap to a safe SimTime (>= 1 s). */
+    static SimTime to_gap_public(double seconds);
+
+    /** Draw the next gap for a page and enqueue it (or retire it). */
+    void schedule_next(PageId page, SimTime accessed_at);
+
+    /** Start of the next diurnal active window at or after @p t. */
+    SimTime next_active_start(SimTime t) const;
+
+    JobProfile profile_;
+    Rng rng_;
+    std::vector<ReuseClass> classes_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    SimTime next_scan_ = 0;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_WORKLOAD_ACCESS_PATTERN_H

@@ -1,0 +1,46 @@
+#include "workload/job.h"
+
+namespace sdfm {
+
+Job::Job(JobId id, const JobProfile &profile, std::uint64_t seed,
+         SimTime start)
+    : profile_(profile), rng_(seed)
+{
+    std::uint32_t pages = static_cast<std::uint32_t>(rng_.next_range(
+        profile.min_pages, profile.max_pages));
+    memcg_ = std::make_unique<Memcg>(id, pages, rng_.next_u64(),
+                                     profile.mix, start);
+    memcg_->set_best_effort(profile.best_effort);
+    pattern_ =
+        std::make_unique<AccessPattern>(profile, pages, rng_.fork(), start);
+
+    if (profile.unevictable_frac > 0.0) {
+        for (PageId p = 0; p < pages; ++p) {
+            if (rng_.next_bool(profile.unevictable_frac))
+                memcg_->set_unevictable(p, true);
+        }
+    }
+
+    if (profile.huge_page_frac > 0.0) {
+        for (std::uint32_t region = 0;
+             (region + 1) * kHugeRegionPages <= pages; ++region) {
+            if (rng_.next_bool(profile.huge_page_frac))
+                memcg_->map_huge_region(region * kHugeRegionPages);
+        }
+    }
+}
+
+JobStepStats
+Job::run_step(SimTime now, SimTime dt, Zswap &zswap, FarTier *tier)
+{
+    JobStepStats stats;
+    stats.accesses = pattern_->step(now, dt, [&](PageId p, bool is_write) {
+        if (memcg_->touch(p, is_write, zswap, tier))
+            ++stats.promotions;
+    });
+    memcg_->stats().app_cycles +=
+        profile_.cycles_per_access * static_cast<double>(stats.accesses);
+    return stats;
+}
+
+}  // namespace sdfm

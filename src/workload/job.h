@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A running job instance: a memcg (the kernel's view) plus an access
+ * pattern (the application's behaviour), stepped by the machine.
+ */
+
+#ifndef SDFM_WORKLOAD_JOB_H
+#define SDFM_WORKLOAD_JOB_H
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/memcg.h"
+#include "mem/far_tier.h"
+#include "mem/zswap.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "workload/access_pattern.h"
+#include "workload/job_profile.h"
+
+namespace sdfm {
+
+/** Counters from one simulation step of one job. */
+struct JobStepStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t promotions = 0;  ///< zswap faults this step
+};
+
+/** One job instance. */
+class Job
+{
+  public:
+    /**
+     * @param id Fleet-unique id.
+     * @param profile Archetype (copied; per-instance jitter inside).
+     * @param seed Seed for all of this job's randomness.
+     * @param start Start time.
+     */
+    Job(JobId id, const JobProfile &profile, std::uint64_t seed,
+        SimTime start);
+
+    JobId id() const { return memcg_->id(); }
+    const JobProfile &profile() const { return profile_; }
+
+    /**
+     * Run one simulation step: generate accesses in [now, now+dt),
+     * apply them to the memcg (promoting far-memory pages on fault),
+     * and charge application CPU.
+     */
+    JobStepStats run_step(SimTime now, SimTime dt, Zswap &zswap,
+                          FarTier *tier = nullptr);
+
+    Memcg &memcg() { return *memcg_; }
+    const Memcg &memcg() const { return *memcg_; }
+
+    AccessPattern &pattern() { return *pattern_; }
+
+  private:
+    JobProfile profile_;
+    Rng rng_;
+    std::unique_ptr<Memcg> memcg_;
+    std::unique_ptr<AccessPattern> pattern_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_WORKLOAD_JOB_H

@@ -1,0 +1,180 @@
+#include "workload/job_profile.h"
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+std::size_t
+FleetMix::sample(Rng &rng) const
+{
+    SDFM_ASSERT(!profiles.empty() && profiles.size() == weights.size());
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double u = rng.next_double() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+FleetMix
+typical_fleet_mix()
+{
+    FleetMix mix;
+
+    {
+        // Latency-sensitive user-facing servers: small, hot working
+        // sets, little cold memory (the bottom decile of Figure 3).
+        JobProfile p;
+        p.name = "web_frontend";
+        p.min_pages = 512;
+        p.max_pages = 4096;
+        p.hot_frac = 0.80;
+        p.warm_frac = 0.17;
+        p.diurnal_frac = 0.01;
+        p.cold_frac = 0.005;
+        p.hot_gap_mean = 30.0;
+        p.warm_median_gap = 45.0;
+        p.warm_sigma = 0.8;
+        p.write_frac = 0.20;
+        p.diurnal_amplitude = 0.45;
+        p.cycles_per_access = 72000.0;
+        p.mix = ContentMix(0.02, 0.30, 0.34, 0.20, 0.14);
+        p.unevictable_frac = 0.01;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.25);
+    }
+    {
+        // Bigtable-like storage servers: big in-memory caches with a
+        // strong diurnal load pattern (Section 6.4).
+        JobProfile p;
+        p.name = "bigtable";
+        p.min_pages = 8192;
+        p.max_pages = 32768;
+        p.hot_frac = 0.45;
+        p.warm_frac = 0.36;
+        p.diurnal_frac = 0.10;
+        p.cold_frac = 0.05;
+        p.warm_median_gap = 60.0;
+        p.warm_sigma = 0.9;
+        p.write_frac = 0.12;
+        p.diurnal_amplitude = 0.5;
+        p.diurnal_peak_hour = 13.0;
+        p.cycles_per_access = 56000.0;
+        p.mix = ContentMix(0.03, 0.20, 0.35, 0.17, 0.25);
+        p.scan_interval_mean = 6 * kHour;   // SSTable compactions
+        p.scan_fraction = 0.12;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.15);
+    }
+    {
+        // Key-value caches: zipf access, long cold tail (the top
+        // decile of Figure 3).
+        JobProfile p;
+        p.name = "kv_cache";
+        p.min_pages = 4096;
+        p.max_pages = 16384;
+        p.hot_frac = 0.30;
+        p.warm_frac = 0.30;
+        p.diurnal_frac = 0.03;
+        p.cold_frac = 0.17;
+        p.cold_scale = 1100.0;
+        p.cold_alpha = 1.1;
+        p.warm_median_gap = 60.0;
+        p.warm_sigma = 0.9;
+        p.write_frac = 0.08;
+        p.cycles_per_access = 40000.0;
+        p.mix = ContentMix(0.05, 0.18, 0.25, 0.15, 0.37);
+        p.scan_interval_mean = 8 * kHour;   // eviction sweeps
+        p.scan_fraction = 0.10;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.12);
+    }
+    {
+        // ML training pipelines: throughput-oriented streaming over
+        // large datasets.
+        JobProfile p;
+        p.name = "ml_training";
+        p.min_pages = 8192;
+        p.max_pages = 24576;
+        p.hot_frac = 0.42;
+        p.warm_frac = 0.48;
+        p.diurnal_frac = 0.00;
+        p.cold_frac = 0.04;
+        p.warm_median_gap = 75.0;
+        p.warm_sigma = 0.6;
+        p.write_frac = 0.25;
+        p.diurnal_amplitude = 0.05;
+        p.cycles_per_access = 32000.0;
+        p.mix = ContentMix(0.04, 0.08, 0.30, 0.28, 0.30);
+        p.scan_interval_mean = 4 * kHour;   // training epoch re-reads
+        p.scan_fraction = 0.16;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.15);
+    }
+    {
+        // Batch analytics: best-effort, large intermediate state with
+        // substantial cold memory; evicted first under pressure.
+        JobProfile p;
+        p.name = "batch_analytics";
+        p.min_pages = 4096;
+        p.max_pages = 20480;
+        p.hot_frac = 0.30;
+        p.warm_frac = 0.40;
+        p.diurnal_frac = 0.02;
+        p.cold_frac = 0.11;
+        p.warm_median_gap = 60.0;
+        p.warm_sigma = 0.9;
+        p.write_frac = 0.18;
+        p.best_effort = true;
+        p.cycles_per_access = 28000.0;
+        p.mix = ContentMix(0.06, 0.22, 0.28, 0.16, 0.28);
+        p.scan_interval_mean = 6 * kHour;   // shuffle/merge phases
+        p.scan_fraction = 0.16;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.20);
+    }
+    {
+        // Log processing / archival: append-mostly with a large
+        // frozen tail.
+        JobProfile p;
+        p.name = "logs";
+        p.min_pages = 2048;
+        p.max_pages = 16384;
+        p.hot_frac = 0.18;
+        p.warm_frac = 0.20;
+        p.diurnal_frac = 0.02;
+        p.cold_frac = 0.15;
+        p.cold_scale = 1100.0;
+        p.cold_alpha = 1.1;
+        p.warm_median_gap = 60.0;
+        p.warm_sigma = 0.9;
+        p.write_frac = 0.30;
+        p.best_effort = true;
+        p.cycles_per_access = 24000.0;
+        p.mix = ContentMix(0.08, 0.40, 0.22, 0.10, 0.20);
+        p.scan_interval_mean = 12 * kHour;  // archival sweeps
+        p.scan_fraction = 0.05;
+        mix.profiles.push_back(p);
+        mix.weights.push_back(0.13);
+    }
+
+    return mix;
+}
+
+JobProfile
+profile_by_name(const std::string &name)
+{
+    FleetMix mix = typical_fleet_mix();
+    for (const auto &p : mix.profiles) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown job profile '%s'", name.c_str());
+}
+
+}  // namespace sdfm

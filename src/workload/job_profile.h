@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Job archetypes: synthetic stand-ins for the proprietary production
+ * workload mix. Each profile fixes the page-reuse behaviour mix (hot /
+ * warm / diurnal / cold / frozen), content compressibility mix, write
+ * rate, and diurnal shape. The fleet-level profile population is
+ * calibrated so that the cold-memory characterization matches the
+ * paper's Figures 1-3: ~32% of fleet memory cold at T = 120 s, per-job
+ * cold fraction ranging from <9% (bottom decile) to >43% (top decile).
+ */
+
+#ifndef SDFM_WORKLOAD_JOB_PROFILE_H
+#define SDFM_WORKLOAD_JOB_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compression/page_content.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** Per-page reuse behaviour categories. */
+enum class ReuseClass : std::uint8_t
+{
+    kHot = 0,    ///< re-accessed every few tens of seconds
+    kWarm,       ///< heavy-tailed gaps around minutes
+    kDiurnal,    ///< active during the daily peak, dormant otherwise
+    kCold,       ///< gaps of tens of minutes to hours
+    kFrozen,     ///< effectively never re-accessed
+    kNumClasses,
+};
+
+/** Workload archetype parameters. */
+struct JobProfile
+{
+    std::string name;
+
+    /** Address-space size range, in pages. */
+    std::uint32_t min_pages = 1024;
+    std::uint32_t max_pages = 8192;
+
+    /** Reuse-class fractions (frozen gets the remainder). */
+    double hot_frac = 0.30;
+    double warm_frac = 0.30;
+    double diurnal_frac = 0.10;
+    double cold_frac = 0.20;
+
+    /** Mean gap of hot pages (exponential), seconds. */
+    double hot_gap_mean = 45.0;
+
+    /** Warm-page lognormal gap parameters (median seconds, sigma). */
+    double warm_median_gap = 60.0;
+    double warm_sigma = 1.0;
+
+    /** Cold-page Pareto gap parameters. */
+    double cold_scale = 600.0;
+    double cold_alpha = 1.05;
+
+    /**
+     * Probability that a frozen page, once accessed, is ever accessed
+     * again (each re-access draws a very long Pareto gap).
+     */
+    double frozen_reaccess_prob = 0.05;
+
+    /** Fraction of accesses that are writes. */
+    double write_frac = 0.10;
+
+    /** Diurnal load swing: peak gap-rate multiplier is 1 + amplitude. */
+    double diurnal_amplitude = 0.3;
+
+    /** Hour of day (0-24) of peak load. */
+    double diurnal_peak_hour = 14.0;
+
+    /** Mean gap of diurnal pages while in the active window. */
+    double diurnal_active_gap_mean = 90.0;
+
+    /** Content compressibility mix. */
+    ContentMix mix = ContentMix::typical();
+
+    /** Modelled job CPU per page access (for overhead normalization). */
+    double cycles_per_access = 48000.0;
+
+    /** Best-effort jobs are evicted first under memory pressure. */
+    bool best_effort = false;
+
+    /** Fraction of pages that are mlocked/unevictable. */
+    double unevictable_frac = 0.0;
+
+    /**
+     * Mean interval between whole-job scan events (compactions, GC,
+     * backup or training-epoch re-reads) that touch a swath of pages
+     * regardless of their age; 0 disables scans. These are the
+     * "sudden spikes in application activity" the controller's
+     * max(pool percentile, last best) rule reacts to (Section 4.3).
+     */
+    SimTime scan_interval_mean = 0;
+
+    /** Fraction of pages touched by one scan event. */
+    double scan_fraction = 0.3;
+
+    /**
+     * Fraction of the address space backed by transparent huge pages
+     * at job start (region-aligned). Huge regions have one accessed
+     * bit for 512 pages and must be split before far-memory demotion
+     * (Section 7's huge-page discussion).
+     */
+    double huge_page_frac = 0.0;
+};
+
+/**
+ * The archetype catalogue plus sampling weights: the job mix a
+ * cluster draws from.
+ */
+struct FleetMix
+{
+    std::vector<JobProfile> profiles;
+    std::vector<double> weights;
+
+    /** Sample a profile index. */
+    std::size_t sample(Rng &rng) const;
+};
+
+/**
+ * The representative WSC mix used by the evaluation benches:
+ * web frontends, Bigtable-like servers, key-value caches, ML
+ * training, batch analytics, and log-processing jobs.
+ */
+FleetMix typical_fleet_mix();
+
+/** Look up a single archetype from typical_fleet_mix() by name. */
+JobProfile profile_by_name(const std::string &name);
+
+}  // namespace sdfm
+
+#endif  // SDFM_WORKLOAD_JOB_PROFILE_H

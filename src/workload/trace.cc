@@ -1,0 +1,131 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace sdfm {
+
+void
+TraceLog::append(TraceEntry entry)
+{
+    entries_.push_back(std::move(entry));
+}
+
+std::vector<JobTrace>
+TraceLog::by_job() const
+{
+    std::map<JobId, JobTrace> groups;
+    for (const auto &entry : entries_) {
+        JobTrace &trace = groups[entry.job];
+        trace.job = entry.job;
+        trace.entries.push_back(entry);
+    }
+    std::vector<JobTrace> result;
+    result.reserve(groups.size());
+    for (auto &[job, trace] : groups) {
+        std::sort(trace.entries.begin(), trace.entries.end(),
+                  [](const TraceEntry &a, const TraceEntry &b) {
+                      return a.timestamp < b.timestamp;
+                  });
+        result.push_back(std::move(trace));
+    }
+    return result;
+}
+
+namespace {
+
+void
+save_histogram(std::ostream &os, char tag, const AgeHistogram &hist)
+{
+    os << tag;
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        std::uint64_t count = hist.at(static_cast<AgeBucket>(b));
+        if (count != 0)
+            os << ' ' << b << ':' << count;
+    }
+    os << '\n';
+}
+
+bool
+load_histogram(std::istream &is, char expected_tag, AgeHistogram *hist)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.empty() || line[0] != expected_tag)
+        return false;
+    std::istringstream ss(line.substr(1));
+    std::string field;
+    while (ss >> field) {
+        std::size_t colon = field.find(':');
+        if (colon == std::string::npos)
+            return false;
+        unsigned long bucket = std::stoul(field.substr(0, colon));
+        unsigned long long count = std::stoull(field.substr(colon + 1));
+        if (bucket >= kAgeBuckets)
+            return false;
+        hist->add(static_cast<AgeBucket>(bucket), count);
+    }
+    return true;
+}
+
+}  // namespace
+
+void
+TraceLog::save(std::ostream &os) const
+{
+    // Doubles must survive the text round-trip exactly.
+    os.precision(17);
+    for (const auto &entry : entries_) {
+        os << "E " << entry.job << ' ' << entry.timestamp << ' '
+           << entry.wss_pages << '\n';
+        save_histogram(os, 'P', entry.promo_delta);
+        save_histogram(os, 'C', entry.cold_hist);
+        const JobSli &s = entry.sli;
+        os << "S " << s.zswap_promotions_delta << ' '
+           << s.zswap_stores_delta << ' ' << s.zswap_rejects_delta << ' '
+           << s.zswap_pages << ' ' << s.resident_pages << ' '
+           << s.cold_pages_min << ' ' << s.compressed_bytes << ' '
+           << s.compress_cycles_delta << ' ' << s.decompress_cycles_delta
+           << ' ' << s.app_cycles_delta << ' '
+           << s.decompress_latency_us_delta << '\n';
+    }
+}
+
+bool
+TraceLog::load(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] != 'E')
+            return false;
+        TraceEntry entry;
+        std::istringstream ss(line.substr(1));
+        if (!(ss >> entry.job >> entry.timestamp >> entry.wss_pages))
+            return false;
+        if (!load_histogram(is, 'P', &entry.promo_delta))
+            return false;
+        if (!load_histogram(is, 'C', &entry.cold_hist))
+            return false;
+        if (!std::getline(is, line) || line.empty() || line[0] != 'S')
+            return false;
+        {
+            std::istringstream sli_ss(line.substr(1));
+            JobSli &s = entry.sli;
+            if (!(sli_ss >> s.zswap_promotions_delta >>
+                  s.zswap_stores_delta >> s.zswap_rejects_delta >>
+                  s.zswap_pages >> s.resident_pages >> s.cold_pages_min >>
+                  s.compressed_bytes >> s.compress_cycles_delta >>
+                  s.decompress_cycles_delta >> s.app_cycles_delta >>
+                  s.decompress_latency_us_delta)) {
+                return false;
+            }
+        }
+        entries_.push_back(std::move(entry));
+    }
+    return true;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,267 @@
+#include "zsmalloc/zsmalloc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/units.h"
+#include "util/logging.h"
+
+namespace sdfm {
+
+namespace {
+
+/** Size-class granularity, matching the spirit of the kernel's. */
+constexpr std::uint32_t kClassDelta = 32;
+constexpr std::uint32_t kMinAlloc = kClassDelta;
+constexpr std::uint32_t kMaxAlloc = kPageSize;
+constexpr std::uint32_t kNumClasses = kMaxAlloc / kClassDelta;
+constexpr std::uint32_t kMaxPagesPerZspage = 4;
+
+/** Pick pages-per-zspage minimizing tail waste (like the kernel). */
+std::uint32_t
+best_pages_per_zspage(std::uint32_t object_size)
+{
+    std::uint32_t best = 1;
+    std::uint32_t best_waste = kPageSize % object_size;
+    for (std::uint32_t p = 2; p <= kMaxPagesPerZspage; ++p) {
+        std::uint32_t waste = (p * kPageSize) % object_size;
+        // Prefer fewer pages on ties; compare waste per page.
+        if (waste * best < best_waste * p) {
+            best = p;
+            best_waste = waste;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+ZsmallocArena::ZsmallocArena(bool keep_payload_bytes)
+    : keep_payload_bytes_(keep_payload_bytes)
+{
+    classes_.resize(kNumClasses);
+    for (std::uint32_t i = 0; i < kNumClasses; ++i) {
+        SizeClass &cls = classes_[i];
+        cls.object_size = (i + 1) * kClassDelta;
+        cls.pages_per_zspage = best_pages_per_zspage(cls.object_size);
+        cls.objects_per_zspage =
+            cls.pages_per_zspage * kPageSize / cls.object_size;
+    }
+    entries_.emplace_back();  // slot 0 reserved: handle 0 is invalid
+}
+
+std::uint16_t
+ZsmallocArena::class_for_size(std::uint32_t size)
+{
+    SDFM_ASSERT(size >= 1 && size <= kMaxAlloc);
+    std::uint32_t rounded = std::max(size, kMinAlloc);
+    std::uint32_t idx = (rounded + kClassDelta - 1) / kClassDelta - 1;
+    return static_cast<std::uint16_t>(idx);
+}
+
+std::uint32_t
+ZsmallocArena::acquire_zspage_slot(SizeClass &cls)
+{
+    if (!cls.free_zspage_slots.empty()) {
+        std::uint32_t id = cls.free_zspage_slots.back();
+        cls.free_zspage_slots.pop_back();
+        return id;
+    }
+    cls.zspage_occupancy.push_back(0);
+    return static_cast<std::uint32_t>(cls.zspage_occupancy.size() - 1);
+}
+
+ZsHandle
+ZsmallocArena::store(std::uint32_t size, const std::uint8_t *data)
+{
+    std::uint16_t class_idx = class_for_size(size);
+    SizeClass &cls = classes_[class_idx];
+
+    // Find a zspage with a free slot (first-fit over the candidate
+    // list, dropping stale entries as we go). A candidate with zero
+    // occupancy has been fully released -- its backing pages are gone
+    // and its slot sits in free_zspage_slots -- so it is stale too.
+    std::uint32_t target = UINT32_MAX;
+    while (!cls.candidates.empty()) {
+        std::uint32_t id = cls.candidates.back();
+        std::uint32_t occ = cls.zspage_occupancy[id];
+        if (occ > 0 && occ < cls.objects_per_zspage) {
+            target = id;
+            break;
+        }
+        cls.candidates.pop_back();
+    }
+    if (target == UINT32_MAX) {
+        target = acquire_zspage_slot(cls);
+        cls.candidates.push_back(target);
+        stats_.pool_bytes +=
+            static_cast<std::uint64_t>(cls.pages_per_zspage) * kPageSize;
+    }
+    ++cls.zspage_occupancy[target];
+    if (cls.zspage_occupancy[target] == cls.objects_per_zspage &&
+        !cls.candidates.empty() && cls.candidates.back() == target) {
+        cls.candidates.pop_back();
+    }
+    ++cls.live;
+
+    std::uint64_t slot;
+    if (!free_entries_.empty()) {
+        slot = free_entries_.back();
+        free_entries_.pop_back();
+    } else {
+        slot = entries_.size();
+        entries_.emplace_back();
+    }
+    Entry &entry = entries_[slot];
+    entry.size = size;
+    entry.class_idx = class_idx;
+    entry.zspage = target;
+    entry.live = true;
+    if (keep_payload_bytes_ && data != nullptr)
+        entry.bytes.assign(data, data + size);
+
+    ++stats_.total_allocs;
+    ++stats_.live_objects;
+    stats_.stored_bytes += size;
+    return slot;
+}
+
+void
+ZsmallocArena::release(ZsHandle handle)
+{
+    SDFM_ASSERT(handle > 0 && handle < entries_.size());
+    Entry &entry = entries_[handle];
+    SDFM_ASSERT(entry.live);
+    SizeClass &cls = classes_[entry.class_idx];
+    SDFM_ASSERT(cls.zspage_occupancy[entry.zspage] > 0);
+    std::uint32_t occ = --cls.zspage_occupancy[entry.zspage];
+    --cls.live;
+    if (occ == 0) {
+        cls.free_zspage_slots.push_back(entry.zspage);
+        stats_.pool_bytes -=
+            static_cast<std::uint64_t>(cls.pages_per_zspage) * kPageSize;
+    } else if (occ == cls.objects_per_zspage - 1) {
+        // Transitioned from full to having space: allocatable again.
+        cls.candidates.push_back(entry.zspage);
+    }
+
+    stats_.stored_bytes -= entry.size;
+    --stats_.live_objects;
+    ++stats_.total_frees;
+    entry.live = false;
+    entry.bytes.clear();
+    entry.bytes.shrink_to_fit();
+    free_entries_.push_back(handle);
+}
+
+std::uint32_t
+ZsmallocArena::payload_size(ZsHandle handle) const
+{
+    SDFM_ASSERT(handle > 0 && handle < entries_.size());
+    const Entry &entry = entries_[handle];
+    SDFM_ASSERT(entry.live);
+    return entry.size;
+}
+
+const std::uint8_t *
+ZsmallocArena::payload(ZsHandle handle) const
+{
+    SDFM_ASSERT(handle > 0 && handle < entries_.size());
+    const Entry &entry = entries_[handle];
+    SDFM_ASSERT(entry.live);
+    return entry.bytes.empty() ? nullptr : entry.bytes.data();
+}
+
+std::uint64_t
+ZsmallocArena::compact()
+{
+    ++stats_.compactions;
+    std::uint64_t released = 0;
+
+    // Per class: the minimum number of zspages that can hold the live
+    // objects. Migrate objects out of the sparsest zspages until that
+    // bound is met. We model migration by rewriting entry zspage ids.
+    for (std::uint16_t class_idx = 0; class_idx < classes_.size();
+         ++class_idx) {
+        SizeClass &cls = classes_[class_idx];
+        if (cls.live == 0)
+            continue;
+        std::uint64_t needed = (cls.live + cls.objects_per_zspage - 1) /
+                               cls.objects_per_zspage;
+        // Count currently backed zspages.
+        std::vector<std::uint32_t> live_zspages;
+        for (std::uint32_t id = 0; id < cls.zspage_occupancy.size(); ++id) {
+            if (cls.zspage_occupancy[id] > 0)
+                live_zspages.push_back(id);
+        }
+        if (live_zspages.size() <= needed)
+            continue;
+        // Sort by occupancy: evacuate the sparsest.
+        std::sort(live_zspages.begin(), live_zspages.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return cls.zspage_occupancy[a] <
+                             cls.zspage_occupancy[b];
+                  });
+        std::size_t evacuate_count = live_zspages.size() - needed;
+        std::vector<bool> evacuate(cls.zspage_occupancy.size(), false);
+        for (std::size_t i = 0; i < evacuate_count; ++i)
+            evacuate[live_zspages[i]] = true;
+
+        // Receivers: the remaining (densest) zspages, filled in order.
+        std::vector<std::uint32_t> receivers(
+            live_zspages.begin() +
+                static_cast<std::ptrdiff_t>(evacuate_count),
+            live_zspages.end());
+        std::size_t recv_pos = 0;
+
+        for (std::uint64_t slot = 1; slot < entries_.size(); ++slot) {
+            Entry &entry = entries_[slot];
+            if (!entry.live || entry.class_idx != class_idx ||
+                !evacuate[entry.zspage]) {
+                continue;
+            }
+            while (recv_pos < receivers.size() &&
+                   cls.zspage_occupancy[receivers[recv_pos]] >=
+                       cls.objects_per_zspage) {
+                ++recv_pos;
+            }
+            SDFM_ASSERT(recv_pos < receivers.size());
+            std::uint32_t dst = receivers[recv_pos];
+            --cls.zspage_occupancy[entry.zspage];
+            ++cls.zspage_occupancy[dst];
+            entry.zspage = dst;
+            stats_.compaction_moved_bytes += entry.size;
+        }
+
+        // Release evacuated zspages.
+        for (std::size_t i = 0; i < evacuate_count; ++i) {
+            std::uint32_t id = live_zspages[i];
+            SDFM_ASSERT(cls.zspage_occupancy[id] == 0);
+            cls.free_zspage_slots.push_back(id);
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(cls.pages_per_zspage) * kPageSize;
+            stats_.pool_bytes -= bytes;
+            released += bytes;
+        }
+        // Candidate list may hold stale ids; rebuild it.
+        cls.candidates.clear();
+        for (std::uint32_t id = 0; id < cls.zspage_occupancy.size(); ++id) {
+            if (cls.zspage_occupancy[id] > 0 &&
+                cls.zspage_occupancy[id] < cls.objects_per_zspage) {
+                cls.candidates.push_back(id);
+            }
+        }
+    }
+    return released;
+}
+
+double
+ZsmallocArena::fragmentation() const
+{
+    if (stats_.pool_bytes == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(stats_.stored_bytes) /
+                     static_cast<double>(stats_.pool_bytes);
+}
+
+}  // namespace sdfm

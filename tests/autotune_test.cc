@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the autotuner stack: GP regression accuracy, the
+ * constrained GP-UCB bandit on synthetic black-box problems, and the
+ * end-to-end autotuning pipeline over synthetic traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autotune/autotuner.h"
+#include "autotune/gp.h"
+#include "autotune/gp_bandit.h"
+#include "util/rng.h"
+
+namespace sdfm {
+namespace {
+
+// ------------------------------------------------------------------ GP
+
+TEST(GaussianProcessTest, InterpolatesObservations)
+{
+    std::vector<Vector> x = {{0.0}, {0.25}, {0.5}, {0.75}, {1.0}};
+    Vector y;
+    for (const auto &xi : x)
+        y.push_back(std::sin(6.0 * xi[0]));
+    GaussianProcess gp;
+    gp.fit(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        GpPrediction pred = gp.predict(x[i]);
+        EXPECT_NEAR(pred.mean, y[i], 0.05);
+        EXPECT_LT(pred.variance, 0.05);
+    }
+}
+
+TEST(GaussianProcessTest, PredictsBetweenObservations)
+{
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i <= 20; ++i) {
+        double xi = i / 20.0;
+        x.push_back({xi});
+        y.push_back(std::sin(6.0 * xi));
+    }
+    GaussianProcess gp;
+    gp.fit(x, y);
+    for (double xi : {0.13, 0.37, 0.61, 0.89}) {
+        GpPrediction pred = gp.predict({xi});
+        EXPECT_NEAR(pred.mean, std::sin(6.0 * xi), 0.05) << xi;
+    }
+}
+
+TEST(GaussianProcessTest, UncertaintyGrowsAwayFromData)
+{
+    std::vector<Vector> x = {{0.4}, {0.5}, {0.6}};
+    Vector y = {1.0, 2.0, 1.5};
+    GaussianProcess gp;
+    GpParams params;
+    params.length_scales = {0.1};
+    params.noise_variance = 1e-6;
+    gp.fit_with_params(x, y, params);
+    GpPrediction near = gp.predict({0.5});
+    GpPrediction far = gp.predict({0.0});
+    EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GaussianProcessTest, ConstantTargetsHandled)
+{
+    std::vector<Vector> x = {{0.1}, {0.5}, {0.9}};
+    Vector y = {3.0, 3.0, 3.0};
+    GaussianProcess gp;
+    gp.fit(x, y);
+    EXPECT_NEAR(gp.predict({0.3}).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcessTest, BothKernelsWork)
+{
+    std::vector<Vector> x = {{0.0}, {0.5}, {1.0}};
+    Vector y = {0.0, 1.0, 0.0};
+    for (KernelType kernel : {KernelType::kRbf, KernelType::kMatern52}) {
+        GaussianProcess gp(kernel);
+        gp.fit(x, y);
+        EXPECT_NEAR(gp.predict({0.5}).mean, 1.0, 0.1);
+    }
+}
+
+TEST(GaussianProcessTest, LmlPrefersReasonableScales)
+{
+    // Observations from a smooth function: a sane length scale must
+    // beat an absurdly small one.
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i <= 12; ++i) {
+        double xi = i / 12.0;
+        x.push_back({xi});
+        y.push_back(std::sin(3.0 * xi));
+    }
+    // Standardize y as fit() would.
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+    double var = 0.0;
+    for (double v : y)
+        var += (v - mean) * (v - mean);
+    double stddev = std::sqrt(var / static_cast<double>(y.size()));
+    Vector ys;
+    for (double v : y)
+        ys.push_back((v - mean) / stddev);
+
+    GaussianProcess gp;
+    GpParams sane;
+    sane.length_scales = {0.5};
+    sane.noise_variance = 1e-4;
+    GpParams tiny = sane;
+    tiny.length_scales = {0.005};
+    EXPECT_GT(gp.log_marginal_likelihood(x, ys, sane),
+              gp.log_marginal_likelihood(x, ys, tiny));
+}
+
+TEST(GaussianProcessTest, TwoDimensionalFit)
+{
+    std::vector<Vector> x;
+    Vector y;
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        double a = rng.next_double(), b = rng.next_double();
+        x.push_back({a, b});
+        y.push_back(a * a + 0.5 * b);
+    }
+    GaussianProcess gp;
+    gp.fit(x, y);
+    EXPECT_NEAR(gp.predict({0.5, 0.5}).mean, 0.5, 0.1);
+    EXPECT_NEAR(gp.predict({0.9, 0.1}).mean, 0.86, 0.12);
+}
+
+// -------------------------------------------------------------- bandit
+
+/** Synthetic constrained problem: maximize a smooth objective whose
+ *  peak violates the constraint; the constrained optimum is on the
+ *  feasibility boundary. */
+struct SyntheticProblem
+{
+    double objective(const Vector &x) const
+    {
+        return 10.0 - 8.0 * (x[0] - 0.8) * (x[0] - 0.8) -
+               4.0 * (x[1] - 0.5) * (x[1] - 0.5);
+    }
+    double constraint(const Vector &x) const
+    {
+        return x[0];  // feasible iff x0 <= 0.6
+    }
+    static constexpr double kLimit = 0.6;
+    /** Best feasible objective: at x = (0.6, 0.5). */
+    double best_feasible() const { return objective({0.6, 0.5}); }
+};
+
+TEST(GpBanditTest, FindsConstrainedOptimum)
+{
+    SyntheticProblem problem;
+    BanditConfig config;
+    GpBandit bandit(config, SyntheticProblem::kLimit, 17);
+    Rng rng(19);
+    // Random bootstrap.
+    for (int i = 0; i < 4; ++i) {
+        Vector x = {rng.next_double(), rng.next_double()};
+        bandit.add_observation(x, problem.objective(x),
+                               problem.constraint(x));
+    }
+    for (int i = 0; i < 16; ++i) {
+        Vector x = bandit.suggest();
+        bandit.add_observation(x, problem.objective(x),
+                               problem.constraint(x));
+    }
+    BanditObservation best = bandit.best_feasible();
+    EXPECT_LE(best.constraint, SyntheticProblem::kLimit);
+    EXPECT_GT(best.objective, problem.best_feasible() - 0.5);
+}
+
+TEST(GpBanditTest, BeatsRandomSearchOnAverage)
+{
+    SyntheticProblem problem;
+    double bandit_total = 0.0, random_total = 0.0;
+    const int kRepeats = 5;
+    const int kTrials = 14;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        BanditConfig config;
+        GpBandit bandit(config, SyntheticProblem::kLimit,
+                        100 + static_cast<unsigned>(rep));
+        Rng boot(200 + static_cast<unsigned>(rep));
+        for (int i = 0; i < 3; ++i) {
+            Vector x = {boot.next_double(), boot.next_double()};
+            bandit.add_observation(x, problem.objective(x),
+                                   problem.constraint(x));
+        }
+        for (int i = 3; i < kTrials; ++i) {
+            Vector x = bandit.suggest();
+            bandit.add_observation(x, problem.objective(x),
+                                   problem.constraint(x));
+        }
+        bandit_total += bandit.best_feasible().objective;
+
+        Rng rand(300 + static_cast<unsigned>(rep));
+        double best_random = -1e300;
+        for (int i = 0; i < kTrials; ++i) {
+            Vector x = {rand.next_double(), rand.next_double()};
+            if (problem.constraint(x) <= SyntheticProblem::kLimit)
+                best_random = std::max(best_random, problem.objective(x));
+        }
+        random_total += best_random;
+    }
+    EXPECT_GE(bandit_total, random_total);
+}
+
+TEST(GpBanditTest, SuggestStaysInUnitCube)
+{
+    BanditConfig config;
+    GpBandit bandit(config, 0.5, 7);
+    Rng rng(9);
+    for (int i = 0; i < 6; ++i) {
+        Vector x = bandit.suggest();
+        ASSERT_EQ(x.size(), 2u);
+        for (double v : x) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+        bandit.add_observation(x, rng.next_double(), rng.next_double());
+    }
+}
+
+TEST(GpBanditTest, BestFeasibleFallsBackToLeastViolating)
+{
+    BanditConfig config;
+    GpBandit bandit(config, 0.1, 7);
+    bandit.add_observation({0.5, 0.5}, 1.0, 0.9);
+    bandit.add_observation({0.2, 0.2}, 5.0, 0.5);
+    BanditObservation best = bandit.best_feasible();
+    EXPECT_DOUBLE_EQ(best.constraint, 0.5);
+}
+
+// ----------------------------------------------------------- autotuner
+
+JobTrace
+tunable_trace(JobId job)
+{
+    // A job where low thresholds violate the SLO but age >= 5 is
+    // safe, with a deep cold pool: the tuner must find a K/S that
+    // captures the pool without tripping the constraint.
+    JobTrace trace;
+    trace.job = job;
+    Rng rng(job);
+    for (std::size_t w = 0; w < 48; ++w) {
+        TraceEntry entry;
+        entry.job = job;
+        entry.timestamp = static_cast<SimTime>(w + 1) * kTraceWindow;
+        entry.wss_pages = 8000;
+        entry.cold_hist.add(0, 8000);
+        entry.cold_hist.add(3, 1000);
+        entry.cold_hist.add(100, 4000);
+        entry.promo_delta.add(1, 400 + rng.next_below(100));
+        entry.promo_delta.add(3, 30 + rng.next_below(10));
+        if (w % 8 == 7)
+            entry.promo_delta.add(8, 300);  // occasional deep burst
+        trace.entries.push_back(entry);
+    }
+    return trace;
+}
+
+TEST(AutotunerTest, FindsFeasibleNearOptimalConfig)
+{
+    std::vector<JobTrace> traces;
+    for (JobId j = 1; j <= 8; ++j)
+        traces.push_back(tunable_trace(j));
+    FarMemoryModel model;
+    SloConfig base;
+    base.percentile_k = 98.0;
+    base.enable_delay = 300;
+
+    AutotunerConfig config;
+    config.iterations = 14;
+    config.seed = 5;
+    Autotuner tuner(config, base, &model, &traces);
+    SloConfig best = tuner.run();
+
+    ASSERT_EQ(tuner.history().size(), config.iterations);
+    ModelResult best_result = model.evaluate(traces, best);
+    // Feasible, and close to the landscape's known feasible optimum:
+    // a threshold past the deep bursts captures the 4000-page pool of
+    // each of the 8 jobs.
+    EXPECT_LE(best_result.p98_promotion_rate,
+              base.target_promotion_rate + 1e-12);
+    EXPECT_GE(best_result.mean_captured_pages, 31000.0);
+    // The tuner never reports an infeasible trial as its choice when
+    // a feasible one was seen.
+    bool any_feasible = false;
+    for (const TrialRecord &record : tuner.history())
+        any_feasible |= record.feasible;
+    EXPECT_TRUE(any_feasible);
+}
+
+TEST(AutotunerTest, DecodeEncodeRoundTrip)
+{
+    AutotunerConfig config;
+    FarMemoryModel model;
+    std::vector<JobTrace> traces;
+    Autotuner tuner(config, SloConfig{}, &model, &traces);
+    Vector x = {0.3, 0.7, 0.4};
+    SloConfig slo = tuner.decode(x);
+    Vector back = tuner.encode(slo);
+    EXPECT_NEAR(back[0], 0.3, 1e-9);
+    EXPECT_NEAR(back[1], 0.7, 0.01);
+    EXPECT_NEAR(back[2], 0.4, 0.01);
+    EXPECT_GE(slo.percentile_k, config.k_min);
+    EXPECT_LE(slo.percentile_k, config.k_max);
+    EXPECT_GE(slo.enable_delay, config.s_min);
+    EXPECT_LE(slo.enable_delay, config.s_max);
+    EXPECT_GE(slo.history_window, config.w_min);
+    EXPECT_LE(slo.history_window, config.w_max);
+}
+
+class SearchStrategyParam
+    : public ::testing::TestWithParam<SearchStrategy>
+{
+};
+
+TEST_P(SearchStrategyParam, AllStrategiesProduceFeasible)
+{
+    std::vector<JobTrace> traces;
+    for (JobId j = 1; j <= 4; ++j)
+        traces.push_back(tunable_trace(j));
+    FarMemoryModel model;
+    SloConfig base;
+    AutotunerConfig config;
+    config.iterations = 10;
+    config.strategy = GetParam();
+    Autotuner tuner(config, base, &model, &traces);
+    SloConfig best = tuner.run();
+    ModelResult result = model.evaluate(traces, best);
+    bool any_feasible = false;
+    for (const TrialRecord &record : tuner.history())
+        any_feasible |= record.feasible;
+    if (any_feasible) {
+        EXPECT_LE(result.p98_promotion_rate,
+                  base.target_promotion_rate + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SearchStrategyParam,
+                         ::testing::Values(SearchStrategy::kGpBandit,
+                                           SearchStrategy::kRandom,
+                                           SearchStrategy::kGrid));
+
+}  // namespace
+}  // namespace sdfm

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for transparent-huge-page handling: region-grain accessed
+ * bits (one PTE for 512 pages), split-before-demote in kreclaimd,
+ * and the coverage/recency resolution consequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compression/compressor.h"
+#include "mem/kreclaimd.h"
+#include "mem/kstaled.h"
+#include "mem/memcg.h"
+#include "mem/zswap.h"
+#include "node/machine.h"
+#include "workload/job.h"
+
+namespace sdfm {
+namespace {
+
+ContentMix
+compressible_mix()
+{
+    return ContentMix(0.0, 0.0, 1.0, 0.0, 0.0);
+}
+
+struct Rig
+{
+    explicit Rig(std::uint32_t pages)
+        : compressor(make_compressor(CompressionMode::kModeled)),
+          zswap(compressor.get(), 1),
+          cg(1, pages, 42, compressible_mix(), 0)
+    {
+    }
+
+    std::unique_ptr<Compressor> compressor;
+    Zswap zswap;
+    Memcg cg;
+    Kstaled kstaled;
+    Kreclaimd kreclaimd;
+};
+
+TEST(HugePages, MapAndSplitBookkeeping)
+{
+    Rig rig(2 * kHugeRegionPages);
+    EXPECT_EQ(rig.cg.num_regions(), 2u);
+    EXPECT_EQ(rig.cg.huge_regions(), 0u);
+    rig.cg.map_huge_region(0);
+    EXPECT_TRUE(rig.cg.region_is_huge(0));
+    EXPECT_FALSE(rig.cg.region_is_huge(1));
+    EXPECT_EQ(rig.cg.huge_regions(), 1u);
+    rig.cg.split_huge_region(0);
+    EXPECT_FALSE(rig.cg.region_is_huge(0));
+    EXPECT_EQ(rig.cg.huge_regions(), 0u);
+}
+
+TEST(HugePages, OneAccessResetsWholeRegion)
+{
+    Rig rig(kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    rig.kstaled.scan(rig.cg);  // region ages to 1
+    for (PageId p = 0; p < kHugeRegionPages; ++p)
+        EXPECT_EQ(rig.cg.page(p).age, 1);
+    // Touch ONE page: the shared accessed bit resets all 512.
+    rig.cg.touch(7, false, rig.zswap);
+    rig.kstaled.scan(rig.cg);
+    for (PageId p = 0; p < kHugeRegionPages; ++p)
+        EXPECT_EQ(rig.cg.page(p).age, 0) << p;
+}
+
+TEST(HugePages, RegionScanCostsOnePteVisit)
+{
+    Rig rig(2 * kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    ScanResult scan = rig.kstaled.scan(rig.cg);
+    // One visit for the huge region + 512 for the 4 KiB pages.
+    EXPECT_EQ(scan.pages_scanned, 1u + kHugeRegionPages);
+}
+
+TEST(HugePages, CoarseRecencyInflatesPromotionHistogram)
+{
+    Rig rig(kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    for (int i = 0; i < 5; ++i)
+        rig.kstaled.scan(rig.cg);  // region at age 5
+    rig.cg.touch(0, false, rig.zswap);
+    rig.kstaled.scan(rig.cg);
+    // All 512 pages count as would-be promotions at age 5 even
+    // though only one was touched -- the huge-page resolution loss.
+    EXPECT_EQ(rig.cg.promo_hist().at(5), kHugeRegionPages);
+}
+
+TEST(HugePages, ReclaimSplitsColdRegionThenCompresses)
+{
+    Rig rig(kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    for (int i = 0; i < 3; ++i)
+        rig.kstaled.scan(rig.cg);
+    rig.cg.set_zswap_enabled(true);
+    rig.cg.set_reclaim_threshold(2);
+    ReclaimResult first = rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap);
+    // The split and the compression happen in one pass: the region is
+    // split, then its (now 4 KiB) pages are stored.
+    EXPECT_EQ(first.huge_splits, 1u);
+    EXPECT_FALSE(rig.cg.region_is_huge(0));
+    EXPECT_EQ(first.pages_stored, kHugeRegionPages);
+    EXPECT_EQ(rig.cg.zswap_pages(), kHugeRegionPages);
+}
+
+TEST(HugePages, WarmRegionNotSplit)
+{
+    Rig rig(kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    rig.kstaled.scan(rig.cg);  // age 1
+    rig.cg.set_zswap_enabled(true);
+    rig.cg.set_reclaim_threshold(5);  // region is warmer than this
+    ReclaimResult result = rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap);
+    EXPECT_EQ(result.huge_splits, 0u);
+    EXPECT_TRUE(rig.cg.region_is_huge(0));
+    EXPECT_EQ(result.pages_stored, 0u);
+}
+
+TEST(HugePages, DirectReclaimSkipsHugeRegions)
+{
+    Rig rig(2 * kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    for (int i = 0; i < 3; ++i)
+        rig.kstaled.scan(rig.cg);
+    ReclaimResult result =
+        rig.kreclaimd.direct_reclaim(rig.cg, rig.zswap, 100);
+    EXPECT_EQ(result.pages_stored, 100u);
+    // Everything stored came from the non-huge region.
+    for (PageId p = 0; p < kHugeRegionPages; ++p)
+        EXPECT_FALSE(rig.cg.page(p).test(kPageInZswap));
+}
+
+TEST(HugePages, SplitCycleCostCharged)
+{
+    KreclaimdParams params;
+    params.split_cycles = 12345.0;
+    params.cycles_per_page = 0.0;
+    Kreclaimd kreclaimd(params);
+    Rig rig(kHugeRegionPages);
+    rig.cg.map_huge_region(0);
+    for (int i = 0; i < 3; ++i)
+        rig.kstaled.scan(rig.cg);
+    rig.cg.set_zswap_enabled(true);
+    rig.cg.set_reclaim_threshold(2);
+    ReclaimResult result = kreclaimd.reclaim_cold(rig.cg, rig.zswap);
+    EXPECT_DOUBLE_EQ(result.walk_cycles, 12345.0);
+}
+
+TEST(HugePages, JobProfileMapsRegions)
+{
+    JobProfile profile = profile_by_name("bigtable");
+    profile.min_pages = 4 * kHugeRegionPages;
+    profile.max_pages = 4 * kHugeRegionPages;
+    profile.huge_page_frac = 1.0;
+    Job job(1, profile, 3, 0);
+    EXPECT_EQ(job.memcg().huge_regions(), 4u);
+}
+
+TEST(HugePages, EndToEndMachineWithHugePages)
+{
+    MachineConfig config;
+    config.dram_pages = 128ull * kMiB / kPageSize;
+    config.compression = CompressionMode::kModeled;
+    // Fixed threshold: huge regions whose pages go idle for 8 minutes
+    // get split deterministically within the test horizon.
+    config.policy = FarMemoryPolicy::kStatic;
+    config.static_threshold = 4;
+    Machine machine(0, config, 3);
+    JobProfile profile = profile_by_name("logs");
+    profile.min_pages = 8 * kHugeRegionPages;
+    profile.max_pages = 8 * kHugeRegionPages;
+    profile.huge_page_frac = 0.5;
+    machine.add_job(std::make_unique<Job>(1, profile, 7, 0));
+    Job *job = machine.find_job(1);
+    std::uint32_t huge_before = job->memcg().huge_regions();
+    ASSERT_GT(huge_before, 0u);
+    for (SimTime now = 0; now < 2 * kHour; now += kMinute)
+        machine.step(now);
+    // Cold huge regions get split over time and their pages reach
+    // far memory.
+    EXPECT_LT(job->memcg().huge_regions(), huge_before);
+    EXPECT_GT(machine.zswap_stored_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace sdfm

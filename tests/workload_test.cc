@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the workload substrate: access-pattern generation, job
+ * archetypes, Job stepping, and trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "compression/compressor.h"
+#include "mem/zswap.h"
+#include "workload/access_pattern.h"
+#include "workload/job.h"
+#include "workload/job_profile.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+namespace {
+
+// ------------------------------------------------------ access pattern
+
+TEST(AccessPattern, DeterministicForSameSeed)
+{
+    JobProfile profile = profile_by_name("bigtable");
+    AccessPattern a(profile, 1000, Rng(5), 0);
+    AccessPattern b(profile, 1000, Rng(5), 0);
+    for (SimTime t = 0; t < 30 * kMinute; t += kMinute) {
+        std::vector<std::pair<PageId, bool>> ea, eb;
+        a.step(t, kMinute,
+               [&](PageId p, bool w) { ea.emplace_back(p, w); });
+        b.step(t, kMinute,
+               [&](PageId p, bool w) { eb.emplace_back(p, w); });
+        ASSERT_EQ(ea, eb);
+    }
+}
+
+TEST(AccessPattern, ClassFractionsRoughlyMatchProfile)
+{
+    JobProfile profile;
+    profile.hot_frac = 0.5;
+    profile.warm_frac = 0.3;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.1;
+    AccessPattern pattern(profile, 20000, Rng(3), 0);
+    // Jitter is +/-25%-ish; allow slack.
+    EXPECT_NEAR(pattern.class_fraction(ReuseClass::kHot), 0.5, 0.15);
+    EXPECT_NEAR(pattern.class_fraction(ReuseClass::kWarm), 0.3, 0.12);
+    EXPECT_NEAR(pattern.class_fraction(ReuseClass::kCold), 0.1, 0.06);
+    double total = 0.0;
+    for (int c = 0; c < static_cast<int>(ReuseClass::kNumClasses); ++c)
+        total += pattern.class_fraction(static_cast<ReuseClass>(c));
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AccessPattern, HotPagesAccessedOften)
+{
+    JobProfile profile;
+    profile.hot_frac = 1.0;
+    profile.warm_frac = 0.0;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.0;
+    profile.hot_gap_mean = 30.0;
+    profile.diurnal_amplitude = 0.0;
+    AccessPattern pattern(profile, 100, Rng(7), 0);
+    std::uint64_t accesses = 0;
+    for (SimTime t = 0; t < kHour; t += kMinute)
+        accesses += pattern.step(t, kMinute, [](PageId, bool) {});
+    // 100 pages re-accessed every ~30 s for an hour: ~12000 events.
+    EXPECT_GT(accesses, 8000u);
+    EXPECT_LT(accesses, 16000u);
+}
+
+TEST(AccessPattern, FrozenPagesMostlySilent)
+{
+    JobProfile profile;
+    profile.hot_frac = 0.0;
+    profile.warm_frac = 0.0;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.0;  // all frozen
+    profile.frozen_reaccess_prob = 0.0;
+    AccessPattern pattern(profile, 1000, Rng(9), 0);
+    std::uint64_t accesses = 0;
+    for (SimTime t = 0; t < 4 * kHour; t += kMinute)
+        accesses += pattern.step(t, kMinute, [](PageId, bool) {});
+    // Exactly one initial touch per page, nothing after.
+    EXPECT_EQ(accesses, 1000u);
+}
+
+TEST(AccessPattern, DiurnalMultiplierPeaksAtPeakHour)
+{
+    JobProfile profile;
+    profile.diurnal_amplitude = 0.5;
+    profile.diurnal_peak_hour = 14.0;
+    AccessPattern pattern(profile, 10, Rng(11), 0);
+    SimTime peak = static_cast<SimTime>(14.0 * 3600.0);
+    SimTime trough = static_cast<SimTime>(2.0 * 3600.0);
+    EXPECT_NEAR(pattern.diurnal_multiplier(peak), 1.5, 1e-9);
+    EXPECT_NEAR(pattern.diurnal_multiplier(trough), 0.5, 1e-9);
+}
+
+TEST(AccessPattern, WriteFractionRespected)
+{
+    JobProfile profile;
+    profile.hot_frac = 1.0;
+    profile.warm_frac = 0.0;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.0;
+    profile.write_frac = 0.25;
+    AccessPattern pattern(profile, 200, Rng(13), 0);
+    std::uint64_t writes = 0, total = 0;
+    for (SimTime t = 0; t < 2 * kHour; t += kMinute) {
+        total += pattern.step(t, kMinute, [&](PageId, bool w) {
+            writes += w ? 1 : 0;
+        });
+    }
+    ASSERT_GT(total, 1000u);
+    EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(total),
+                0.25, 0.03);
+}
+
+TEST(AccessPattern, ScanEventsTouchSwath)
+{
+    JobProfile profile;
+    profile.hot_frac = 0.0;
+    profile.warm_frac = 0.0;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.0;  // all frozen: only scans touch pages
+    profile.frozen_reaccess_prob = 0.0;
+    profile.scan_interval_mean = 30 * kMinute;
+    profile.scan_fraction = 0.5;
+    AccessPattern pattern(profile, 2000, Rng(21), 0);
+    std::uint64_t accesses = 0;
+    for (SimTime t = 0; t < 4 * kHour; t += kMinute)
+        accesses += pattern.step(t, kMinute, [](PageId, bool) {});
+    // Initial touches (2000) plus ~8 scans of ~1000 pages each.
+    EXPECT_GT(accesses, 2000u + 3000u);
+    EXPECT_LT(accesses, 2000u + 16000u);
+}
+
+TEST(AccessPattern, NoScansWhenDisabled)
+{
+    JobProfile profile;
+    profile.hot_frac = 0.0;
+    profile.warm_frac = 0.0;
+    profile.diurnal_frac = 0.0;
+    profile.cold_frac = 0.0;
+    profile.frozen_reaccess_prob = 0.0;
+    profile.scan_interval_mean = 0;  // disabled
+    AccessPattern pattern(profile, 500, Rng(23), 0);
+    EXPECT_EQ(pattern.next_scan(), 0);
+    std::uint64_t accesses = 0;
+    for (SimTime t = 0; t < 2 * kHour; t += kMinute)
+        accesses += pattern.step(t, kMinute, [](PageId, bool) {});
+    EXPECT_EQ(accesses, 500u);  // initial touches only
+}
+
+// ------------------------------------------------------------ profiles
+
+TEST(JobProfileTest, TypicalMixIsWellFormed)
+{
+    FleetMix mix = typical_fleet_mix();
+    ASSERT_EQ(mix.profiles.size(), mix.weights.size());
+    ASSERT_GE(mix.profiles.size(), 5u);
+    for (const JobProfile &p : mix.profiles) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.min_pages, 0u);
+        EXPECT_LE(p.min_pages, p.max_pages);
+        double reuse = p.hot_frac + p.warm_frac + p.diurnal_frac +
+                       p.cold_frac;
+        EXPECT_LE(reuse, 1.0 + 1e-9) << p.name;
+        EXPECT_GE(p.write_frac, 0.0);
+        EXPECT_LE(p.write_frac, 1.0);
+    }
+}
+
+TEST(JobProfileTest, SampleCoversArchetypes)
+{
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(15);
+    std::vector<int> counts(mix.profiles.size(), 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[mix.sample(rng)];
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        EXPECT_GT(counts[i], 0) << mix.profiles[i].name;
+}
+
+TEST(JobProfileTest, LookupByName)
+{
+    JobProfile p = profile_by_name("kv_cache");
+    EXPECT_EQ(p.name, "kv_cache");
+}
+
+// ----------------------------------------------------------------- job
+
+TEST(JobTest, SizeWithinProfileRange)
+{
+    JobProfile profile = profile_by_name("web_frontend");
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Job job(1, profile, seed, 0);
+        EXPECT_GE(job.memcg().num_pages(), profile.min_pages);
+        EXPECT_LE(job.memcg().num_pages(), profile.max_pages);
+    }
+}
+
+TEST(JobTest, StepChargesAppCycles)
+{
+    JobProfile profile = profile_by_name("bigtable");
+    auto compressor = make_compressor(CompressionMode::kModeled);
+    Zswap zswap(compressor.get(), 1);
+    Job job(1, profile, 3, 0);
+    JobStepStats stats = job.run_step(0, kMinute, zswap);
+    EXPECT_GT(stats.accesses, 0u);
+    EXPECT_DOUBLE_EQ(job.memcg().stats().app_cycles,
+                     profile.cycles_per_access *
+                         static_cast<double>(stats.accesses));
+}
+
+TEST(JobTest, BestEffortFlagPropagates)
+{
+    JobProfile profile = profile_by_name("batch_analytics");
+    ASSERT_TRUE(profile.best_effort);
+    Job job(1, profile, 3, 0);
+    EXPECT_TRUE(job.memcg().best_effort());
+}
+
+// --------------------------------------------------------------- trace
+
+TraceEntry
+make_entry(JobId job, SimTime ts)
+{
+    TraceEntry entry;
+    entry.job = job;
+    entry.timestamp = ts;
+    entry.wss_pages = 1234;
+    entry.promo_delta.add(3, 7);
+    entry.promo_delta.add(250, 1);
+    entry.cold_hist.add(0, 100);
+    entry.cold_hist.add(10, 50);
+    entry.sli.zswap_promotions_delta = 5;
+    entry.sli.zswap_stores_delta = 11;
+    entry.sli.zswap_rejects_delta = 2;
+    entry.sli.zswap_pages = 42;
+    entry.sli.resident_pages = 999;
+    entry.sli.cold_pages_min = 77;
+    entry.sli.compressed_bytes = 123456;
+    entry.sli.compress_cycles_delta = 1.5;
+    entry.sli.decompress_cycles_delta = 2.5;
+    entry.sli.app_cycles_delta = 1e9;
+    entry.sli.decompress_latency_us_delta = 6.4;
+    return entry;
+}
+
+TEST(TraceTest, SaveLoadRoundTrip)
+{
+    TraceLog log;
+    log.append(make_entry(1, 300));
+    log.append(make_entry(2, 300));
+    log.append(make_entry(1, 600));
+
+    std::stringstream ss;
+    log.save(ss);
+
+    TraceLog loaded;
+    ASSERT_TRUE(loaded.load(ss));
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.entries()[0], log.entries()[0]);
+    EXPECT_EQ(loaded.entries()[2], log.entries()[2]);
+}
+
+TEST(TraceTest, ByJobGroupsAndSorts)
+{
+    TraceLog log;
+    log.append(make_entry(2, 600));
+    log.append(make_entry(1, 900));
+    log.append(make_entry(2, 300));
+    auto traces = log.by_job();
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_EQ(traces[0].job, 1u);
+    EXPECT_EQ(traces[1].job, 2u);
+    ASSERT_EQ(traces[1].entries.size(), 2u);
+    EXPECT_LT(traces[1].entries[0].timestamp,
+              traces[1].entries[1].timestamp);
+}
+
+TEST(TraceTest, LoadRejectsGarbage)
+{
+    TraceLog log;
+    std::stringstream ss("not a trace\n");
+    EXPECT_FALSE(log.load(ss));
+}
+
+TEST(TraceTest, LoadRejectsMissingSli)
+{
+    TraceLog log;
+    std::stringstream ss("E 1 300 10\nP\nC\n");
+    EXPECT_FALSE(log.load(ss));
+}
+
+TEST(TraceTest, EmptyLogRoundTrip)
+{
+    TraceLog log;
+    std::stringstream ss;
+    log.save(ss);
+    TraceLog loaded;
+    EXPECT_TRUE(loaded.load(ss));
+    EXPECT_TRUE(loaded.empty());
+}
+
+/**
+ * Property: serialization round-trips over randomized entries.
+ */
+class TraceRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceRoundTrip, Randomized)
+{
+    Rng rng(GetParam());
+    TraceLog log;
+    std::size_t n = 1 + rng.next_below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceEntry entry;
+        entry.job = rng.next_below(5);
+        entry.timestamp = static_cast<SimTime>(rng.next_below(100000));
+        entry.wss_pages = rng.next_below(1 << 20);
+        for (int b = 0; b < 8; ++b) {
+            entry.promo_delta.add(
+                static_cast<AgeBucket>(rng.next_below(256)),
+                rng.next_below(1000));
+            entry.cold_hist.add(
+                static_cast<AgeBucket>(rng.next_below(256)),
+                rng.next_below(1000));
+        }
+        entry.sli.zswap_pages = rng.next_below(1 << 16);
+        entry.sli.app_cycles_delta = rng.next_double() * 1e12;
+        log.append(entry);
+    }
+    std::stringstream ss;
+    log.save(ss);
+    TraceLog loaded;
+    ASSERT_TRUE(loaded.load(ss));
+    ASSERT_EQ(loaded.size(), log.size());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(loaded.entries()[i], log.entries()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace sdfm

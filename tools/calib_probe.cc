@@ -1,0 +1,21 @@
+// Throwaway calibration probe: real compression ratios per class.
+#include <cstdio>
+#include "compression/compressor.h"
+using namespace sdfm;
+int main() {
+    RealCompressor rc;
+    for (int c = 0; c < static_cast<int>(ContentClass::kNumClasses); ++c) {
+        auto cls = static_cast<ContentClass>(c);
+        double sum = 0; int rejected = 0; const int N = 200;
+        unsigned mn = 1u<<30, mx = 0;
+        for (int i = 0; i < N; ++i) {
+            auto r = rc.compress_page(cls, 1000u + static_cast<unsigned>(i));
+            sum += r.compressed_size;
+            if (!r.accepted()) rejected++;
+            mn = std::min(mn, r.compressed_size); mx = std::max(mx, r.compressed_size);
+        }
+        std::printf("%-15s mean=%7.1f min=%u max=%u ratio=%.2f rejected=%d/%d\n",
+            content_class_name(cls), sum/N, mn, mx, 4096.0/(sum/N), rejected, N);
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Diagnostic: per-job controller behavior over time.
+#include <cstdio>
+#include "node/machine.h"
+#include "workload/job.h"
+using namespace sdfm;
+int main() {
+    MachineConfig config;
+    config.dram_pages = 2ull * kGiB / kPageSize;
+    config.compression = CompressionMode::kModeled;
+    Machine m(0, config, 42);
+    FleetMix mix = typical_fleet_mix();
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) {
+        const JobProfile &p = mix.profiles[mix.sample(rng)];
+        auto job = std::make_unique<Job>(i+1, p, rng.next_u64(), 0);
+        if (m.has_capacity_for(job->memcg().num_pages())) m.add_job(std::move(job));
+    }
+    uint64_t prev_promos[16] = {0}, prev_stores[16] = {0};
+    for (SimTime now = 0; now < 3*kHour; now += kMinute) {
+        m.step(now);
+        if ((now/kMinute) % 30 == 29) {
+            std::printf("t=%3lld min:\n", (now+kMinute)/kMinute);
+            int idx = 0;
+            for (auto &job : m.jobs()) {
+                auto &cg = job->memcg();
+                uint64_t promos = cg.stats().zswap_promotions;
+                uint64_t stores = cg.stats().zswap_stores;
+                double rate = (double)(promos - prev_promos[idx]) / 30.0 / std::max<uint64_t>(cg.wss_pages(),1);
+                std::printf("  job %s%-16s thr=%3d wss=%6llu cold=%6llu zswap=%6llu d_promo/min/wss=%.4f%% d_stores=%llu\n",
+                    "", job->profile().name.c_str(), cg.reclaim_threshold(),
+                    (unsigned long long)cg.wss_pages(), (unsigned long long)cg.cold_pages_min_threshold(),
+                    (unsigned long long)cg.zswap_pages(), rate*100,
+                    (unsigned long long)(stores - prev_stores[idx]));
+                prev_promos[idx] = promos; prev_stores[idx] = stores;
+                idx++;
+            }
+        }
+    }
+    return 0;
+}

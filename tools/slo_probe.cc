@@ -1,0 +1,37 @@
+// Probe: which job-windows violate the promotion SLO?
+#include <cstdio>
+#include "core/far_memory_system.h"
+#include "core/reports.h"
+using namespace sdfm;
+int main() {
+    FleetConfig config;
+    config.num_clusters = 2;
+    config.cluster.num_machines = 3;
+    config.cluster.machine.dram_pages = 96ull * kMiB / kPageSize;
+    config.cluster.machine.compression = CompressionMode::kModeled;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.target_utilization = 0.7;
+    config.seed = 7;
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    fleet.run(3 * kHour);
+    TraceLog trace = fleet.merged_trace();
+    SimTime warm = config.start_time + 90*kMinute;
+    int total=0, viol=0;
+    for (auto &e : trace.entries()) {
+        if (e.timestamp < warm || e.wss_pages == 0) continue;
+        total++;
+        double rate = (double)e.sli.zswap_promotions_delta / 5.0 / (double)e.wss_pages;
+        if (rate > 0.004) {
+            viol++;
+            std::printf("job=%llu t=%lld wss=%llu promos=%llu rate=%.4f stores=%llu zswap=%llu\n",
+                (unsigned long long)e.job, (long long)e.timestamp,
+                (unsigned long long)e.wss_pages,
+                (unsigned long long)e.sli.zswap_promotions_delta, rate,
+                (unsigned long long)e.sli.zswap_stores_delta,
+                (unsigned long long)e.sli.zswap_pages);
+        }
+    }
+    std::printf("violations %d / %d\n", viol, total);
+    return 0;
+}
