@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_autotuner_search.dir/abl_autotuner_search.cc.o"
+  "CMakeFiles/abl_autotuner_search.dir/abl_autotuner_search.cc.o.d"
+  "abl_autotuner_search"
+  "abl_autotuner_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_autotuner_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_codec_level.dir/abl_codec_level.cc.o"
+  "CMakeFiles/abl_codec_level.dir/abl_codec_level.cc.o.d"
+  "abl_codec_level"
+  "abl_codec_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_codec_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

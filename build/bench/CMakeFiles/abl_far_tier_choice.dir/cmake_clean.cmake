@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_far_tier_choice.dir/abl_far_tier_choice.cc.o"
+  "CMakeFiles/abl_far_tier_choice.dir/abl_far_tier_choice.cc.o.d"
+  "abl_far_tier_choice"
+  "abl_far_tier_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_far_tier_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

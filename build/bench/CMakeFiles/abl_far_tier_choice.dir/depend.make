@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_far_tier_choice.
+# This may be replaced when dependencies are built.

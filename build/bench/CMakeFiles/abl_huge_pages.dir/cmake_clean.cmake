@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_huge_pages.dir/abl_huge_pages.cc.o"
+  "CMakeFiles/abl_huge_pages.dir/abl_huge_pages.cc.o.d"
+  "abl_huge_pages"
+  "abl_huge_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_huge_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multitier.dir/abl_multitier.cc.o"
+  "CMakeFiles/abl_multitier.dir/abl_multitier.cc.o.d"
+  "abl_multitier"
+  "abl_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scan_granularity.dir/abl_scan_granularity.cc.o"
+  "CMakeFiles/abl_scan_granularity.dir/abl_scan_granularity.cc.o.d"
+  "abl_scan_granularity"
+  "abl_scan_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scan_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cold_vs_threshold.dir/fig01_cold_vs_threshold.cc.o"
+  "CMakeFiles/fig01_cold_vs_threshold.dir/fig01_cold_vs_threshold.cc.o.d"
+  "fig01_cold_vs_threshold"
+  "fig01_cold_vs_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cold_vs_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cold_by_cluster.dir/fig02_cold_by_cluster.cc.o"
+  "CMakeFiles/fig02_cold_by_cluster.dir/fig02_cold_by_cluster.cc.o.d"
+  "fig02_cold_by_cluster"
+  "fig02_cold_by_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cold_by_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_coverage_by_cluster.dir/fig06_coverage_by_cluster.cc.o"
+  "CMakeFiles/fig06_coverage_by_cluster.dir/fig06_coverage_by_cluster.cc.o.d"
+  "fig06_coverage_by_cluster"
+  "fig06_coverage_by_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_coverage_by_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cpu_overhead_cdf.dir/fig08_cpu_overhead_cdf.cc.o"
+  "CMakeFiles/fig08_cpu_overhead_cdf.dir/fig08_cpu_overhead_cdf.cc.o.d"
+  "fig08_cpu_overhead_cdf"
+  "fig08_cpu_overhead_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cpu_overhead_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_bench_common.dir/common.cc.o"
+  "CMakeFiles/sdfm_bench_common.dir/common.cc.o.d"
+  "libsdfm_bench_common.a"
+  "libsdfm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

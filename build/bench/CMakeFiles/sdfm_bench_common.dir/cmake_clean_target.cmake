@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdfm_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_reactive_vs_proactive.dir/tab_reactive_vs_proactive.cc.o"
+  "CMakeFiles/tab_reactive_vs_proactive.dir/tab_reactive_vs_proactive.cc.o.d"
+  "tab_reactive_vs_proactive"
+  "tab_reactive_vs_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_reactive_vs_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

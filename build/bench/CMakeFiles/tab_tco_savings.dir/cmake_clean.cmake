@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tco_savings.dir/tab_tco_savings.cc.o"
+  "CMakeFiles/tab_tco_savings.dir/tab_tco_savings.cc.o.d"
+  "tab_tco_savings"
+  "tab_tco_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tco_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

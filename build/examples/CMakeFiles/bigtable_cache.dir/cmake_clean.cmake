@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigtable_cache.dir/bigtable_cache.cpp.o"
+  "CMakeFiles/bigtable_cache.dir/bigtable_cache.cpp.o.d"
+  "bigtable_cache"
+  "bigtable_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigtable_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

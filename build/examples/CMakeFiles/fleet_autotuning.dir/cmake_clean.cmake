@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_autotuning.dir/fleet_autotuning.cpp.o"
+  "CMakeFiles/fleet_autotuning.dir/fleet_autotuning.cpp.o.d"
+  "fleet_autotuning"
+  "fleet_autotuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

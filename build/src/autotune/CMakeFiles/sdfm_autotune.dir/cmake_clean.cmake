@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_autotune.dir/autotuner.cc.o"
+  "CMakeFiles/sdfm_autotune.dir/autotuner.cc.o.d"
+  "CMakeFiles/sdfm_autotune.dir/gp.cc.o"
+  "CMakeFiles/sdfm_autotune.dir/gp.cc.o.d"
+  "CMakeFiles/sdfm_autotune.dir/gp_bandit.cc.o"
+  "CMakeFiles/sdfm_autotune.dir/gp_bandit.cc.o.d"
+  "libsdfm_autotune.a"
+  "libsdfm_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sdfm_cluster.dir/cluster.cc.o.d"
+  "libsdfm_cluster.a"
+  "libsdfm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/compressor.cc" "src/compression/CMakeFiles/sdfm_compression.dir/compressor.cc.o" "gcc" "src/compression/CMakeFiles/sdfm_compression.dir/compressor.cc.o.d"
+  "/root/repo/src/compression/cost_model.cc" "src/compression/CMakeFiles/sdfm_compression.dir/cost_model.cc.o" "gcc" "src/compression/CMakeFiles/sdfm_compression.dir/cost_model.cc.o.d"
+  "/root/repo/src/compression/page_content.cc" "src/compression/CMakeFiles/sdfm_compression.dir/page_content.cc.o" "gcc" "src/compression/CMakeFiles/sdfm_compression.dir/page_content.cc.o.d"
+  "/root/repo/src/compression/szo.cc" "src/compression/CMakeFiles/sdfm_compression.dir/szo.cc.o" "gcc" "src/compression/CMakeFiles/sdfm_compression.dir/szo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdfm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

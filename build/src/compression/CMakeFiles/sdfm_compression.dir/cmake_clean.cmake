@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_compression.dir/compressor.cc.o"
+  "CMakeFiles/sdfm_compression.dir/compressor.cc.o.d"
+  "CMakeFiles/sdfm_compression.dir/cost_model.cc.o"
+  "CMakeFiles/sdfm_compression.dir/cost_model.cc.o.d"
+  "CMakeFiles/sdfm_compression.dir/page_content.cc.o"
+  "CMakeFiles/sdfm_compression.dir/page_content.cc.o.d"
+  "CMakeFiles/sdfm_compression.dir/szo.cc.o"
+  "CMakeFiles/sdfm_compression.dir/szo.cc.o.d"
+  "libsdfm_compression.a"
+  "libsdfm_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_probe.dir/__/__/tools/diag_probe.cc.o"
+  "CMakeFiles/diag_probe.dir/__/__/tools/diag_probe.cc.o.d"
+  "diag_probe"
+  "diag_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_core.dir/far_memory_system.cc.o"
+  "CMakeFiles/sdfm_core.dir/far_memory_system.cc.o.d"
+  "CMakeFiles/sdfm_core.dir/reports.cc.o"
+  "CMakeFiles/sdfm_core.dir/reports.cc.o.d"
+  "libsdfm_core.a"
+  "libsdfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_probe.dir/__/__/tools/slo_probe.cc.o"
+  "CMakeFiles/slo_probe.dir/__/__/tools/slo_probe.cc.o.d"
+  "slo_probe"
+  "slo_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

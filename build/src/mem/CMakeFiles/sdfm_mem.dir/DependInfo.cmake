@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/kreclaimd.cc" "src/mem/CMakeFiles/sdfm_mem.dir/kreclaimd.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/kreclaimd.cc.o.d"
+  "/root/repo/src/mem/kstaled.cc" "src/mem/CMakeFiles/sdfm_mem.dir/kstaled.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/kstaled.cc.o.d"
+  "/root/repo/src/mem/memcg.cc" "src/mem/CMakeFiles/sdfm_mem.dir/memcg.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/memcg.cc.o.d"
+  "/root/repo/src/mem/nvm_tier.cc" "src/mem/CMakeFiles/sdfm_mem.dir/nvm_tier.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/nvm_tier.cc.o.d"
+  "/root/repo/src/mem/page.cc" "src/mem/CMakeFiles/sdfm_mem.dir/page.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/page.cc.o.d"
+  "/root/repo/src/mem/remote_tier.cc" "src/mem/CMakeFiles/sdfm_mem.dir/remote_tier.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/remote_tier.cc.o.d"
+  "/root/repo/src/mem/zswap.cc" "src/mem/CMakeFiles/sdfm_mem.dir/zswap.cc.o" "gcc" "src/mem/CMakeFiles/sdfm_mem.dir/zswap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/sdfm_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/zsmalloc/CMakeFiles/sdfm_zsmalloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_mem.dir/kreclaimd.cc.o"
+  "CMakeFiles/sdfm_mem.dir/kreclaimd.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/kstaled.cc.o"
+  "CMakeFiles/sdfm_mem.dir/kstaled.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/memcg.cc.o"
+  "CMakeFiles/sdfm_mem.dir/memcg.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/nvm_tier.cc.o"
+  "CMakeFiles/sdfm_mem.dir/nvm_tier.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/page.cc.o"
+  "CMakeFiles/sdfm_mem.dir/page.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/remote_tier.cc.o"
+  "CMakeFiles/sdfm_mem.dir/remote_tier.cc.o.d"
+  "CMakeFiles/sdfm_mem.dir/zswap.cc.o"
+  "CMakeFiles/sdfm_mem.dir/zswap.cc.o.d"
+  "libsdfm_mem.a"
+  "libsdfm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

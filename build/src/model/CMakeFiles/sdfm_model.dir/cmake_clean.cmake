@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_model.dir/far_memory_model.cc.o"
+  "CMakeFiles/sdfm_model.dir/far_memory_model.cc.o.d"
+  "libsdfm_model.a"
+  "libsdfm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdfm_model.
+# This may be replaced when dependencies are built.

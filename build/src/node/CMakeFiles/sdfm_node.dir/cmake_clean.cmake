@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_node.dir/machine.cc.o"
+  "CMakeFiles/sdfm_node.dir/machine.cc.o.d"
+  "CMakeFiles/sdfm_node.dir/node_agent.cc.o"
+  "CMakeFiles/sdfm_node.dir/node_agent.cc.o.d"
+  "CMakeFiles/sdfm_node.dir/policy.cc.o"
+  "CMakeFiles/sdfm_node.dir/policy.cc.o.d"
+  "CMakeFiles/sdfm_node.dir/threshold_controller.cc.o"
+  "CMakeFiles/sdfm_node.dir/threshold_controller.cc.o.d"
+  "libsdfm_node.a"
+  "libsdfm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

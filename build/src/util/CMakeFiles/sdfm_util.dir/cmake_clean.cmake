@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_util.dir/age_histogram.cc.o"
+  "CMakeFiles/sdfm_util.dir/age_histogram.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/linalg.cc.o"
+  "CMakeFiles/sdfm_util.dir/linalg.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/logging.cc.o"
+  "CMakeFiles/sdfm_util.dir/logging.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/rng.cc.o"
+  "CMakeFiles/sdfm_util.dir/rng.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/stats.cc.o"
+  "CMakeFiles/sdfm_util.dir/stats.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/table.cc.o"
+  "CMakeFiles/sdfm_util.dir/table.cc.o.d"
+  "CMakeFiles/sdfm_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sdfm_util.dir/thread_pool.cc.o.d"
+  "libsdfm_util.a"
+  "libsdfm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

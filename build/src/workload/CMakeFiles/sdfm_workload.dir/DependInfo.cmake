@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_pattern.cc" "src/workload/CMakeFiles/sdfm_workload.dir/access_pattern.cc.o" "gcc" "src/workload/CMakeFiles/sdfm_workload.dir/access_pattern.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/workload/CMakeFiles/sdfm_workload.dir/job.cc.o" "gcc" "src/workload/CMakeFiles/sdfm_workload.dir/job.cc.o.d"
+  "/root/repo/src/workload/job_profile.cc" "src/workload/CMakeFiles/sdfm_workload.dir/job_profile.cc.o" "gcc" "src/workload/CMakeFiles/sdfm_workload.dir/job_profile.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/sdfm_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/sdfm_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sdfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/sdfm_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/zsmalloc/CMakeFiles/sdfm_zsmalloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

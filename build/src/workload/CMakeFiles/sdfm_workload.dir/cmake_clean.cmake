@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_workload.dir/access_pattern.cc.o"
+  "CMakeFiles/sdfm_workload.dir/access_pattern.cc.o.d"
+  "CMakeFiles/sdfm_workload.dir/job.cc.o"
+  "CMakeFiles/sdfm_workload.dir/job.cc.o.d"
+  "CMakeFiles/sdfm_workload.dir/job_profile.cc.o"
+  "CMakeFiles/sdfm_workload.dir/job_profile.cc.o.d"
+  "CMakeFiles/sdfm_workload.dir/trace.cc.o"
+  "CMakeFiles/sdfm_workload.dir/trace.cc.o.d"
+  "libsdfm_workload.a"
+  "libsdfm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

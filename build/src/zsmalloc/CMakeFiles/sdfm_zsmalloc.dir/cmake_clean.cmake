@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfm_zsmalloc.dir/zsmalloc.cc.o"
+  "CMakeFiles/sdfm_zsmalloc.dir/zsmalloc.cc.o.d"
+  "libsdfm_zsmalloc.a"
+  "libsdfm_zsmalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfm_zsmalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdfm_zsmalloc.a"
+)

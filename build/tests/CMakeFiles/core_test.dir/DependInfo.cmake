@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sdfm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/sdfm_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sdfm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/sdfm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sdfm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sdfm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/sdfm_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/zsmalloc/CMakeFiles/sdfm_zsmalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdfm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zsmalloc_test.dir/zsmalloc_test.cc.o"
+  "CMakeFiles/zsmalloc_test.dir/zsmalloc_test.cc.o.d"
+  "zsmalloc_test"
+  "zsmalloc_test.pdb"
+  "zsmalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zsmalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
