@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "node/machine.h"
+#include "telemetry/exporter.h"
 #include "util/table.h"
 #include "workload/job.h"
 #include "workload/job_profile.h"
@@ -86,5 +87,11 @@ main()
                        fmt_percent(zs.decompress_cycles / app_cycles, 4)});
     }
     table.print(std::cout);
+
+    // Every subsystem also exports named metrics through the machine's
+    // registry (src/telemetry/); this is the same summary the
+    // metrics_dump probe prints for a whole fleet.
+    std::printf("\ntelemetry summary:\n");
+    print_metrics_summary(std::cout, machine.metrics().snapshot());
     return 0;
 }

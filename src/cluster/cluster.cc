@@ -218,6 +218,17 @@ Cluster::job_cold_fractions() const
     return samples;
 }
 
+MetricsSnapshot
+Cluster::telemetry_snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &machine : machines_)
+        snap.merge(machine->metrics().snapshot());
+    snap.gauges["cluster.jobs"] +=
+        static_cast<double>(num_jobs());
+    return snap;
+}
+
 void
 Cluster::deploy_slo(const SloConfig &slo)
 {

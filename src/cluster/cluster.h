@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "node/machine.h"
+#include "telemetry/snapshot.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workload/job_profile.h"
@@ -118,6 +119,14 @@ class Cluster
 
     /** The cluster's telemetry database. */
     TraceLog &trace_log() { return trace_log_; }
+
+    /**
+     * Cluster-level metrics rollup: every machine registry merged
+     * bucket-wise, plus the cluster.jobs gauge. Fleet rollups merge
+     * these again (FarMemorySystem::fleet_telemetry), so gauges hold
+     * additive quantities.
+     */
+    MetricsSnapshot telemetry_snapshot() const;
 
     /** Change SLO tunables fleet-wide (autotuner deployment). */
     void deploy_slo(const SloConfig &slo);

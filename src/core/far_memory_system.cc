@@ -1,5 +1,7 @@
 #include "core/far_memory_system.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -21,6 +23,15 @@ FarMemorySystem::FarMemorySystem(const FleetConfig &config)
         clusters_.push_back(
             std::make_unique<Cluster>(c, cluster_config, rng.next_u64()));
     }
+    // Clusters are fully independent (own machines, own RNG, own
+    // trace log; job ids are namespaced by cluster), so stepping
+    // them concurrently is deterministic and race-free. One worker
+    // per cluster, capped at the hardware parallelism.
+    if (config_.num_clusters > 1) {
+        pool_ = std::make_unique<ThreadPool>(
+            std::min<std::size_t>(config_.num_clusters,
+                                  std::thread::hardware_concurrency()));
+    }
 }
 
 void
@@ -33,14 +44,28 @@ FarMemorySystem::populate()
 FleetStepResult
 FarMemorySystem::step()
 {
+    std::vector<ClusterStepResult> steps(clusters_.size());
+    if (pool_ != nullptr) {
+        parallel_for(*pool_, clusters_.size(), [&](std::size_t c) {
+            steps[c] = clusters_[c]->step(now_);
+        });
+    } else {
+        for (std::size_t c = 0; c < clusters_.size(); ++c)
+            steps[c] = clusters_[c]->step(now_);
+    }
+
     FleetStepResult result;
-    for (auto &cluster : clusters_) {
-        ClusterStepResult step = cluster->step(now_);
+    for (const ClusterStepResult &step : steps) {
         result.accesses += step.accesses;
         result.promotions += step.promotions;
         result.evictions += step.evicted;
     }
     now_ += config_.cluster.machine.control_period;
+
+    // One metrics frame per control period, after the barrier, so the
+    // exporter sees a quiesced fleet.
+    if (exporter_ != nullptr)
+        exporter_->write_frame(now_, fleet_telemetry());
     return result;
 }
 
@@ -112,6 +137,15 @@ FarMemorySystem::merged_trace() const
             merged.append(entry);
     }
     return merged;
+}
+
+MetricsSnapshot
+FarMemorySystem::fleet_telemetry() const
+{
+    MetricsSnapshot snap;
+    for (const auto &cluster : clusters_)
+        snap.merge(cluster->telemetry_snapshot());
+    return snap;
 }
 
 void

@@ -16,8 +16,11 @@
 
 #include "cluster/cluster.h"
 #include "node/slo.h"
+#include "telemetry/exporter.h"
+#include "telemetry/snapshot.h"
 #include "util/sim_time.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "workload/trace.h"
 
 namespace sdfm {
@@ -102,12 +105,36 @@ class FarMemorySystem
     /** Deploy new SLO tunables fleet-wide (autotuner output). */
     void deploy_slo(const SloConfig &slo);
 
+    // -- metrics plane -----------------------------------------------
+
+    /**
+     * Fleet-wide metrics rollup: every machine registry in every
+     * cluster merged into one snapshot (counters and gauges sum,
+     * histograms accumulate bucket-wise).
+     */
+    MetricsSnapshot fleet_telemetry() const;
+
+    /**
+     * Attach a snapshot exporter; step() then emits one fleet frame
+     * per control period (one simulated minute). Not owned; null
+     * detaches. The exporter is driven after the step completes, so
+     * frames always describe a quiesced fleet.
+     */
+    void set_metrics_exporter(TelemetryExporter *exporter)
+    {
+        exporter_ = exporter;
+    }
+
     const FleetConfig &config() const { return config_; }
 
   private:
     FleetConfig config_;
     SimTime now_;
     std::vector<std::unique_ptr<Cluster>> clusters_;
+    /** Steps clusters in parallel (one task per cluster); clusters
+     *  share no mutable state, so the only sync is the step barrier. */
+    std::unique_ptr<ThreadPool> pool_;
+    TelemetryExporter *exporter_ = nullptr;
 };
 
 /**

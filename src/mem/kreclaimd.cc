@@ -7,25 +7,67 @@ namespace sdfm {
 
 namespace {
 
+/** Flags that disqualify a page from demotion to any tier. */
+constexpr std::uint8_t kNotDemotable =
+    kPageInZswap | kPageInNvm | kPageUnevictable | kPageAccessed;
+
 /** Eligible for demotion to any tier (compressibility aside). */
 bool
 demotable(const PageMeta &meta)
 {
-    return !meta.test(kPageInZswap) && !meta.test(kPageInNvm) &&
-           !meta.test(kPageUnevictable) && !meta.test(kPageAccessed);
+    return (meta.flags & kNotDemotable) == 0;
 }
 
 /** Eligible for the zswap (compression) path specifically. */
 bool
 eligible(const PageMeta &meta)
 {
-    return demotable(meta) && !meta.test(kPageIncompressible);
+    return (meta.flags & (kNotDemotable | kPageIncompressible)) == 0;
 }
 
 }  // namespace
 
 Kreclaimd::Kreclaimd(const KreclaimdParams &params) : params_(params)
 {
+}
+
+void
+Kreclaimd::bind_metrics(MetricRegistry *registry)
+{
+    if (registry == nullptr) {
+        m_passes_ = nullptr;
+        m_direct_passes_ = nullptr;
+        m_pages_walked_ = nullptr;
+        m_pages_stored_ = nullptr;
+        m_pages_to_nvm_ = nullptr;
+        m_pages_rejected_ = nullptr;
+        m_huge_splits_ = nullptr;
+        m_pass_cycles_ = nullptr;
+        return;
+    }
+    m_passes_ = &registry->counter("kreclaimd.passes");
+    m_direct_passes_ = &registry->counter("kreclaimd.direct_passes");
+    m_pages_walked_ = &registry->counter("kreclaimd.pages_walked");
+    m_pages_stored_ = &registry->counter("kreclaimd.pages_stored");
+    m_pages_to_nvm_ = &registry->counter("kreclaimd.pages_to_nvm");
+    m_pages_rejected_ = &registry->counter("kreclaimd.pages_rejected");
+    m_huge_splits_ = &registry->counter("kreclaimd.huge_splits");
+    m_pass_cycles_ = &registry->histogram(
+        "kreclaimd.pass_cycles", exponential_bounds(1e3, 10.0, 7));
+}
+
+void
+Kreclaimd::record_pass(const ReclaimResult &result, bool direct) const
+{
+    if (m_passes_ == nullptr)
+        return;
+    (direct ? m_direct_passes_ : m_passes_)->inc();
+    m_pages_walked_->inc(result.pages_walked);
+    m_pages_stored_->inc(result.pages_stored);
+    m_pages_to_nvm_->inc(result.pages_to_nvm);
+    m_pages_rejected_->inc(result.pages_rejected);
+    m_huge_splits_->inc(result.huge_splits);
+    m_pass_cycles_->observe(result.walk_cycles);
 }
 
 ReclaimResult
@@ -40,7 +82,8 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
     // Cold huge regions must be split before their pages can go to
     // far memory (one PTE cannot be partially swapped). All 512 pages
     // share the region age, so the check is cheap.
-    std::uint32_t num_regions = cg.num_regions();
+    std::uint32_t num_regions =
+        cg.has_huge_regions() ? cg.num_regions() : 0;
     for (std::uint32_t region = 0; region < num_regions; ++region) {
         if (!cg.region_is_huge(region))
             continue;
@@ -54,9 +97,10 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
     }
 
     std::uint32_t n = cg.num_pages();
+    const bool has_huge = cg.has_huge_regions();
     for (PageId p = 0; p < n; ++p) {
         PageMeta &meta = cg.page(p);
-        if (cg.region_is_huge(Memcg::region_of(p)))
+        if (has_huge && cg.region_is_huge(Memcg::region_of(p)))
             continue;  // not demotable until split
         ++result.pages_walked;
         if (!demotable(meta) || meta.age < threshold)
@@ -79,6 +123,7 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
     }
     result.walk_cycles +=
         params_.cycles_per_page * static_cast<double>(result.pages_walked);
+    record_pass(result, /*direct=*/false);
     return result;
 }
 
@@ -92,11 +137,12 @@ Kreclaimd::direct_reclaim(Memcg &cg, Zswap &zswap,
 
     // Collect eligible pages, oldest first (the LRU tail).
     std::uint32_t n = cg.num_pages();
+    const bool has_huge = cg.has_huge_regions();
     std::vector<PageId> order;
     order.reserve(n);
     for (PageId p = 0; p < n; ++p) {
         ++result.pages_walked;
-        if (cg.region_is_huge(Memcg::region_of(p)))
+        if (has_huge && cg.region_is_huge(Memcg::region_of(p)))
             continue;  // direct reclaim does not split huge mappings
         if (eligible(cg.page(p)))
             order.push_back(p);
@@ -118,6 +164,7 @@ Kreclaimd::direct_reclaim(Memcg &cg, Zswap &zswap,
     }
     result.walk_cycles =
         params_.cycles_per_page * static_cast<double>(result.pages_walked);
+    record_pass(result, /*direct=*/true);
     return result;
 }
 

@@ -19,6 +19,7 @@
 #include "mem/memcg.h"
 #include "mem/far_tier.h"
 #include "mem/zswap.h"
+#include "telemetry/registry.h"
 
 namespace sdfm {
 
@@ -77,8 +78,28 @@ class Kreclaimd
     ReclaimResult direct_reclaim(Memcg &cg, Zswap &zswap,
                                  std::uint64_t target_pages) const;
 
+    /**
+     * Attach to a machine's metric registry (kreclaimd.* metrics).
+     * Recorded once per reclaim pass (per job), never per page.
+     * Null detaches.
+     */
+    void bind_metrics(MetricRegistry *registry);
+
   private:
+    /** Record one finished pass into the bound metrics (if any). */
+    void record_pass(const ReclaimResult &result, bool direct) const;
+
     KreclaimdParams params_;
+
+    // Cached registry metrics (null when unbound).
+    Counter *m_passes_ = nullptr;
+    Counter *m_direct_passes_ = nullptr;
+    Counter *m_pages_walked_ = nullptr;
+    Counter *m_pages_stored_ = nullptr;
+    Counter *m_pages_to_nvm_ = nullptr;
+    Counter *m_pages_rejected_ = nullptr;
+    Counter *m_huge_splits_ = nullptr;
+    Histogram *m_pass_cycles_ = nullptr;
 };
 
 }  // namespace sdfm

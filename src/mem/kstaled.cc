@@ -6,6 +6,25 @@ Kstaled::Kstaled(const KstaledParams &params) : params_(params)
 {
 }
 
+void
+Kstaled::bind_metrics(MetricRegistry *registry)
+{
+    if (registry == nullptr) {
+        m_scans_ = nullptr;
+        m_pages_scanned_ = nullptr;
+        m_pages_accessed_ = nullptr;
+        m_scan_cycles_ = nullptr;
+        return;
+    }
+    m_scans_ = &registry->counter("kstaled.scans");
+    m_pages_scanned_ = &registry->counter("kstaled.pages_scanned");
+    m_pages_accessed_ = &registry->counter("kstaled.pages_accessed");
+    // Per-job scan cost in modelled CPU cycles: 1e3..1e9 covers a
+    // 4 KiB job up to a multi-GiB one at ~150 cycles/page.
+    m_scan_cycles_ = &registry->histogram(
+        "kstaled.scan_cycles", exponential_bounds(1e3, 10.0, 7));
+}
+
 ScanResult
 Kstaled::scan(Memcg &cg, std::uint32_t phase) const
 {
@@ -22,7 +41,10 @@ Kstaled::scan(Memcg &cg, std::uint32_t phase) const
     // 512 pages. Reading it costs one PTE visit; all the region's
     // pages share its fate (reset together or age together) -- the
     // resolution loss that makes huge pages hard for cold detection.
-    std::uint32_t num_regions = cg.num_regions();
+    // Most jobs have no huge mappings, so the region lookups are
+    // skipped wholesale in that case.
+    const bool has_huge = cg.has_huge_regions();
+    std::uint32_t num_regions = has_huge ? cg.num_regions() : 0;
     for (std::uint32_t region = 0; region < num_regions; ++region) {
         if (!cg.region_is_huge(region))
             continue;
@@ -55,7 +77,7 @@ Kstaled::scan(Memcg &cg, std::uint32_t phase) const
 
     for (PageId p = 0; p < n; ++p) {
         PageMeta &meta = cg.page(p);
-        if (cg.region_is_huge(Memcg::region_of(p))) {
+        if (has_huge && cg.region_is_huge(Memcg::region_of(p))) {
             cold.add(meta.age);
             continue;  // handled above
         }
@@ -90,6 +112,12 @@ Kstaled::scan(Memcg &cg, std::uint32_t phase) const
     }
     result.cpu_cycles =
         params_.cycles_per_page * static_cast<double>(result.pages_scanned);
+    if (m_scans_ != nullptr) {
+        m_scans_->inc();
+        m_pages_scanned_->inc(result.pages_scanned);
+        m_pages_accessed_->inc(result.accessed_pages);
+        m_scan_cycles_->observe(result.cpu_cycles);
+    }
     return result;
 }
 

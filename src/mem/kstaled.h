@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "mem/memcg.h"
+#include "telemetry/registry.h"
 
 namespace sdfm {
 
@@ -66,10 +67,23 @@ class Kstaled
      */
     ScanResult scan(Memcg &cg, std::uint32_t phase = 0) const;
 
+    /**
+     * Attach to a machine's metric registry (kstaled.* metrics).
+     * Metrics are recorded once per scanned job, not per page, so
+     * the scan loop itself stays untouched. Null detaches.
+     */
+    void bind_metrics(MetricRegistry *registry);
+
     const KstaledParams &params() const { return params_; }
 
   private:
     KstaledParams params_;
+
+    // Cached registry metrics (null when unbound).
+    Counter *m_scans_ = nullptr;
+    Counter *m_pages_scanned_ = nullptr;
+    Counter *m_pages_accessed_ = nullptr;
+    Histogram *m_scan_cycles_ = nullptr;
 };
 
 }  // namespace sdfm

@@ -49,27 +49,6 @@ Memcg::split_huge_region(std::uint32_t region)
     --huge_count_;
 }
 
-bool
-Memcg::region_is_huge(std::uint32_t region) const
-{
-    SDFM_ASSERT(region < region_huge_.size());
-    return region_huge_[region];
-}
-
-PageMeta &
-Memcg::page(PageId p)
-{
-    SDFM_ASSERT(p < pages_.size());
-    return pages_[p];
-}
-
-const PageMeta &
-Memcg::page(PageId p) const
-{
-    SDFM_ASSERT(p < pages_.size());
-    return pages_[p];
-}
-
 std::uint64_t
 Memcg::content_seed_of(PageId p) const
 {
@@ -77,24 +56,21 @@ Memcg::content_seed_of(PageId p) const
 }
 
 bool
-Memcg::touch(PageId p, bool is_write, Zswap &zswap, FarTier *tier)
+Memcg::touch_far(PageId p, bool is_write, Zswap &zswap, FarTier *tier)
 {
     PageMeta &meta = page(p);
-    bool promoted = false;
     if (meta.test(kPageInZswap)) {
         zswap.load(*this, p);
-        promoted = true;
-    } else if (meta.test(kPageInNvm)) {
+    } else {
         SDFM_ASSERT(tier != nullptr);
         tier->load(*this, p);
-        promoted = true;
     }
     meta.set(kPageAccessed);
     if (is_write) {
         meta.set(kPageDirty);
         ++meta.version;  // contents changed; seed rotates
     }
-    return promoted;
+    return true;
 }
 
 void

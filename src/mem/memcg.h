@@ -16,6 +16,7 @@
 
 #include "mem/page.h"
 #include "util/age_histogram.h"
+#include "util/logging.h"
 #include "util/sim_time.h"
 #include "zsmalloc/zsmalloc.h"
 
@@ -70,9 +71,23 @@ class Memcg
     SimTime start_time() const { return start_time_; }
     std::uint64_t content_seed() const { return content_seed_; }
 
+    // The per-page accessors are the hottest calls in the simulator
+    // (kstaled scans and kreclaimd walks visit every page of every
+    // job each control period), so they are defined inline here.
+
     /** Mutable page metadata (kstaled/kreclaimd/zswap use this). */
-    PageMeta &page(PageId p);
-    const PageMeta &page(PageId p) const;
+    PageMeta &
+    page(PageId p)
+    {
+        SDFM_ASSERT(p < pages_.size());
+        return pages_[p];
+    }
+    const PageMeta &
+    page(PageId p) const
+    {
+        SDFM_ASSERT(p < pages_.size());
+        return pages_[p];
+    }
 
     /** Content seed of a page's current contents. */
     std::uint64_t content_seed_of(PageId p) const;
@@ -85,8 +100,19 @@ class Memcg
      *
      * @return true iff the access promoted a page out of far memory.
      */
-    bool touch(PageId p, bool is_write, Zswap &zswap,
-               FarTier *tier = nullptr);
+    bool
+    touch(PageId p, bool is_write, Zswap &zswap, FarTier *tier = nullptr)
+    {
+        PageMeta &meta = page(p);
+        if (meta.flags & (kPageInZswap | kPageInNvm))
+            return touch_far(p, is_write, zswap, tier);
+        meta.set(kPageAccessed);
+        if (is_write) {
+            meta.set(kPageDirty);
+            ++meta.version;  // contents changed; seed rotates
+        }
+        return false;
+    }
 
     /** Mark/unmark a page unevictable (mlocked). */
     void set_unevictable(PageId p, bool unevictable);
@@ -108,7 +134,16 @@ class Memcg
     void split_huge_region(std::uint32_t region);
 
     /** Whether a region is currently huge-mapped. */
-    bool region_is_huge(std::uint32_t region) const;
+    bool
+    region_is_huge(std::uint32_t region) const
+    {
+        SDFM_ASSERT(region < region_huge_.size());
+        return region_huge_[region];
+    }
+
+    /** Fast path for the scan/reclaim loops: skip per-region lookups
+     *  entirely when no region is huge-mapped. */
+    bool has_huge_regions() const { return huge_count_ > 0; }
 
     /** Region index of a page. */
     static std::uint32_t
@@ -212,6 +247,9 @@ class Memcg
     const MemcgStats &stats() const { return stats_; }
 
   private:
+    /** Out-of-line slow path of touch(): promote from zswap/NVM. */
+    bool touch_far(PageId p, bool is_write, Zswap &zswap, FarTier *tier);
+
     JobId id_;
     std::uint64_t content_seed_;
     SimTime start_time_;

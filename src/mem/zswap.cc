@@ -18,6 +18,45 @@ Zswap::Zswap(Compressor *compressor, std::uint64_t rng_seed,
     SDFM_ASSERT(compressor_ != nullptr);
 }
 
+void
+Zswap::bind_metrics(MetricRegistry *registry)
+{
+    if (registry == nullptr) {
+        m_stores_ = nullptr;
+        m_rejects_ = nullptr;
+        m_incompressible_marks_ = nullptr;
+        m_promotions_ = nullptr;
+        m_arena_bytes_ = nullptr;
+        m_stored_pages_ = nullptr;
+        m_payload_bytes_ = nullptr;
+        return;
+    }
+    m_stores_ = &registry->counter("zswap.stores");
+    m_rejects_ = &registry->counter("zswap.rejects");
+    m_incompressible_marks_ =
+        &registry->counter("zswap.incompressible_marks");
+    m_promotions_ = &registry->counter("zswap.promotions");
+    m_arena_bytes_ = &registry->gauge("zswap.arena_bytes");
+    m_stored_pages_ = &registry->gauge("zswap.stored_pages");
+    // Payload sizes up to the page size; the rejection threshold
+    // (kMaxZswapPayload) sits inside the grid so the accept/reject
+    // boundary is visible in the distribution.
+    m_payload_bytes_ = &registry->histogram(
+        "zswap.payload_bytes",
+        {256, 512, 1024, 1536, 2048, 2560,
+         static_cast<double>(kMaxZswapPayload),
+         static_cast<double>(kPageSize)});
+}
+
+void
+Zswap::update_arena_metrics()
+{
+    if (m_arena_bytes_ == nullptr)
+        return;
+    m_arena_bytes_->set(static_cast<double>(arena_.pool_bytes()));
+    m_stored_pages_->set(static_cast<double>(arena_.live_objects()));
+}
+
 Zswap::StoreResult
 Zswap::store(Memcg &cg, PageId p)
 {
@@ -54,6 +93,12 @@ Zswap::store(Memcg &cg, PageId p)
         meta.set(kPageIncompressible);
         ++cg.stats().zswap_rejects;
         ++stats_.rejects;
+        if (m_rejects_ != nullptr) {
+            m_rejects_->inc();
+            m_incompressible_marks_->inc();
+            m_payload_bytes_->observe(
+                static_cast<double>(result.compressed_size));
+        }
         return StoreResult::kRejected;
     }
 
@@ -65,6 +110,12 @@ Zswap::store(Memcg &cg, PageId p)
     ++cg.stats().zswap_stores;
     cg.stats().compressed_bytes_stored += result.compressed_size;
     ++stats_.stores;
+    if (m_stores_ != nullptr) {
+        m_stores_->inc();
+        m_payload_bytes_->observe(
+            static_cast<double>(result.compressed_size));
+        update_arena_metrics();
+    }
     return StoreResult::kStored;
 }
 
@@ -110,6 +161,10 @@ Zswap::load(Memcg &cg, PageId p)
     cg.note_loaded_from_zswap(p);
     ++cg.stats().zswap_promotions;
     ++stats_.promotions;
+    if (m_promotions_ != nullptr) {
+        m_promotions_->inc();
+        update_arena_metrics();
+    }
 }
 
 void
@@ -125,6 +180,7 @@ Zswap::drop(Memcg &cg, PageId p)
     arena_.release(handle);
     cg.clear_zswap_handle(p);
     cg.note_loaded_from_zswap(p);
+    update_arena_metrics();
 }
 
 void

@@ -17,6 +17,7 @@
 
 #include "compression/compressor.h"
 #include "mem/memcg.h"
+#include "telemetry/registry.h"
 #include "util/rng.h"
 #include "zsmalloc/zsmalloc.h"
 
@@ -84,7 +85,19 @@ class Zswap
     void drop_all(Memcg &cg);
 
     /** Node-agent-triggered arena compaction; returns bytes freed. */
-    std::uint64_t compact() { return arena_.compact(); }
+    std::uint64_t compact()
+    {
+        std::uint64_t freed = arena_.compact();
+        update_arena_metrics();
+        return freed;
+    }
+
+    /**
+     * Attach this zswap instance to a machine's metric registry.
+     * Resolves the zswap.* metrics once; subsequent hot-path updates
+     * go through cached pointers. Null detaches (the default state).
+     */
+    void bind_metrics(MetricRegistry *registry);
 
     /** Physical bytes consumed by compressed payloads (arena pool). */
     std::uint64_t pool_bytes() const { return arena_.pool_bytes(); }
@@ -97,11 +110,23 @@ class Zswap
     Compressor &compressor() { return *compressor_; }
 
   private:
+    /** Refresh the arena-level gauges after a store/load/compact. */
+    void update_arena_metrics();
+
     Compressor *compressor_;
     ZsmallocArena arena_;
     ZswapStats stats_;
     Rng rng_;
     bool verify_roundtrip_;
+
+    // Cached registry metrics (null when unbound).
+    Counter *m_stores_ = nullptr;
+    Counter *m_rejects_ = nullptr;
+    Counter *m_incompressible_marks_ = nullptr;
+    Counter *m_promotions_ = nullptr;
+    Gauge *m_arena_bytes_ = nullptr;
+    Gauge *m_stored_pages_ = nullptr;
+    Histogram *m_payload_bytes_ = nullptr;
 };
 
 }  // namespace sdfm

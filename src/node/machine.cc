@@ -9,6 +9,7 @@ namespace sdfm {
 Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
                  std::uint64_t seed)
     : machine_id_(machine_id), config_(config), rng_(seed),
+      metrics_(std::make_unique<MetricRegistry>()),
       compressor_(make_compressor(config.compression,
                                   CostModel(config.cost_model))),
       kstaled_(config.kstaled), kreclaimd_(config.kreclaimd),
@@ -17,6 +18,10 @@ Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
 {
     zswap_ = std::make_unique<Zswap>(compressor_.get(), rng_.next_u64(),
                                      config_.verify_zswap_roundtrip);
+    zswap_->bind_metrics(metrics_.get());
+    kstaled_.bind_metrics(metrics_.get());
+    kreclaimd_.bind_metrics(metrics_.get());
+    agent_.bind_metrics(metrics_.get());
     SDFM_ASSERT(config_.nvm.capacity_pages == 0 ||
                 config_.remote.capacity_pages == 0);
     if (config_.nvm.capacity_pages > 0)
@@ -164,6 +169,16 @@ Machine::step(SimTime now)
     if (config_.compact_every > 0 && steps_ % config_.compact_every == 0)
         zswap_->compact();
 
+    // Machine-level roll-up metrics, once per control period.
+    metrics_->counter("machine.accesses").inc(result.accesses);
+    metrics_->counter("machine.promotions").inc(result.promotions);
+    metrics_->gauge("machine.resident_pages")
+        .set(static_cast<double>(resident_pages()));
+    metrics_->gauge("machine.cold_pages")
+        .set(static_cast<double>(cold_pages_min_threshold()));
+    metrics_->gauge("machine.far_memory_pages")
+        .set(static_cast<double>(far_memory_pages()));
+
     return result;
 }
 
@@ -179,6 +194,7 @@ Machine::handle_pressure(MachineStepResult *result)
             static_cast<double>(config_.dram_pages));
         if (free_pages() < watermark) {
             ++counters_.direct_reclaims;
+            metrics_->counter("machine.direct_reclaims").inc();
             std::uint64_t want = 2 * watermark - free_pages();
             for (auto &job : jobs_) {
                 if (want == 0)
@@ -229,6 +245,7 @@ Machine::handle_pressure(MachineStepResult *result)
         remove_job(id);
         result->evicted.push_back(id);
         ++counters_.evictions;
+        metrics_->counter("machine.evictions").inc();
     }
 }
 

@@ -29,6 +29,7 @@
 #include "mem/zswap.h"
 #include "node/node_agent.h"
 #include "node/policy.h"
+#include "telemetry/registry.h"
 #include "util/units.h"
 #include "workload/job.h"
 #include "workload/trace.h"
@@ -192,6 +193,14 @@ class Machine
     const MachineCounters &counters() const { return counters_; }
     const MachineConfig &config() const { return config_; }
 
+    /**
+     * The machine's metric registry. Every daemon and agent on the
+     * machine is bound to it at construction; Cluster merges these
+     * per-machine registries into cluster- and fleet-level rollups.
+     */
+    MetricRegistry &metrics() { return *metrics_; }
+    const MetricRegistry &metrics() const { return *metrics_; }
+
     /** Telemetry sink; null disables export. */
     void set_trace_sink(TraceLog *sink) { trace_sink_ = sink; }
 
@@ -202,6 +211,9 @@ class Machine
     std::uint32_t machine_id_;
     MachineConfig config_;
     Rng rng_;
+    /** Owned registry; by pointer so bound metric addresses survive
+     *  any future move of the Machine object. */
+    std::unique_ptr<MetricRegistry> metrics_;
     std::unique_ptr<Compressor> compressor_;
     std::unique_ptr<Zswap> zswap_;
     std::unique_ptr<FarTier> tier_;

@@ -9,12 +9,37 @@ NodeAgent::NodeAgent(const NodeAgentConfig &config) : config_(config)
 }
 
 void
+NodeAgent::bind_metrics(MetricRegistry *registry)
+{
+    registry_ = registry;
+    if (registry == nullptr) {
+        m_control_rounds_ = nullptr;
+        m_slo_violations_ = nullptr;
+        m_jobs_ = nullptr;
+        m_threshold_sum_ = nullptr;
+        m_promo_rate_ = nullptr;
+        return;
+    }
+    m_control_rounds_ = &registry->counter("agent.control_rounds");
+    m_slo_violations_ = &registry->counter("agent.slo_violations");
+    m_jobs_ = &registry->gauge("agent.jobs");
+    m_threshold_sum_ = &registry->gauge("agent.threshold_sum");
+    // Realized promotion rate as a fraction of WSS per minute; the
+    // SLO target (0.002) sits inside the grid so violations are
+    // visible as the tail beyond it.
+    m_promo_rate_ = &registry->histogram(
+        "agent.promo_rate",
+        {0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.02, 0.1, 1.0});
+}
+
+void
 NodeAgent::register_job(const Memcg &cg)
 {
     auto [it, inserted] = jobs_.emplace(
         cg.id(),
-        JobState{ThresholdController(config_.slo, cg.start_time()),
-                 AgeHistogram{}, AgeHistogram{}, MemcgStats{}});
+        JobState{ThresholdController(config_.slo, cg.start_time(),
+                                     registry_),
+                 AgeHistogram{}, AgeHistogram{}, MemcgStats{}, 0});
     SDFM_ASSERT(inserted);
 }
 
@@ -37,8 +62,27 @@ void
 NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
                    double period_minutes)
 {
+    double threshold_sum = 0.0;
     for (Memcg *cg : jobs) {
         JobState &state = state_of(*cg);
+
+        // Realized promotion-rate SLI for the period just ended (the
+        // would-be rate drives the controller; this is what the job
+        // actually experienced, the quantity the SLO is stated over).
+        if (m_promo_rate_ != nullptr) {
+            std::uint64_t promos = cg->stats().zswap_promotions;
+            std::uint64_t delta = promos - state.control_promotions;
+            state.control_promotions = promos;
+            std::uint64_t wss = cg->wss_pages();
+            if (wss > 0) {
+                double rate = static_cast<double>(delta) /
+                              static_cast<double>(wss) / period_minutes;
+                m_promo_rate_->observe(rate);
+                if (rate > config_.slo.target_promotion_rate)
+                    m_slo_violations_->inc();
+            }
+        }
+
         AgeBucket threshold = 0;
         switch (config_.policy) {
           case FarMemoryPolicy::kProactive: {
@@ -64,6 +108,12 @@ NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
         cg->set_zswap_enabled(threshold > 0);
         // Soft limit: protect the working set from direct reclaim.
         cg->set_soft_limit_pages(cg->wss_pages());
+        threshold_sum += static_cast<double>(threshold);
+    }
+    if (m_control_rounds_ != nullptr) {
+        m_control_rounds_->inc();
+        m_jobs_->set(static_cast<double>(jobs.size()));
+        m_threshold_sum_->set(threshold_sum);
     }
 }
 

@@ -18,6 +18,7 @@
 #include "node/policy.h"
 #include "node/slo.h"
 #include "node/threshold_controller.h"
+#include "telemetry/registry.h"
 #include "workload/trace.h"
 
 namespace sdfm {
@@ -67,6 +68,13 @@ class NodeAgent
     /** Mutate tunables (autotuner deployment path). */
     void set_slo(const SloConfig &slo);
 
+    /**
+     * Attach to the machine's metric registry (agent.* metrics, and
+     * controller.* metrics for every controller created afterwards).
+     * Call before jobs register; null detaches for future jobs.
+     */
+    void bind_metrics(MetricRegistry *registry);
+
   private:
     struct JobState
     {
@@ -74,12 +82,22 @@ class NodeAgent
         AgeHistogram control_snapshot;    ///< promo hist at last control
         AgeHistogram telemetry_snapshot;  ///< promo hist at last export
         MemcgStats sli_snapshot;          ///< counters at last export
+        std::uint64_t control_promotions = 0;  ///< realized promos at
+                                               ///< last control
     };
 
     JobState &state_of(const Memcg &cg);
 
     NodeAgentConfig config_;
     std::unordered_map<JobId, JobState> jobs_;
+
+    MetricRegistry *registry_ = nullptr;
+    // Cached registry metrics (null when unbound).
+    Counter *m_control_rounds_ = nullptr;
+    Counter *m_slo_violations_ = nullptr;
+    Gauge *m_jobs_ = nullptr;
+    Gauge *m_threshold_sum_ = nullptr;
+    Histogram *m_promo_rate_ = nullptr;
 };
 
 }  // namespace sdfm

@@ -22,6 +22,7 @@
 #include <deque>
 
 #include "node/slo.h"
+#include "telemetry/registry.h"
 #include "util/age_histogram.h"
 #include "util/sim_time.h"
 
@@ -34,8 +35,14 @@ class ThresholdController
     /**
      * @param slo SLO and tunables.
      * @param job_start Job start time (for the S-second delay).
+     * @param metrics Optional machine registry for the controller.*
+     *        metrics (chosen thresholds, unsatisfiable periods).
+     *        Purely observational: a null registry changes nothing
+     *        about the control decisions, preserving the class's
+     *        online/offline equivalence.
      */
-    ThresholdController(const SloConfig &slo, SimTime job_start);
+    ThresholdController(const SloConfig &slo, SimTime job_start,
+                        MetricRegistry *metrics = nullptr);
 
     /**
      * Feed one control-period observation and compute the threshold
@@ -77,6 +84,11 @@ class ThresholdController
     SimTime job_start_;
     std::deque<AgeBucket> pool_;
     AgeBucket current_ = 0;
+
+    // Cached registry metrics (null when unbound).
+    Counter *m_updates_ = nullptr;
+    Counter *m_slo_unsatisfiable_ = nullptr;
+    Histogram *m_threshold_ = nullptr;
 };
 
 }  // namespace sdfm

@@ -1,0 +1,145 @@
+#include "telemetry/exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace sdfm {
+
+namespace {
+
+/** Compact double rendering for JSON/CSV (no trailing zeros). */
+std::string
+fmt_number(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fmt_u64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(std::ostream &os, Format format)
+    : os_(os), format_(format)
+{
+}
+
+void
+TelemetryExporter::write_frame(SimTime now,
+                               const MetricsSnapshot &snapshot)
+{
+    if (format_ == Format::kJsonl)
+        write_jsonl(now, snapshot);
+    else
+        write_csv(now, snapshot);
+    ++frames_;
+}
+
+void
+TelemetryExporter::write_jsonl(SimTime now,
+                               const MetricsSnapshot &snapshot)
+{
+    // Metric names are dotted identifiers and need no JSON escaping.
+    os_ << "{\"t_sec\":" << now;
+    os_ << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : snapshot.counters) {
+        os_ << (first ? "" : ",") << '"' << name << "\":"
+            << fmt_u64(value);
+        first = false;
+    }
+    os_ << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : snapshot.gauges) {
+        os_ << (first ? "" : ",") << '"' << name << "\":"
+            << fmt_number(value);
+        first = false;
+    }
+    os_ << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, data] : snapshot.histograms) {
+        os_ << (first ? "" : ",") << '"' << name << "\":{\"count\":"
+            << fmt_u64(data.total_count) << ",\"mean\":"
+            << fmt_number(data.mean()) << ",\"p50\":"
+            << fmt_number(data.percentile(50.0)) << ",\"p95\":"
+            << fmt_number(data.percentile(95.0)) << ",\"p99\":"
+            << fmt_number(data.percentile(99.0)) << '}';
+        first = false;
+    }
+    os_ << "}}\n";
+}
+
+void
+TelemetryExporter::write_csv(SimTime now,
+                             const MetricsSnapshot &snapshot)
+{
+    CsvWriter csv(os_);
+    if (frames_ == 0) {
+        // The first frame fixes the column set; metrics registered
+        // later are not retroactively representable in a rectangular
+        // file and are dropped from CSV output.
+        csv_columns_.push_back("t_sec");
+        for (const auto &[name, value] : snapshot.counters)
+            csv_columns_.push_back(name);
+        for (const auto &[name, value] : snapshot.gauges)
+            csv_columns_.push_back(name);
+        for (const auto &[name, data] : snapshot.histograms)
+            csv_columns_.push_back(name + ".mean");
+        csv.write_row(csv_columns_);
+    }
+    std::vector<std::string> row;
+    row.reserve(csv_columns_.size());
+    row.push_back(fmt_u64(static_cast<std::uint64_t>(now)));
+    for (std::size_t i = 1; i < csv_columns_.size(); ++i) {
+        const std::string &column = csv_columns_[i];
+        if (auto it = snapshot.counters.find(column);
+            it != snapshot.counters.end()) {
+            row.push_back(fmt_u64(it->second));
+        } else if (auto git = snapshot.gauges.find(column);
+                   git != snapshot.gauges.end()) {
+            row.push_back(fmt_number(git->second));
+        } else if (column.size() > 5 &&
+                   snapshot.histograms.count(
+                       column.substr(0, column.size() - 5)) > 0) {
+            row.push_back(fmt_number(
+                snapshot.histograms
+                    .at(column.substr(0, column.size() - 5))
+                    .mean()));
+        } else {
+            row.push_back("0");
+        }
+    }
+    csv.write_row(row);
+}
+
+void
+print_metrics_summary(std::ostream &os, const MetricsSnapshot &snapshot)
+{
+    TablePrinter table({"metric", "value"});
+    for (const auto &[name, value] : snapshot.counters)
+        table.add_row({name, fmt_u64(value)});
+    for (const auto &[name, value] : snapshot.gauges)
+        table.add_row({name, fmt_number(value)});
+    for (const auto &[name, data] : snapshot.histograms) {
+        table.add_row({name + " count", fmt_u64(data.total_count)});
+        table.add_row({name + " mean", fmt_number(data.mean())});
+        table.add_row({name + " p50",
+                       fmt_number(data.percentile(50.0))});
+        table.add_row({name + " p95",
+                       fmt_number(data.percentile(95.0))});
+        table.add_row({name + " p99",
+                       fmt_number(data.percentile(99.0))});
+    }
+    table.print(os);
+}
+
+}  // namespace sdfm

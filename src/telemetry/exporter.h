@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Snapshot export: periodic machine-readable frames plus a final
+ * human-readable summary table.
+ *
+ * FarMemorySystem::step() hands the exporter one fleet-merged
+ * MetricsSnapshot per simulated minute; the exporter emits it as one
+ * JSONL object (default) or one CSV row. This is the reproduction's
+ * stand-in for the paper's monitoring pipeline: every evaluation
+ * figure in Section 5 is a query over exactly this kind of
+ * per-minute counter stream.
+ */
+
+#ifndef SDFM_TELEMETRY_EXPORTER_H
+#define SDFM_TELEMETRY_EXPORTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.h"
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** Writes one frame per snapshot to a stream. */
+class TelemetryExporter
+{
+  public:
+    /** Frame encodings. */
+    enum class Format
+    {
+        kJsonl,  ///< one JSON object per line
+        kCsv,    ///< header on first frame, then one row per frame
+    };
+
+    /**
+     * @param os Destination stream; not owned, must outlive the
+     *        exporter.
+     * @param format Frame encoding.
+     */
+    explicit TelemetryExporter(std::ostream &os,
+                               Format format = Format::kJsonl);
+
+    /**
+     * Emit one frame for the snapshot taken at simulated time
+     * @p now. JSONL frames carry every metric (histograms as
+     * count/mean/p50/p95/p99); CSV frames carry the columns fixed by
+     * the first frame (counters, gauges, and histogram means).
+     */
+    void write_frame(SimTime now, const MetricsSnapshot &snapshot);
+
+    /** Frames emitted so far. */
+    std::uint64_t frames_written() const { return frames_; }
+
+  private:
+    void write_jsonl(SimTime now, const MetricsSnapshot &snapshot);
+    void write_csv(SimTime now, const MetricsSnapshot &snapshot);
+
+    std::ostream &os_;
+    Format format_;
+    std::uint64_t frames_ = 0;
+    std::vector<std::string> csv_columns_;
+};
+
+/**
+ * Render a snapshot as the end-of-run summary table: one row per
+ * counter and gauge, and count/mean/p50/p95/p99 rows per histogram.
+ */
+void print_metrics_summary(std::ostream &os,
+                           const MetricsSnapshot &snapshot);
+
+}  // namespace sdfm
+
+#endif  // SDFM_TELEMETRY_EXPORTER_H

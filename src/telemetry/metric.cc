@@ -1,0 +1,122 @@
+#include "telemetry/metric.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+double
+HistogramData::percentile(double p) const
+{
+    SDFM_ASSERT(p >= 0.0 && p <= 100.0);
+    if (total_count == 0)
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(total_count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        std::uint64_t in_bucket = counts[b];
+        if (in_bucket == 0)
+            continue;
+        double after = static_cast<double>(cumulative + in_bucket);
+        if (after >= rank) {
+            // Overflow bucket: no finite upper edge, report the last
+            // finite bound (the estimate saturates there).
+            if (b >= upper_bounds.size())
+                return upper_bounds.back();
+            double hi = upper_bounds[b];
+            double lo = b == 0 ? std::min(0.0, hi) : upper_bounds[b - 1];
+            double frac = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+            frac = std::clamp(frac, 0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        cumulative += in_bucket;
+    }
+    return upper_bounds.back();
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.total_count == 0 && other.upper_bounds.empty())
+        return;
+    if (upper_bounds.empty()) {
+        *this = other;
+        return;
+    }
+    SDFM_ASSERT(upper_bounds == other.upper_bounds);
+    SDFM_ASSERT(counts.size() == other.counts.size());
+    for (std::size_t b = 0; b < counts.size(); ++b)
+        counts[b] += other.counts[b];
+    total_count += other.total_count;
+    sum += other.sum;
+}
+
+Histogram::Histogram(const std::vector<double> &upper_bounds)
+    : bounds_(upper_bounds), buckets_(upper_bounds.size() + 1)
+{
+    SDFM_ASSERT(!bounds_.empty());
+    SDFM_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void
+Histogram::observe(double value)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    std::size_t bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+HistogramData
+Histogram::data() const
+{
+    HistogramData d;
+    d.upper_bounds = bounds_;
+    d.counts.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        d.counts.push_back(bucket.load(std::memory_order_relaxed));
+    d.total_count = count_.load(std::memory_order_relaxed);
+    d.sum = sum_.load(std::memory_order_relaxed);
+    // A concurrent observe() between the bucket reads and the count
+    // read can make the moments drift by a few observations; clamp so
+    // downstream percentile math sees a consistent total.
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t c : d.counts)
+        bucket_total += c;
+    d.total_count = std::min(d.total_count, bucket_total);
+    return d;
+}
+
+std::vector<double>
+exponential_bounds(double start, double factor, std::size_t count)
+{
+    SDFM_ASSERT(start > 0.0 && factor > 1.0 && count > 0);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double v = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(v);
+        v *= factor;
+    }
+    return bounds;
+}
+
+std::vector<double>
+linear_bounds(double start, double step, std::size_t count)
+{
+    SDFM_ASSERT(step > 0.0 && count > 0);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        bounds.push_back(start + step * static_cast<double>(i));
+    return bounds;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Fleet-telemetry metric primitives: counters, gauges, and
+ * fixed-bucket histograms with relaxed-atomic hot paths.
+ *
+ * The paper's control plane is only operable at warehouse scale
+ * because every machine exports cheap counters and histograms
+ * (promotion rates, zswap coverage, CPU overhead -- Section 5 reads
+ * them for every figure). These primitives are the reproduction's
+ * equivalent: daemons and agents increment them inline on the hot
+ * path (a single relaxed fetch_add), and the snapshot/export layer
+ * (snapshot.h, exporter.h) reads them asynchronously without ever
+ * stopping the writers.
+ *
+ * Thread-safety: all mutators and readers are safe to call
+ * concurrently from any number of threads. Increments use relaxed
+ * ordering -- telemetry needs totals, not happens-before edges -- so
+ * an increment costs one uncontended atomic RMW.
+ */
+
+#ifndef SDFM_TELEMETRY_METRIC_H
+#define SDFM_TELEMETRY_METRIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sdfm {
+
+/**
+ * A monotonically increasing event counter (stores, rejects,
+ * promotions, pages scanned, ...).
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    /** Add @p n events. Hot-path safe: one relaxed fetch_add. */
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current total. */
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * A point-in-time level (arena bytes, stored pages, jobs running).
+ * Unlike a Counter it can move in both directions; fleet rollups sum
+ * gauges across machines, so gauges should hold additive quantities.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    /** Overwrite the level (relaxed store). */
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    /** Adjust the level by @p delta (relaxed CAS loop). */
+    void add(double delta)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    /** Current level. */
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Frozen histogram state: bucket boundaries, per-bucket counts, and
+ * the sum/count moments. This is both the read-side view of a live
+ * Histogram and the unit of cross-machine aggregation (bucket-wise
+ * sums in MetricsSnapshot::merge).
+ */
+struct HistogramData
+{
+    /**
+     * Ascending inclusive upper bounds; a value v lands in the first
+     * bucket with v <= bound. One implicit overflow bucket follows
+     * the last bound, so counts.size() == upper_bounds.size() + 1.
+     */
+    std::vector<double> upper_bounds;
+
+    /** Per-bucket observation counts (last entry is the overflow). */
+    std::vector<std::uint64_t> counts;
+
+    /** Total observations. */
+    std::uint64_t total_count = 0;
+
+    /** Sum of observed values (for the mean). */
+    double sum = 0.0;
+
+    /** Arithmetic mean of observations; 0 when empty. */
+    double mean() const
+    {
+        return total_count > 0
+                   ? sum / static_cast<double>(total_count)
+                   : 0.0;
+    }
+
+    /**
+     * Percentile estimate in [0, 100] by linear interpolation inside
+     * the bucket where the rank falls (the resolution is therefore
+     * the bucket width). Observations in the overflow bucket report
+     * the last finite bound. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Bucket-wise accumulate; bounds must match exactly. */
+    void merge(const HistogramData &other);
+};
+
+/**
+ * A fixed-bucket histogram of a distribution (scan latency, chosen
+ * thresholds, payload sizes). Buckets are chosen at construction so
+ * the hot path is a short branchless-ish search plus one relaxed
+ * fetch_add -- no allocation, no locks.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upper_bounds Ascending inclusive bucket upper bounds;
+     *        must be non-empty. An overflow bucket is added
+     *        automatically for values above the last bound.
+     */
+    explicit Histogram(const std::vector<double> &upper_bounds);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one observation (relaxed atomics only). */
+    void observe(double value);
+
+    /** Total observations so far. */
+    std::uint64_t total_count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Percentile estimate over the current contents (see
+     *  HistogramData::percentile for semantics). */
+    double percentile(double p) const { return data().percentile(p); }
+
+    /** Mean of the current contents. */
+    double mean() const { return data().mean(); }
+
+    /** The configured upper bounds (without the overflow bucket). */
+    const std::vector<double> &upper_bounds() const { return bounds_; }
+
+    /** Copy out a consistent-enough read of the current state. */
+    HistogramData data() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Convenience bucket generator: @p count bounds starting at
+ * @p start, each @p factor times the previous (exponential grids for
+ * cycle counts and byte sizes).
+ */
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+/**
+ * Convenience bucket generator: @p count bounds starting at
+ * @p start spaced by @p step (linear grids for small enumerations
+ * like age buckets).
+ */
+std::vector<double> linear_bounds(double start, double step,
+                                  std::size_t count);
+
+}  // namespace sdfm
+
+#endif  // SDFM_TELEMETRY_METRIC_H

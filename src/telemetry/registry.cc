@@ -1,0 +1,57 @@
+#include "telemetry/registry.h"
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name,
+                          const std::vector<double> &upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(upper_bounds);
+    } else {
+        // Buckets are part of the metric's identity: aggregation is
+        // bucket-wise, so every registrant must agree on them.
+        SDFM_ASSERT(slot->upper_bounds() == upper_bounds);
+    }
+    return *slot;
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, metric] : counters_)
+        snap.counters.emplace(name, metric->value());
+    for (const auto &[name, metric] : gauges_)
+        snap.gauges.emplace(name, metric->value());
+    for (const auto &[name, metric] : histograms_)
+        snap.histograms.emplace(name, metric->data());
+    return snap;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,30 @@
+#include "telemetry/snapshot.h"
+
+namespace sdfm {
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.gauges)
+        gauges[name] += value;
+    for (const auto &[name, data] : other.histograms)
+        histograms[name].merge(data);
+}
+
+std::uint64_t
+MetricsSnapshot::counter_or_zero(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+}
+
+double
+MetricsSnapshot::gauge_or_zero(const std::string &name) const
+{
+    auto it = gauges.find(name);
+    return it != gauges.end() ? it->second : 0.0;
+}
+
+}  // namespace sdfm

@@ -90,6 +90,7 @@ AccessPattern::AccessPattern(const JobProfile &profile,
     // Stagger initial accesses: active classes start within the
     // first minutes, cold/frozen pages get one early touch and then
     // follow their distribution.
+    queue_.reserve(num_pages);
     for (PageId p = 0; p < num_pages; ++p) {
         SimTime first;
         switch (classes_[p]) {

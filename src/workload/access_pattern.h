@@ -20,12 +20,12 @@
 #define SDFM_WORKLOAD_ACCESS_PATTERN_H
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "mem/page.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
+#include "workload/event_queue.h"
 #include "workload/job_profile.h"
 
 namespace sdfm {
@@ -57,8 +57,9 @@ class AccessPattern
     {
         std::uint64_t accesses = 0;
         SimTime end = now + dt;
-        while (!queue_.empty() && queue_.top().first < end) {
-            auto [t, page] = queue_.top();
+        while (!queue_.empty() && queue_.top_time() < end) {
+            SimTime t = queue_.top_time();
+            PageId page = queue_.top_page();
             queue_.pop();
             bool is_write = rng_.next_bool(profile_.write_frac);
             fn(page, is_write);
@@ -96,8 +97,6 @@ class AccessPattern
     }
 
   private:
-    using Event = std::pair<SimTime, PageId>;
-
     /** Clamp a floating-point gap to a safe SimTime (>= 1 s). */
     static SimTime to_gap_public(double seconds);
 
@@ -110,7 +109,7 @@ class AccessPattern
     JobProfile profile_;
     Rng rng_;
     std::vector<ReuseClass> classes_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    EventQueue queue_;
     SimTime next_scan_ = 0;
 };
 

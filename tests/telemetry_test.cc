@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the fleet-telemetry subsystem: metric primitives
+ * (counter/gauge/histogram semantics, bucket boundaries, percentile
+ * readout), the named registry, snapshot merging up the
+ * machine -> cluster -> fleet topology, the frame exporter, and a
+ * multi-threaded increment smoke test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/far_memory_system.h"
+#include "telemetry/exporter.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+#include "telemetry/snapshot.h"
+
+namespace sdfm {
+namespace {
+
+// -- primitives ------------------------------------------------------
+
+TEST(CounterTest, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddBothDirections)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(10.0);
+    EXPECT_DOUBLE_EQ(g.value(), 10.0);
+    g.add(5.5);
+    EXPECT_DOUBLE_EQ(g.value(), 15.5);
+    g.add(-20.0);
+    EXPECT_DOUBLE_EQ(g.value(), -4.5);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds)
+{
+    // Buckets: (-inf,1], (1,10], (10,100], (100,+inf).
+    Histogram h({1.0, 10.0, 100.0});
+    h.observe(1.0);    // lands in bucket 0 (inclusive bound)
+    h.observe(1.5);    // bucket 1
+    h.observe(10.0);   // bucket 1 (inclusive bound)
+    h.observe(99.0);   // bucket 2
+    h.observe(1000.0); // overflow
+
+    HistogramData d = h.data();
+    ASSERT_EQ(d.upper_bounds.size(), 3u);
+    ASSERT_EQ(d.counts.size(), 4u);  // + overflow
+    EXPECT_EQ(d.counts[0], 1u);
+    EXPECT_EQ(d.counts[1], 2u);
+    EXPECT_EQ(d.counts[2], 1u);
+    EXPECT_EQ(d.counts[3], 1u);
+    EXPECT_EQ(d.total_count, 5u);
+    EXPECT_DOUBLE_EQ(d.sum, 1.0 + 1.5 + 10.0 + 99.0 + 1000.0);
+}
+
+TEST(HistogramTest, MeanAndPercentileReadout)
+{
+    Histogram h({10.0, 20.0, 30.0, 40.0});
+    for (int i = 0; i < 100; ++i)
+        h.observe(5.0 + (i % 4) * 10.0);  // 25 each of 5,15,25,35
+
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    // Quartile boundaries: p25 sits at the top of the first bucket.
+    EXPECT_NEAR(h.percentile(25.0), 10.0, 1e-9);
+    EXPECT_NEAR(h.percentile(50.0), 20.0, 1e-9);
+    // Interpolated mid-bucket rank: p37.5 is halfway into (10,20].
+    EXPECT_NEAR(h.percentile(37.5), 15.0, 1e-9);
+    // Extremes clamp to the grid, never extrapolate.
+    EXPECT_GE(h.percentile(0.0), 0.0);
+    EXPECT_LE(h.percentile(100.0), 40.0);
+}
+
+TEST(HistogramTest, OverflowReportsLastFiniteBound)
+{
+    Histogram h({1.0, 2.0});
+    h.observe(50.0);
+    h.observe(60.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReadsZero)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_EQ(h.total_count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, BoundGenerators)
+{
+    std::vector<double> exp = exponential_bounds(1e3, 10.0, 4);
+    ASSERT_EQ(exp.size(), 4u);
+    EXPECT_DOUBLE_EQ(exp[0], 1e3);
+    EXPECT_DOUBLE_EQ(exp[3], 1e6);
+
+    std::vector<double> lin = linear_bounds(0.0, 2.5, 3);
+    ASSERT_EQ(lin.size(), 3u);
+    EXPECT_DOUBLE_EQ(lin[1], 2.5);
+    EXPECT_DOUBLE_EQ(lin[2], 5.0);
+}
+
+// -- registry --------------------------------------------------------
+
+TEST(MetricRegistryTest, NamesResolveToStableInstances)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("zswap.stores");
+    a.inc(3);
+    // Same name, same instance.
+    EXPECT_EQ(&reg.counter("zswap.stores"), &a);
+    EXPECT_EQ(reg.counter("zswap.stores").value(), 3u);
+    // Different name, different instance.
+    EXPECT_NE(&reg.counter("zswap.rejects"), &a);
+
+    Histogram &h = reg.histogram("lat", {1.0, 2.0});
+    EXPECT_EQ(&reg.histogram("lat", {1.0, 2.0}), &h);
+}
+
+TEST(MetricRegistryTest, SnapshotCopiesEveryKind)
+{
+    MetricRegistry reg;
+    reg.counter("c").inc(7);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h", {1.0}).observe(0.5);
+
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_or_zero("c"), 7u);
+    EXPECT_DOUBLE_EQ(snap.gauge_or_zero("g"), 2.5);
+    ASSERT_EQ(snap.histograms.count("h"), 1u);
+    EXPECT_EQ(snap.histograms.at("h").total_count, 1u);
+    // Absent names read as zero, not as errors.
+    EXPECT_EQ(snap.counter_or_zero("absent"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauge_or_zero("absent"), 0.0);
+}
+
+// -- snapshot merge --------------------------------------------------
+
+TEST(MetricsSnapshotTest, MergeSumsCountersGaugesAndBuckets)
+{
+    MetricRegistry a;
+    a.counter("c").inc(10);
+    a.gauge("g").set(1.0);
+    a.histogram("h", {5.0, 10.0}).observe(3.0);
+
+    MetricRegistry b;
+    b.counter("c").inc(32);
+    b.counter("only_b").inc(1);
+    b.gauge("g").set(2.0);
+    b.histogram("h", {5.0, 10.0}).observe(7.0);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+
+    EXPECT_EQ(merged.counter_or_zero("c"), 42u);
+    EXPECT_EQ(merged.counter_or_zero("only_b"), 1u);
+    EXPECT_DOUBLE_EQ(merged.gauge_or_zero("g"), 3.0);
+    const HistogramData &h = merged.histograms.at("h");
+    EXPECT_EQ(h.total_count, 2u);
+    EXPECT_EQ(h.counts[0], 1u);  // 3.0
+    EXPECT_EQ(h.counts[1], 1u);  // 7.0
+    EXPECT_DOUBLE_EQ(h.sum, 10.0);
+}
+
+// -- cluster -> fleet rollup ----------------------------------------
+
+FleetConfig
+tiny_fleet()
+{
+    FleetConfig config;
+    config.num_clusters = 2;
+    config.cluster.num_machines = 2;
+    config.cluster.machine.dram_pages = 48ull * kMiB / kPageSize;
+    config.cluster.machine.compression = CompressionMode::kModeled;
+    config.cluster.mix = typical_fleet_mix();
+    config.seed = 11;
+    return config;
+}
+
+TEST(TelemetryRollupTest, FleetSnapshotIsSumOfClusterSnapshots)
+{
+    FarMemorySystem fleet(tiny_fleet());
+    fleet.populate();
+    fleet.run(10 * kMinute);
+
+    MetricsSnapshot total = fleet.fleet_telemetry();
+
+    MetricsSnapshot manual;
+    for (const auto &cluster : fleet.clusters())
+        manual.merge(cluster->telemetry_snapshot());
+
+    EXPECT_EQ(total.counters, manual.counters);
+    for (const auto &[name, value] : total.gauges)
+        EXPECT_DOUBLE_EQ(value, manual.gauge_or_zero(name)) << name;
+
+    // The instrumented subsystems actually reported work.
+    EXPECT_GT(total.counter_or_zero("machine.accesses"), 0u);
+    EXPECT_GT(total.counter_or_zero("kstaled.scans"), 0u);
+    EXPECT_GT(total.counter_or_zero("zswap.stores"), 0u);
+    EXPECT_GT(total.counter_or_zero("agent.control_rounds"), 0u);
+    EXPECT_GT(total.gauge_or_zero("cluster.jobs"), 0.0);
+}
+
+TEST(TelemetryRollupTest, MachineCountersMatchSimulatorState)
+{
+    FleetConfig config = tiny_fleet();
+    config.num_clusters = 1;
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    fleet.run(10 * kMinute);
+
+    MetricsSnapshot snap = fleet.fleet_telemetry();
+    std::uint64_t stored = 0;
+    for (const auto &machine : fleet.clusters()[0]->machines())
+        stored += machine->zswap_stored_pages();
+    EXPECT_DOUBLE_EQ(snap.gauge_or_zero("zswap.stored_pages"),
+                     static_cast<double>(stored));
+}
+
+// -- exporter --------------------------------------------------------
+
+TEST(TelemetryExporterTest, JsonlEmitsOneFramePerSnapshot)
+{
+    MetricRegistry reg;
+    reg.counter("zswap.stores").inc(5);
+    reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+    std::ostringstream out;
+    TelemetryExporter exporter(out, TelemetryExporter::Format::kJsonl);
+    exporter.write_frame(60, reg.snapshot());
+    reg.counter("zswap.stores").inc(1);
+    exporter.write_frame(120, reg.snapshot());
+
+    EXPECT_EQ(exporter.frames_written(), 2u);
+    std::istringstream lines(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"t_sec\":60"), std::string::npos);
+    EXPECT_NE(line.find("\"zswap.stores\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"p95\""), std::string::npos);
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"zswap.stores\":6"), std::string::npos);
+    EXPECT_FALSE(std::getline(lines, line));  // exactly two frames
+}
+
+TEST(TelemetryExporterTest, CsvFixesColumnsOnFirstFrame)
+{
+    MetricRegistry reg;
+    reg.counter("a").inc(1);
+    reg.gauge("b").set(2.0);
+
+    std::ostringstream out;
+    TelemetryExporter exporter(out, TelemetryExporter::Format::kCsv);
+    exporter.write_frame(60, reg.snapshot());
+    exporter.write_frame(120, reg.snapshot());
+
+    std::istringstream lines(out.str());
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(lines, header));
+    ASSERT_TRUE(std::getline(lines, row1));
+    ASSERT_TRUE(std::getline(lines, row2));
+    EXPECT_FALSE(std::getline(lines, extra));
+    EXPECT_EQ(header.substr(0, 5), "t_sec");
+    EXPECT_NE(header.find("a"), std::string::npos);
+    EXPECT_NE(header.find("b"), std::string::npos);
+    EXPECT_EQ(row1.substr(0, 2), "60");
+}
+
+TEST(TelemetryExporterTest, SummaryTableListsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("zswap.stores").inc(9);
+    reg.gauge("zswap.arena_bytes").set(4096.0);
+    reg.histogram("controller.threshold", {1.0, 2.0}).observe(2.0);
+
+    std::ostringstream out;
+    print_metrics_summary(out, reg.snapshot());
+    std::string text = out.str();
+    EXPECT_NE(text.find("zswap.stores"), std::string::npos);
+    EXPECT_NE(text.find("zswap.arena_bytes"), std::string::npos);
+    EXPECT_NE(text.find("controller.threshold"), std::string::npos);
+    EXPECT_NE(text.find("p95"), std::string::npos);
+}
+
+// -- concurrency smoke test -----------------------------------------
+
+TEST(TelemetryConcurrencyTest, ParallelIncrementsAreNotLost)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("c");
+    Gauge &g = reg.gauge("g");
+    Histogram &h = reg.histogram("h", exponential_bounds(1.0, 2.0, 8));
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                g.add(1.0);
+                h.observe(static_cast<double>((t + i) % 300));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) *
+                                    kPerThread);
+    HistogramData d = h.data();
+    EXPECT_EQ(d.total_count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucket_sum = 0;
+    for (std::uint64_t n : d.counts)
+        bucket_sum += n;
+    EXPECT_EQ(bucket_sum, d.total_count);
+}
+
+}  // namespace
+}  // namespace sdfm
