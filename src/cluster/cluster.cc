@@ -229,6 +229,20 @@ Cluster::telemetry_snapshot() const
     return snap;
 }
 
+DonorFailureResult
+Cluster::inject_donor_failure(SimTime now, std::uint32_t machine_index,
+                              std::uint32_t donor)
+{
+    SDFM_ASSERT(machine_index < machines_.size());
+    DonorFailureResult result;
+    result.killed = machines_[machine_index]->fail_donor(donor);
+    for (std::size_t i = 0; i < result.killed.size(); ++i) {
+        if (schedule_new_job(now))
+            ++result.rescheduled;
+    }
+    return result;
+}
+
 void
 Cluster::deploy_slo(const SloConfig &slo)
 {

@@ -68,6 +68,13 @@ struct ClusterStepResult
     std::uint64_t churned = 0;
 };
 
+/** Outcome of an explicitly injected donor failure. */
+struct DonorFailureResult
+{
+    std::vector<JobId> killed;      ///< jobs that lost remote pages
+    std::uint64_t rescheduled = 0;  ///< of those, restarted elsewhere
+};
+
 /** One cluster. */
 class Cluster
 {
@@ -130,6 +137,17 @@ class Cluster
 
     /** Change SLO tunables fleet-wide (autotuner deployment). */
     void deploy_slo(const SloConfig &slo);
+
+    /**
+     * Fault plane: fail remote-tier donor @p donor of machine
+     * @p machine_index right now. Victim jobs are killed (the
+     * failure-domain expansion of Section 2.1) and restarted fresh on
+     * machines with capacity, exactly as step()'s eviction path does.
+     * A no-op (empty result) when the machine has no remote tier.
+     */
+    DonorFailureResult inject_donor_failure(SimTime now,
+                                            std::uint32_t machine_index,
+                                            std::uint32_t donor);
 
   private:
     /** Place a job on a machine with capacity; null if none fits. */

@@ -102,7 +102,11 @@ FarMemorySystem::fleet_coverage() const
     for (const auto &cluster : clusters_) {
         for (const auto &machine : cluster->machines()) {
             cold += machine->cold_pages_min_threshold();
-            stored += machine->zswap_stored_pages();
+            // Any far tier counts: in two-tier configurations most
+            // cold pages sit in the NVM/remote tier, not zswap
+            // (identical to zswap-only coverage when no tier is
+            // configured).
+            stored += machine->far_memory_pages();
         }
     }
     if (cold == 0)
@@ -146,6 +150,35 @@ FarMemorySystem::fleet_telemetry() const
     for (const auto &cluster : clusters_)
         snap.merge(cluster->telemetry_snapshot());
     return snap;
+}
+
+FleetFaultReport
+FarMemorySystem::fault_report() const
+{
+    MetricsSnapshot snap = fleet_telemetry();
+    FleetFaultReport report;
+    report.faults_injected = snap.counter_or_zero("fault.injected");
+    report.donor_failures = snap.counter_or_zero("fault.donor_failures");
+    report.jobs_killed = snap.counter_or_zero("fault.jobs_killed");
+    report.corruptions = snap.counter_or_zero("fault.corruptions");
+    report.poisoned_entries =
+        snap.counter_or_zero("zswap.poisoned_entries");
+    report.remote_read_retries =
+        snap.counter_or_zero("fault.remote_read_retries");
+    report.remote_reads_exhausted =
+        snap.counter_or_zero("fault.remote_reads_exhausted");
+    report.tier_breaker_opens =
+        snap.counter_or_zero("fault.tier_breaker_opens");
+    report.nvm_media_errors =
+        snap.counter_or_zero("fault.nvm_media_errors");
+    report.nvm_capacity_lost_pages =
+        snap.counter_or_zero("fault.nvm_capacity_lost_pages");
+    report.nvm_spillover_pages =
+        snap.counter_or_zero("fault.nvm_spillover_pages");
+    report.agent_restarts = snap.counter_or_zero("agent.restarts");
+    report.slo_breaker_trips =
+        snap.counter_or_zero("agent.slo_breaker_trips");
+    return report;
 }
 
 void

@@ -60,6 +60,28 @@ struct FleetStepResult
     std::uint64_t evictions = 0;
 };
 
+/**
+ * Fleet-wide fault/recovery health report, built from the telemetry
+ * rollup (every counter here also appears in metrics_dump output and
+ * exporter frames). All zeros when the fault plane is inactive.
+ */
+struct FleetFaultReport
+{
+    std::uint64_t faults_injected = 0;      ///< fault.injected
+    std::uint64_t donor_failures = 0;       ///< fault.donor_failures
+    std::uint64_t jobs_killed = 0;          ///< fault.jobs_killed
+    std::uint64_t corruptions = 0;          ///< fault.corruptions
+    std::uint64_t poisoned_entries = 0;     ///< zswap.poisoned_entries
+    std::uint64_t remote_read_retries = 0;  ///< fault.remote_read_retries
+    std::uint64_t remote_reads_exhausted = 0;
+    std::uint64_t tier_breaker_opens = 0;   ///< fault.tier_breaker_opens
+    std::uint64_t nvm_media_errors = 0;     ///< fault.nvm_media_errors
+    std::uint64_t nvm_capacity_lost_pages = 0;
+    std::uint64_t nvm_spillover_pages = 0;  ///< fault.nvm_spillover_pages
+    std::uint64_t agent_restarts = 0;       ///< agent.restarts
+    std::uint64_t slo_breaker_trips = 0;    ///< agent.slo_breaker_trips
+};
+
 /** The warehouse-scale system. */
 class FarMemorySystem
 {
@@ -113,6 +135,12 @@ class FarMemorySystem
      * histograms accumulate bucket-wise).
      */
     MetricsSnapshot fleet_telemetry() const;
+
+    /**
+     * Fleet-wide fault and recovery counters, read out of the
+     * telemetry rollup. Cheap enough to call per step in chaos runs.
+     */
+    FleetFaultReport fault_report() const;
 
     /**
      * Attach a snapshot exporter; step() then emits one fleet frame

@@ -1,0 +1,113 @@
+#include "fault/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+const char *
+breaker_state_name(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::kClosed:
+        return "closed";
+      case BreakerState::kOpen:
+        return "open";
+      case BreakerState::kHalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerParams &params)
+    : params_(params), current_open_periods_(params.open_periods)
+{
+    SDFM_ASSERT(params_.failure_threshold > 0);
+    SDFM_ASSERT(params_.open_periods > 0);
+    SDFM_ASSERT(params_.backoff_factor >= 1.0);
+}
+
+void
+CircuitBreaker::trip()
+{
+    state_ = BreakerState::kOpen;
+    open_remaining_ = current_open_periods_;
+    consecutive_failures_ = 0;
+    ++stats_.opens;
+}
+
+void
+CircuitBreaker::record_success()
+{
+    switch (state_) {
+      case BreakerState::kClosed:
+        consecutive_failures_ = 0;
+        break;
+      case BreakerState::kHalfOpen:
+        // The probe came back healthy: recover fully and forget the
+        // accumulated hold-off backoff.
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        current_open_periods_ = params_.open_periods;
+        ++stats_.closes;
+        break;
+      case BreakerState::kOpen:
+        break;  // no traffic should flow while open; ignore
+    }
+}
+
+bool
+CircuitBreaker::record_failure()
+{
+    switch (state_) {
+      case BreakerState::kClosed:
+        if (++consecutive_failures_ >= params_.failure_threshold) {
+            trip();
+            return true;
+        }
+        return false;
+      case BreakerState::kHalfOpen: {
+        // The probe failed: reopen and grow the hold-off.
+        double grown = static_cast<double>(current_open_periods_) *
+                       params_.backoff_factor;
+        double cap = static_cast<double>(params_.max_open_periods);
+        current_open_periods_ =
+            static_cast<std::uint64_t>(std::min(grown, cap));
+        trip();
+        ++stats_.reopens;
+        return true;
+      }
+      case BreakerState::kOpen:
+        return false;  // already tripped
+    }
+    return false;
+}
+
+void
+CircuitBreaker::tick()
+{
+    if (state_ != BreakerState::kOpen)
+        return;
+    SDFM_ASSERT(open_remaining_ > 0);
+    if (--open_remaining_ == 0)
+        state_ = BreakerState::kHalfOpen;
+}
+
+std::uint64_t
+CircuitBreaker::trial_budget() const
+{
+    switch (state_) {
+      case BreakerState::kClosed:
+        return std::numeric_limits<std::uint64_t>::max();
+      case BreakerState::kHalfOpen:
+        return params_.half_open_trials;
+      case BreakerState::kOpen:
+        return 0;
+    }
+    return 0;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A deterministic circuit breaker for the far-memory control plane.
+ *
+ * The paper's control plane survives production because every layer
+ * backs off instead of retrying into a failure: thresholds rise via
+ * the K-th percentile, incompressible pages are marked rather than
+ * recompressed, zswap stays off during warmup. This class packages
+ * that discipline as the classic closed / open / half-open state
+ * machine so the node layer can route work away from a misbehaving
+ * tier (or disable zswap for a job whose promotion SLO keeps
+ * breaching) and probe it again later with exponentially longer
+ * hold-offs.
+ *
+ * Time is counted in control periods via tick() -- no wall clock, no
+ * randomness -- so breaker trajectories are reproducible run-to-run
+ * like everything else in the simulator.
+ */
+
+#ifndef SDFM_FAULT_CIRCUIT_BREAKER_H
+#define SDFM_FAULT_CIRCUIT_BREAKER_H
+
+#include <cstdint>
+
+namespace sdfm {
+
+/** Breaker states (the classic three). */
+enum class BreakerState : std::uint8_t
+{
+    kClosed,    ///< healthy: all traffic allowed
+    kOpen,      ///< tripped: traffic routed away
+    kHalfOpen,  ///< probing: limited trial traffic allowed
+};
+
+/** Human-readable state name (for tables and logs). */
+const char *breaker_state_name(BreakerState state);
+
+/** Breaker tunables. */
+struct CircuitBreakerParams
+{
+    /** Consecutive failures that trip the breaker open. */
+    std::uint32_t failure_threshold = 3;
+
+    /** Control periods the breaker stays open after the first trip. */
+    std::uint64_t open_periods = 5;
+
+    /** Open-duration multiplier applied on every re-trip. */
+    double backoff_factor = 2.0;
+
+    /** Upper bound on the open duration, in control periods. */
+    std::uint64_t max_open_periods = 60;
+
+    /** Trial operations allowed per period while half-open. */
+    std::uint32_t half_open_trials = 8;
+};
+
+/** Breaker lifetime counters. */
+struct CircuitBreakerStats
+{
+    std::uint64_t opens = 0;    ///< closed/half-open -> open transitions
+    std::uint64_t reopens = 0;  ///< the subset re-tripped from half-open
+    std::uint64_t closes = 0;   ///< half-open -> closed recoveries
+};
+
+/** The breaker state machine. */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(
+        const CircuitBreakerParams &params = CircuitBreakerParams{});
+
+    /**
+     * Record one healthy observation. Closed: resets the consecutive
+     * failure count. Half-open: the probe succeeded, so the breaker
+     * closes and the open-duration backoff resets. Open: ignored (no
+     * traffic should be flowing).
+     */
+    void record_success();
+
+    /**
+     * Record one failed observation. Closed: counts toward the trip
+     * threshold. Half-open: the probe failed, so the breaker reopens
+     * with its hold-off grown by backoff_factor. Open: ignored.
+     *
+     * @return true iff this observation tripped the breaker open.
+     */
+    bool record_failure();
+
+    /**
+     * Advance one control period. An open breaker whose hold-off has
+     * elapsed transitions to half-open.
+     */
+    void tick();
+
+    BreakerState state() const { return state_; }
+
+    /** True unless the breaker is open (traffic may flow). */
+    bool allow() const { return state_ != BreakerState::kOpen; }
+
+    /**
+     * How many operations the caller should attempt this period:
+     * unlimited when closed, params.half_open_trials when half-open,
+     * zero when open.
+     */
+    std::uint64_t trial_budget() const;
+
+    const CircuitBreakerParams &params() const { return params_; }
+    const CircuitBreakerStats &stats() const { return stats_; }
+
+  private:
+    void trip();
+
+    CircuitBreakerParams params_;
+    CircuitBreakerStats stats_;
+    BreakerState state_ = BreakerState::kClosed;
+    std::uint32_t consecutive_failures_ = 0;
+    std::uint64_t open_remaining_ = 0;
+    /** Current hold-off; doubles (up to the cap) on every re-trip. */
+    std::uint64_t current_open_periods_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_FAULT_CIRCUIT_BREAKER_H

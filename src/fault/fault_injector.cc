@@ -1,0 +1,126 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+const char *
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kDonorFailure:
+        return "donor_failure";
+      case FaultKind::kZswapCorruption:
+        return "zswap_corruption";
+      case FaultKind::kRemoteDegrade:
+        return "remote_degrade";
+      case FaultKind::kNvmLatencySpike:
+        return "nvm_latency_spike";
+      case FaultKind::kNvmMediaErrors:
+        return "nvm_media_errors";
+      case FaultKind::kNvmCapacityLoss:
+        return "nvm_capacity_loss";
+      case FaultKind::kAgentCrash:
+        return "agent_crash";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config,
+                             std::uint64_t seed_mix)
+    : config_(config),
+      rng_(config.seed ^ (seed_mix * 0x9E3779B97F4A7C15ULL)),
+      target_rng_(config.seed ^ (seed_mix * 0xC2B2AE3D27D4EB4FULL) ^
+                  0x517CC1B727220A95ULL)
+{
+    std::stable_sort(config_.schedule.begin(), config_.schedule.end(),
+                     [](const ScheduledFault &a, const ScheduledFault &b) {
+                         return a.at < b.at;
+                     });
+}
+
+void
+FaultInjector::count(FaultKind kind)
+{
+    ++stats_.injected_total;
+    switch (kind) {
+      case FaultKind::kDonorFailure:
+        ++stats_.donor_failures;
+        break;
+      case FaultKind::kZswapCorruption:
+        ++stats_.zswap_corruptions;
+        break;
+      case FaultKind::kRemoteDegrade:
+        ++stats_.remote_degrades;
+        break;
+      case FaultKind::kNvmLatencySpike:
+        ++stats_.nvm_latency_spikes;
+        break;
+      case FaultKind::kNvmMediaErrors:
+        ++stats_.nvm_media_errors;
+        break;
+      case FaultKind::kNvmCapacityLoss:
+        ++stats_.nvm_capacity_losses;
+        break;
+      case FaultKind::kAgentCrash:
+        ++stats_.agent_crashes;
+        break;
+    }
+}
+
+std::vector<FaultEvent>
+FaultInjector::step(SimTime begin, SimTime end)
+{
+    std::vector<FaultEvent> events;
+    if (!config_.enabled)
+        return events;
+    SDFM_ASSERT(begin < end);
+
+    // Scheduled events whose time falls inside this window. The
+    // schedule is sorted, so a cursor suffices; events scheduled
+    // before the first window fire in it (a fleet cannot miss a
+    // fault by starting late).
+    while (next_scheduled_ < config_.schedule.size() &&
+           config_.schedule[next_scheduled_].at < end) {
+        events.push_back(config_.schedule[next_scheduled_].event);
+        count(events.back().kind);
+        ++next_scheduled_;
+    }
+
+    // Probabilistic faults, drawn in a fixed kind order so the
+    // schedule depends only on (config, seed, step count).
+    struct Draw
+    {
+        double prob;
+        FaultKind kind;
+        std::uint32_t magnitude;
+    };
+    const Draw draws[] = {
+        {config_.donor_failure_prob, FaultKind::kDonorFailure, 1},
+        {config_.zswap_corruption_prob, FaultKind::kZswapCorruption,
+         config_.corruption_batch},
+        {config_.remote_degrade_prob, FaultKind::kRemoteDegrade, 1},
+        {config_.nvm_latency_spike_prob, FaultKind::kNvmLatencySpike, 1},
+        {config_.nvm_media_error_prob, FaultKind::kNvmMediaErrors,
+         config_.media_error_burst},
+        {config_.nvm_capacity_loss_prob, FaultKind::kNvmCapacityLoss, 1},
+        {config_.agent_crash_prob, FaultKind::kAgentCrash, 1},
+    };
+    for (const Draw &draw : draws) {
+        if (draw.prob <= 0.0)
+            continue;
+        if (!rng_.next_bool(draw.prob))
+            continue;
+        FaultEvent event;
+        event.kind = draw.kind;
+        event.magnitude = draw.magnitude;
+        event.duration = config_.degrade_duration;
+        events.push_back(event);
+        count(event.kind);
+    }
+    return events;
+}
+
+}  // namespace sdfm

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the far-memory control
+ * plane.
+ *
+ * The paper's system earns its production keep by degrading
+ * gracefully -- zswap warmup delays, percentile threshold backoff,
+ * incompressible-page rejection -- but a reproduction can only *test*
+ * those claims if failures are schedulable and reproducible. The
+ * injector produces a per-machine fault schedule from two sources:
+ *
+ *   - explicit events pinned to simulated time (FaultConfig::schedule),
+ *   - per-control-period Bernoulli draws from a dedicated RNG stream
+ *     (the per-kind *_prob knobs).
+ *
+ * The same (config, seed) pair always yields the same schedule; the
+ * applier (Machine) draws fault *targets* -- which donor, which zswap
+ * entry -- from a second independent stream (target_rng()) so that
+ * applying or skipping an event never perturbs the schedule itself.
+ * With enabled == false (the default) the injector is inert and the
+ * simulation is bit-identical to a build without the fault plane.
+ */
+
+#ifndef SDFM_FAULT_FAULT_INJECTOR_H
+#define SDFM_FAULT_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace sdfm {
+
+/** The failure modes the injector can drive. */
+enum class FaultKind : std::uint8_t
+{
+    /** A remote-memory donor machine dies; its pages are lost and
+     *  the owning jobs are killed (Section 2.1's failure-domain
+     *  expansion). */
+    kDonorFailure,
+
+    /** Stored zswap payload(s) are corrupted in the arena; caught by
+     *  the per-entry checksum on promotion. */
+    kZswapCorruption,
+
+    /** The remote tier degrades: reads fail transiently for a while,
+     *  exercising retry-with-backoff and the tier circuit breaker. */
+    kRemoteDegrade,
+
+    /** The NVM device serves reads at a latency multiple for a
+     *  while. */
+    kNvmLatencySpike,
+
+    /** A burst of NVM media errors: the stored copies are unreadable
+     *  and the pages re-fault from backing store. */
+    kNvmMediaErrors,
+
+    /** The NVM device loses part of its capacity; overflow pages
+     *  spill to zswap. */
+    kNvmCapacityLoss,
+
+    /** The node agent crashes and restarts: threshold-controller
+     *  pools are lost and every job re-enters the S-second zswap-off
+     *  warmup. */
+    kAgentCrash,
+};
+
+/** Number of distinct fault kinds (for iteration and tables). */
+inline constexpr std::size_t kNumFaultKinds = 7;
+
+/** Human-readable fault-kind name. */
+const char *fault_kind_name(FaultKind kind);
+
+/** One fault to apply. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kDonorFailure;
+
+    /** Kind-specific count (corrupted entries, media errors, ...). */
+    std::uint32_t magnitude = 1;
+
+    /** Kind-specific duration of the degraded state (degrades and
+     *  latency spikes); 0 means the config default applies. */
+    SimTime duration = 0;
+};
+
+/** A fault pinned to a point in simulated time. */
+struct ScheduledFault
+{
+    SimTime at = 0;
+    FaultEvent event;
+};
+
+/** Fault-plane configuration (part of MachineConfig). */
+struct FaultConfig
+{
+    /** Master switch; false (the default) makes the whole fault
+     *  plane inert and the simulation bit-identical to a build
+     *  without it. */
+    bool enabled = false;
+
+    /** Mixed with the machine seed to derive the injector streams. */
+    std::uint64_t seed = 0xFA17;
+
+    // Per-control-period probabilities of spontaneous faults (0
+    // disables a kind). Drawn in a fixed order each period, so a
+    // given (config, seed) always produces the same schedule.
+    double donor_failure_prob = 0.0;
+    double zswap_corruption_prob = 0.0;
+    double remote_degrade_prob = 0.0;
+    double nvm_latency_spike_prob = 0.0;
+    double nvm_media_error_prob = 0.0;
+    double nvm_capacity_loss_prob = 0.0;
+    double agent_crash_prob = 0.0;
+
+    /** Entries corrupted per kZswapCorruption event. */
+    std::uint32_t corruption_batch = 1;
+
+    /** Degraded-state length for degrades and latency spikes. */
+    SimTime degrade_duration = 10 * kMinute;
+
+    /** Transient read-failure probability while the remote tier is
+     *  degraded. */
+    double remote_read_failure_prob = 0.5;
+
+    /** Read-latency multiplier while the NVM device is degraded. */
+    double nvm_latency_multiplier = 8.0;
+
+    /** Media errors per kNvmMediaErrors event. */
+    std::uint32_t media_error_burst = 4;
+
+    /** Fraction of NVM capacity lost per kNvmCapacityLoss event. */
+    double capacity_loss_frac = 0.10;
+
+    /** Explicit faults pinned to simulated time (sorted internally;
+     *  an event fires in the control period covering its time). */
+    std::vector<ScheduledFault> schedule;
+};
+
+/** Injector counters, by kind and in total. */
+struct FaultStats
+{
+    std::uint64_t injected_total = 0;
+    std::uint64_t donor_failures = 0;
+    std::uint64_t zswap_corruptions = 0;
+    std::uint64_t remote_degrades = 0;
+    std::uint64_t nvm_latency_spikes = 0;
+    std::uint64_t nvm_media_errors = 0;
+    std::uint64_t nvm_capacity_losses = 0;
+    std::uint64_t agent_crashes = 0;
+};
+
+/** One machine's fault injector. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param config Fault plane configuration.
+     * @param seed_mix Per-machine entropy (the machine's seed), mixed
+     *        with config.seed so machines fault independently.
+     */
+    FaultInjector(const FaultConfig &config, std::uint64_t seed_mix);
+
+    bool enabled() const { return config_.enabled; }
+
+    /**
+     * The faults to apply in the control period [begin, end):
+     * scheduled events whose time falls inside the window, then one
+     * Bernoulli draw per configured probabilistic kind. Deterministic
+     * in (config, seed_mix, call sequence).
+     */
+    std::vector<FaultEvent> step(SimTime begin, SimTime end);
+
+    /**
+     * RNG stream for fault *targets* (which donor, which entry).
+     * Separate from the schedule stream so target selection never
+     * changes which faults fire.
+     */
+    Rng &target_rng() { return target_rng_; }
+
+    const FaultConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    void count(FaultKind kind);
+
+    FaultConfig config_;
+    Rng rng_;         ///< schedule draws
+    Rng target_rng_;  ///< victim selection
+    FaultStats stats_;
+    std::size_t next_scheduled_ = 0;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_FAULT_FAULT_INJECTOR_H

@@ -72,7 +72,8 @@ Kreclaimd::record_pass(const ReclaimResult &result, bool direct) const
 
 ReclaimResult
 Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
-                        AgeBucket deep_threshold) const
+                        AgeBucket deep_threshold,
+                        std::uint64_t tier_store_budget) const
 {
     ReclaimResult result;
     AgeBucket threshold = cg.reclaim_threshold();
@@ -109,7 +110,9 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
         // the fast hardware tier when one is configured; deep-cold
         // and overflow pages go to zswap.
         if (tier != nullptr && deep_threshold > threshold &&
-            meta.age < deep_threshold && tier->store(cg, p)) {
+            meta.age < deep_threshold &&
+            result.pages_to_nvm < tier_store_budget &&
+            tier->store(cg, p)) {
             ++result.pages_stored;
             ++result.pages_to_nvm;
             continue;

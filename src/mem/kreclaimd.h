@@ -61,10 +61,16 @@ class Kreclaimd
      * threshold <= age < deep_threshold go to the fast NVM tier
      * (space permitting; incompressible pages are welcome there since
      * no compression is involved), and deeper-cold pages go to zswap.
+     *
+     * @p tier_store_budget caps how many pages this pass may route to
+     * @p tier -- the half-open circuit breaker's trial allowance.
+     * Unlimited by default; 0 routes everything to zswap (an open
+     * breaker). Pages past the budget fall through to the zswap path.
      */
-    ReclaimResult reclaim_cold(Memcg &cg, Zswap &zswap,
-                               FarTier *tier = nullptr,
-                               AgeBucket deep_threshold = 0) const;
+    ReclaimResult reclaim_cold(
+        Memcg &cg, Zswap &zswap, FarTier *tier = nullptr,
+        AgeBucket deep_threshold = 0,
+        std::uint64_t tier_store_budget = ~0ULL) const;
 
     /**
      * Direct reclaim (the reactive path): compress the job's oldest

@@ -37,6 +37,9 @@ struct MemcgStats
     std::uint64_t compressed_bytes_stored = 0;  ///< running sum of payloads
     double decompress_latency_us_sum = 0.0;     ///< for Figure 9b
     double direct_stall_cycles = 0.0;     ///< reactive-path alloc stalls
+    std::uint64_t far_refaults = 0;    ///< corrupted/ECC-failed entries
+                                       ///< re-faulted from backing store
+    double refault_stall_cycles = 0.0; ///< stalls from those re-faults
 
     // Hardware (NVM) far-memory tier counters (future-work two-tier
     // configuration; zero when the tier is disabled).

@@ -1,5 +1,7 @@
 #include "mem/nvm_tier.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace sdfm {
@@ -39,8 +41,19 @@ NvmTier::load(Memcg &cg, PageId p)
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
     cg.note_loaded_from_nvm(p);
-    double latency = params_.read_latency_us *
+    double latency = params_.read_latency_us * latency_multiplier_ *
                      rng_.next_lognormal(0.0, params_.jitter_sigma);
+    if (pending_media_errors_ > 0) {
+        // Device ECC failed on this read: the page re-faults from
+        // backing store instead of aborting -- the data is
+        // regenerable, only the copy on media was damaged.
+        --pending_media_errors_;
+        ++stats_.media_errors;
+        latency += kNvmMediaErrorLatencyUs;
+        ++cg.stats().far_refaults;
+        cg.stats().refault_stall_cycles +=
+            kNvmMediaErrorLatencyUs * 2.6e3;
+    }
     ++stats_.promotions;
     stats_.read_latency_us_sum += latency;
     ++cg.stats().nvm_promotions;
@@ -48,6 +61,20 @@ NvmTier::load(Memcg &cg, PageId p)
     // The read blocks the faulting task (no CPU work, pure stall).
     // Converted at a nominal 2.6 GHz for the IPC proxy.
     cg.stats().nvm_stall_cycles += latency * 2.6e3;
+}
+
+std::uint64_t
+NvmTier::lose_capacity(double frac)
+{
+    SDFM_ASSERT(frac >= 0.0 && frac <= 1.0);
+    std::uint64_t lost = static_cast<std::uint64_t>(
+        static_cast<double>(params_.capacity_pages) * frac);
+    lost = std::min(lost, params_.capacity_pages);
+    params_.capacity_pages -= lost;
+    stats_.capacity_lost_pages += lost;
+    return used_pages_ > params_.capacity_pages
+               ? used_pages_ - params_.capacity_pages
+               : 0;
 }
 
 void

@@ -58,7 +58,19 @@ struct NvmTierStats
     std::uint64_t promotions = 0;
     std::uint64_t rejected_full = 0;  ///< store attempts with no space
     double read_latency_us_sum = 0.0;
+
+    // Fault-plane counters (zero while the device is healthy).
+    std::uint64_t media_errors = 0;        ///< reads hitting bad media
+    std::uint64_t capacity_lost_pages = 0; ///< slots retired by faults
 };
+
+/**
+ * Extra latency charged when an NVM read hits a media error and the
+ * page must be recovered from backing store (device-level ECC failed;
+ * the data is regenerable, so the read degrades instead of killing
+ * the job).
+ */
+inline constexpr double kNvmMediaErrorLatencyUs = 100.0;
 
 /** Per-machine NVM far-memory tier. */
 class NvmTier : public FarTier
@@ -95,11 +107,39 @@ class NvmTier : public FarTier
     const NvmTierParams &params() const { return params_; }
     const NvmTierStats &stats() const { return stats_; }
 
+    // -- fault plane -----------------------------------------------
+
+    /**
+     * Degrade (or restore) read latency by a multiplicative factor --
+     * a thermally-throttled or wear-levelling device. 1.0 is healthy
+     * and leaves trajectories bit-identical.
+     */
+    void set_latency_multiplier(double m) { latency_multiplier_ = m; }
+    double latency_multiplier() const { return latency_multiplier_; }
+
+    /**
+     * Queue @p n media errors: the next @p n promotions fail ECC and
+     * re-fault from backing store at kNvmMediaErrorLatencyUs extra.
+     */
+    void inject_media_errors(std::uint32_t n)
+    {
+        pending_media_errors_ += n;
+    }
+
+    /**
+     * Retire a fraction of the device's capacity (media wear-out).
+     * Returns how many stored pages no longer fit; the caller must
+     * spill that many (Machine::spill_tier_overflow).
+     */
+    std::uint64_t lose_capacity(double frac);
+
   private:
     NvmTierParams params_;
     NvmTierStats stats_;
     std::uint64_t used_pages_ = 0;
     Rng rng_;
+    double latency_multiplier_ = 1.0;
+    std::uint32_t pending_media_errors_ = 0;
 };
 
 }  // namespace sdfm

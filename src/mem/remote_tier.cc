@@ -66,6 +66,27 @@ RemoteTier::load(Memcg &cg, PageId p)
 
     double latency = params_.read_latency_us *
                      rng_.next_lognormal(0.0, params_.jitter_sigma);
+    if (transient_read_failure_prob_ > 0.0) {
+        // Degraded network path: each attempt fails independently and
+        // a failed attempt pays exponential backoff plus another
+        // round-trip. After max_read_retries the read is counted
+        // exhausted (the tier circuit breaker's trip signal) but the
+        // promotion still completes -- the step loop never aborts.
+        std::uint32_t failures = 0;
+        while (rng_.next_bool(transient_read_failure_prob_)) {
+            ++stats_.read_failures;
+            if (failures == params_.max_read_retries) {
+                ++stats_.reads_exhausted;
+                break;
+            }
+            ++failures;
+            ++stats_.read_retries;
+            latency += params_.retry_backoff_base_us *
+                           static_cast<double>(1ULL << (failures - 1)) +
+                       params_.read_latency_us *
+                           rng_.next_lognormal(0.0, params_.jitter_sigma);
+        }
+    }
     ++stats_.promotions;
     stats_.read_latency_us_sum += latency;
     ++cg.stats().nvm_promotions;

@@ -44,6 +44,15 @@ struct RemoteTierParams
 
     /** CPU cycles to encrypt or decrypt one page (AES-ish). */
     double crypto_cycles_per_page = 6000.0;
+
+    /**
+     * Bounded retries for a promotion read when the network path is
+     * degraded (set_transient_read_failure > 0). Each attempt past
+     * the first pays retry_backoff_base_us * 2^(attempt-1) on top of
+     * the usual network latency -- exponential backoff.
+     */
+    std::uint32_t max_read_retries = 3;
+    double retry_backoff_base_us = 50.0;
 };
 
 /** Remote-tier counters. */
@@ -56,6 +65,11 @@ struct RemoteTierStats
     std::uint64_t pages_lost = 0;  ///< pages on failed donors
     double read_latency_us_sum = 0.0;
     double crypto_cycles = 0.0;
+
+    // Degraded-path counters (all zero while the tier is healthy).
+    std::uint64_t read_failures = 0;   ///< individual failed attempts
+    std::uint64_t read_retries = 0;    ///< attempts past the first
+    std::uint64_t reads_exhausted = 0; ///< all retries failed
 };
 
 /** The remote-memory tier for one machine. */
@@ -92,6 +106,21 @@ class RemoteTier : public FarTier
     /** Pages currently hosted by a donor. */
     std::uint64_t donor_pages(std::uint32_t donor) const;
 
+    /**
+     * Fault plane: probability that one promotion read attempt fails
+     * (network degradation). While positive, load() runs a bounded
+     * retry loop with exponential backoff; 0 restores the healthy
+     * fast path (no extra RNG draws, bit-identical trajectories).
+     */
+    void set_transient_read_failure(double prob)
+    {
+        transient_read_failure_prob_ = prob;
+    }
+    double transient_read_failure() const
+    {
+        return transient_read_failure_prob_;
+    }
+
     const RemoteTierParams &params() const { return params_; }
     const RemoteTierStats &stats() const { return stats_; }
 
@@ -111,6 +140,7 @@ class RemoteTier : public FarTier
     std::uint32_t next_donor_ = 0;  ///< round-robin placement
     std::unordered_map<std::uint64_t, Placement> placements_;
     Rng rng_;
+    double transient_read_failure_prob_ = 0.0;
 };
 
 }  // namespace sdfm

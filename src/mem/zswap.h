@@ -14,6 +14,7 @@
 #define SDFM_MEM_ZSWAP_H
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "compression/compressor.h"
 #include "mem/memcg.h"
@@ -30,9 +31,19 @@ struct ZswapStats
     std::uint64_t rejects = 0;
     std::uint64_t promotions = 0;
     std::uint64_t verified_roundtrips = 0;  ///< verify mode only
+    std::uint64_t poisoned_entries = 0;     ///< checksum-detected corruption
+    std::uint64_t corruptions_injected = 0; ///< fault-plane injections
     double compress_cycles = 0.0;
     double decompress_cycles = 0.0;
 };
+
+/**
+ * Latency charged when a promotion finds a poisoned (corrupted)
+ * entry and the page must be re-faulted from backing store instead
+ * of decompressed -- an SSD-swap-class stall, an order of magnitude
+ * above a decompression.
+ */
+inline constexpr double kZswapRefaultLatencyUs = 80.0;
 
 /** Per-machine zswap instance. */
 class Zswap
@@ -72,8 +83,20 @@ class Zswap
      * in zswap. Charges decompression cycles and samples a latency
      * for the distribution figures. Pages stay decompressed until
      * they become cold again.
+     *
+     * Every entry carries a checksum taken at store time; a mismatch
+     * on promotion (a corrupted payload) is not fatal: the entry is
+     * counted as poisoned, the page re-faults from backing store at
+     * kZswapRefaultLatencyUs, and the caller proceeds as if promoted.
      */
     void load(Memcg &cg, PageId p);
+
+    /**
+     * Fault plane: corrupt one randomly chosen stored entry (its
+     * checksum is flipped, which is how payload damage manifests to
+     * the promotion path). Returns false when nothing is stored.
+     */
+    bool corrupt_entry(Rng &rng);
 
     /**
      * Drop a stored page without decompressing (job teardown or data
@@ -113,17 +136,24 @@ class Zswap
     /** Refresh the arena-level gauges after a store/load/compact. */
     void update_arena_metrics();
 
+    /** Checksum over what an entry should decompress to. */
+    static std::uint64_t entry_checksum(std::uint64_t content_seed,
+                                        std::uint32_t payload_size);
+
     Compressor *compressor_;
     ZsmallocArena arena_;
     ZswapStats stats_;
     Rng rng_;
     bool verify_roundtrip_;
+    /** Per-entry integrity checksums, keyed by live arena handle. */
+    std::unordered_map<ZsHandle, std::uint64_t> checksums_;
 
     // Cached registry metrics (null when unbound).
     Counter *m_stores_ = nullptr;
     Counter *m_rejects_ = nullptr;
     Counter *m_incompressible_marks_ = nullptr;
     Counter *m_promotions_ = nullptr;
+    Counter *m_poisoned_ = nullptr;
     Gauge *m_arena_bytes_ = nullptr;
     Gauge *m_stored_pages_ = nullptr;
     Histogram *m_payload_bytes_ = nullptr;

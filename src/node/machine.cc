@@ -14,7 +14,13 @@ Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
                                   CostModel(config.cost_model))),
       kstaled_(config.kstaled), kreclaimd_(config.kreclaimd),
       agent_(NodeAgentConfig{config.slo, config.policy,
-                             config.static_threshold})
+                             config.static_threshold,
+                             config.slo_breaker_enabled,
+                             config.slo_breaker}),
+      // The injector mixes the machine seed internally rather than
+      // drawing from rng_, so enabling faults never shifts the
+      // simulation's other random streams.
+      fault_(config.fault, seed), tier_breaker_(config.tier_breaker)
 {
     zswap_ = std::make_unique<Zswap>(compressor_.get(), rng_.next_u64(),
                                      config_.verify_zswap_roundtrip);
@@ -100,6 +106,12 @@ Machine::step(SimTime now)
 
     SimTime period_end = now + config_.control_period;
 
+    // 1b. Fault plane: apply this step's injected events (donor
+    // failures, payload corruption, tier degradation, agent crashes)
+    // and expire elapsed degradation windows. A no-op when fault
+    // injection is disabled.
+    apply_faults(now, period_end, &result);
+
     // 2. kstaled scan when due (striped; the phase rotates so every
     // page is visited once per scan_stride periods).
     if (period_end - last_scan_ >= kScanPeriod) {
@@ -118,11 +130,20 @@ Machine::step(SimTime now)
                        static_cast<double>(kMinute));
 
     // 4. Proactive reclaim (two-tier routing when NVM is present).
+    // The tier circuit breaker gates the second-tier route: open
+    // sends everything to zswap, half-open grants a machine-wide
+    // trial budget that trickles stores back onto the tier.
     if (config_.policy == FarMemoryPolicy::kProactive ||
         config_.policy == FarMemoryPolicy::kStatic) {
+        FarTier *route = tier_.get();
+        std::uint64_t tier_budget = ~0ULL;
+        if (config_.tier_breaker_enabled && tier_ != nullptr) {
+            route = tier_breaker_.allow() ? tier_.get() : nullptr;
+            tier_budget = tier_breaker_.trial_budget();
+        }
         for (auto &job : jobs_) {
             AgeBucket deep = 0;
-            if (tier_) {
+            if (route != nullptr) {
                 double t = static_cast<double>(
                     job->memcg().reclaim_threshold());
                 double d = t * config_.nvm_deep_threshold_factor;
@@ -130,8 +151,11 @@ Machine::step(SimTime now)
                                  : static_cast<AgeBucket>(d);
             }
             ReclaimResult reclaim = kreclaimd_.reclaim_cold(
-                job->memcg(), *zswap_, tier_.get(), deep);
+                job->memcg(), *zswap_, route, deep, tier_budget);
             counters_.kreclaimd_cycles += reclaim.walk_cycles;
+            tier_budget -=
+                std::min<std::uint64_t>(tier_budget,
+                                        reclaim.pages_to_nvm);
         }
     }
 
@@ -145,17 +169,17 @@ Machine::step(SimTime now)
                           static_cast<double>(kHour);
             if (rng_.next_bool(prob)) {
                 ++result.donor_failures;
-                for (JobId victim : remote->fail_random_donor()) {
-                    remove_job(victim);
-                    result.evicted.push_back(victim);
-                    ++counters_.evictions;
-                }
+                kill_victims(remote->fail_random_donor(), &result);
             }
         }
     }
 
     // 5. Memory pressure.
     handle_pressure(&result);
+
+    // 5b. Fault plane roll-up: feed tier health into the circuit
+    // breaker and push per-step fault counter deltas.
+    update_fault_plane(&result);
 
     // 6. Telemetry. Steps 4-5 may have evicted jobs, so the memcg
     // list from step 3 can hold dangling pointers -- rebuild it.
@@ -246,6 +270,201 @@ Machine::handle_pressure(MachineStepResult *result)
         result->evicted.push_back(id);
         ++counters_.evictions;
         metrics_->counter("machine.evictions").inc();
+    }
+}
+
+void
+Machine::kill_victims(const std::vector<JobId> &victims,
+                      MachineStepResult *result)
+{
+    for (JobId victim : victims) {
+        remove_job(victim);
+        result->evicted.push_back(victim);
+        ++counters_.evictions;
+    }
+}
+
+std::vector<JobId>
+Machine::fail_donor(std::uint32_t donor)
+{
+    RemoteTier *remote = remote_tier();
+    if (remote == nullptr)
+        return {};
+    std::vector<JobId> victims = remote->fail_donor(donor);
+    for (JobId victim : victims) {
+        remove_job(victim);
+        ++counters_.evictions;
+    }
+    return victims;
+}
+
+void
+Machine::crash_agent(SimTime now)
+{
+    std::vector<Memcg *> cgs = memcgs();
+    agent_.crash_restart(now, cgs);
+}
+
+std::uint64_t
+Machine::spill_tier_overflow(std::uint64_t overflow)
+{
+    std::uint64_t spilled = 0;
+    for (auto &job : jobs_) {
+        if (overflow == 0)
+            break;
+        Memcg &cg = job->memcg();
+        for (PageId p : cg.nvm_page_ids()) {
+            if (overflow == 0)
+                break;
+            tier_->drop(cg, p);
+            --overflow;
+            const PageMeta &meta = cg.page(p);
+            // Re-home in zswap where possible; pages zswap cannot
+            // take (incompressible, mlocked) stay resident and the
+            // pressure path deals with any resulting OOM.
+            if (!meta.test(kPageIncompressible) &&
+                !meta.test(kPageUnevictable) &&
+                zswap_->store(cg, p) == Zswap::StoreResult::kStored) {
+                ++spilled;
+            }
+        }
+    }
+    return spilled;
+}
+
+void
+Machine::apply_faults(SimTime now, SimTime period_end,
+                      MachineStepResult *result)
+{
+    // Expire elapsed degradation windows first so a fresh event can
+    // re-arm them below.
+    if (remote_degraded_until_ != 0 && now >= remote_degraded_until_) {
+        if (RemoteTier *remote = remote_tier())
+            remote->set_transient_read_failure(0.0);
+        remote_degraded_until_ = 0;
+    }
+    if (nvm_degraded_until_ != 0 && now >= nvm_degraded_until_) {
+        if (NvmTier *nvm = hw_tier())
+            nvm->set_latency_multiplier(1.0);
+        nvm_degraded_until_ = 0;
+    }
+
+    if (!fault_.enabled())
+        return;
+    std::vector<FaultEvent> events = fault_.step(now, period_end);
+    if (events.empty())
+        return;
+    result->faults_injected += events.size();
+    metrics_->counter("fault.injected").inc(events.size());
+
+    for (const FaultEvent &event : events) {
+        switch (event.kind) {
+          case FaultKind::kDonorFailure: {
+            RemoteTier *remote = remote_tier();
+            if (remote == nullptr)
+                break;
+            std::uint32_t donor = static_cast<std::uint32_t>(
+                fault_.target_rng().next_below(
+                    remote->params().num_donors));
+            ++result->donor_failures;
+            metrics_->counter("fault.donor_failures").inc();
+            std::size_t before = result->evicted.size();
+            kill_victims(remote->fail_donor(donor), result);
+            metrics_->counter("fault.jobs_killed")
+                .inc(result->evicted.size() - before);
+            break;
+          }
+          case FaultKind::kZswapCorruption: {
+            std::uint64_t corrupted = 0;
+            for (std::uint32_t i = 0; i < event.magnitude; ++i) {
+                if (zswap_->corrupt_entry(fault_.target_rng()))
+                    ++corrupted;
+            }
+            metrics_->counter("fault.corruptions").inc(corrupted);
+            break;
+          }
+          case FaultKind::kRemoteDegrade: {
+            if (RemoteTier *remote = remote_tier()) {
+                remote->set_transient_read_failure(
+                    config_.fault.remote_read_failure_prob);
+                remote_degraded_until_ = period_end + event.duration;
+            }
+            break;
+          }
+          case FaultKind::kNvmLatencySpike: {
+            if (NvmTier *nvm = hw_tier()) {
+                nvm->set_latency_multiplier(
+                    config_.fault.nvm_latency_multiplier);
+                nvm_degraded_until_ = period_end + event.duration;
+            }
+            break;
+          }
+          case FaultKind::kNvmMediaErrors: {
+            if (NvmTier *nvm = hw_tier())
+                nvm->inject_media_errors(event.magnitude);
+            break;
+          }
+          case FaultKind::kNvmCapacityLoss: {
+            if (NvmTier *nvm = hw_tier()) {
+                std::uint64_t cap_before = nvm->capacity_pages();
+                std::uint64_t overflow = nvm->lose_capacity(
+                    config_.fault.capacity_loss_frac);
+                metrics_->counter("fault.nvm_capacity_lost_pages")
+                    .inc(cap_before - nvm->capacity_pages());
+                std::uint64_t spilled = spill_tier_overflow(overflow);
+                metrics_->counter("fault.nvm_spillover_pages")
+                    .inc(spilled);
+            }
+            break;
+          }
+          case FaultKind::kAgentCrash: {
+            crash_agent(now);
+            break;
+          }
+        }
+    }
+}
+
+void
+Machine::update_fault_plane(MachineStepResult *result)
+{
+    (void)result;
+    std::uint64_t fail_delta = 0;
+    if (RemoteTier *remote = remote_tier()) {
+        const RemoteTierStats &s = remote->stats();
+        fail_delta += s.read_failures - seen_read_failures_;
+        if (s.read_retries != seen_read_retries_) {
+            metrics_->counter("fault.remote_read_retries")
+                .inc(s.read_retries - seen_read_retries_);
+        }
+        if (s.reads_exhausted != seen_reads_exhausted_) {
+            metrics_->counter("fault.remote_reads_exhausted")
+                .inc(s.reads_exhausted - seen_reads_exhausted_);
+        }
+        seen_read_failures_ = s.read_failures;
+        seen_read_retries_ = s.read_retries;
+        seen_reads_exhausted_ = s.reads_exhausted;
+    }
+    if (NvmTier *nvm = hw_tier()) {
+        const NvmTierStats &s = nvm->stats();
+        fail_delta += s.media_errors - seen_media_errors_;
+        if (s.media_errors != seen_media_errors_) {
+            metrics_->counter("fault.nvm_media_errors")
+                .inc(s.media_errors - seen_media_errors_);
+        }
+        seen_media_errors_ = s.media_errors;
+    }
+    if (config_.tier_breaker_enabled && tier_ != nullptr) {
+        if (fail_delta > 0) {
+            if (tier_breaker_.record_failure())
+                metrics_->counter("fault.tier_breaker_opens").inc();
+        } else {
+            tier_breaker_.record_success();
+        }
+        tier_breaker_.tick();
+        metrics_->gauge("fault.tier_breaker_state")
+            .set(static_cast<double>(
+                static_cast<std::uint8_t>(tier_breaker_.state())));
     }
 }
 

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "compression/compressor.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
 #include "mem/kreclaimd.h"
 #include "mem/kstaled.h"
 #include "mem/nvm_tier.h"
@@ -96,6 +98,25 @@ struct MachineConfig
      * threshold).
      */
     double nvm_deep_threshold_factor = 4.0;
+
+    // -- fault plane (all off by default; the default configuration
+    // -- leaves simulation trajectories bit-identical) ---------------
+
+    /** Seeded fault-injection schedule for this machine. */
+    FaultConfig fault;
+
+    /**
+     * Per-machine circuit breaker over the second tier: consecutive
+     * steps with failed tier reads open the breaker and kreclaimd
+     * routes demotions to zswap instead; half-open probes trickle
+     * tier stores back in with exponential hold-offs.
+     */
+    bool tier_breaker_enabled = false;
+    CircuitBreakerParams tier_breaker;
+
+    /** Per-job SLO circuit breaker (forwarded to the node agent). */
+    bool slo_breaker_enabled = false;
+    CircuitBreakerParams slo_breaker;
 };
 
 /** Machine-level cumulative counters. */
@@ -117,6 +138,7 @@ struct MachineStepResult
     std::vector<JobId> evicted;  ///< jobs killed this step (OOM or
                                  ///< remote-tier data loss)
     std::uint64_t donor_failures = 0;
+    std::uint64_t faults_injected = 0;  ///< fault events applied
 };
 
 /** One machine. */
@@ -189,9 +211,31 @@ class Machine
     {
         return dynamic_cast<RemoteTier *>(tier_.get());
     }
+    NvmTier *hw_tier() { return dynamic_cast<NvmTier *>(tier_.get()); }
     NodeAgent &agent() { return agent_; }
     const MachineCounters &counters() const { return counters_; }
     const MachineConfig &config() const { return config_; }
+
+    // -- fault plane -------------------------------------------------
+
+    const FaultInjector &fault_injector() const { return fault_; }
+    const CircuitBreaker &tier_breaker() const { return tier_breaker_; }
+
+    /**
+     * Fail one specific remote-tier donor right now: its pages are
+     * lost and the owning jobs are killed (the caller reschedules
+     * them -- see Cluster::inject_donor_failure). No-op returning an
+     * empty list when no remote tier is configured.
+     */
+    std::vector<JobId> fail_donor(std::uint32_t donor);
+
+    /**
+     * Crash-and-restart the node agent right now: all controller
+     * state is lost and every job re-enters the S-second zswap-off
+     * warmup. For tests and targeted chaos runs; scheduled crashes go
+     * through the fault injector.
+     */
+    void crash_agent(SimTime now);
 
     /**
      * The machine's metric registry. Every daemon and agent on the
@@ -207,6 +251,24 @@ class Machine
   private:
     void handle_pressure(MachineStepResult *result);
     std::vector<Memcg *> memcgs();
+
+    /** Apply this step's injected fault events (and expire old ones). */
+    void apply_faults(SimTime now, SimTime period_end,
+                      MachineStepResult *result);
+
+    /** Remove victim jobs of a donor failure; updates @p result. */
+    void kill_victims(const std::vector<JobId> &victims,
+                      MachineStepResult *result);
+
+    /**
+     * Move up to @p overflow pages out of the second tier (capacity
+     * loss) into zswap; pages zswap cannot take stay resident.
+     * Returns pages actually re-homed in zswap.
+     */
+    std::uint64_t spill_tier_overflow(std::uint64_t overflow);
+
+    /** Feed tier health into the breaker and push fault.* metrics. */
+    void update_fault_plane(MachineStepResult *result);
 
     std::uint32_t machine_id_;
     MachineConfig config_;
@@ -227,6 +289,18 @@ class Machine
     std::uint32_t scan_phase_ = 0;
     SimTime last_telemetry_ = 0;
     std::uint64_t steps_ = 0;
+
+    // -- fault plane -------------------------------------------------
+    FaultInjector fault_;
+    CircuitBreaker tier_breaker_;
+    SimTime remote_degraded_until_ = 0;  ///< 0 = healthy
+    SimTime nvm_degraded_until_ = 0;     ///< 0 = healthy
+    // Last-seen tier fault counters, for per-step metric deltas and
+    // the breaker's failure signal.
+    std::uint64_t seen_read_failures_ = 0;
+    std::uint64_t seen_read_retries_ = 0;
+    std::uint64_t seen_reads_exhausted_ = 0;
+    std::uint64_t seen_media_errors_ = 0;
 };
 
 }  // namespace sdfm

@@ -15,6 +15,8 @@ NodeAgent::bind_metrics(MetricRegistry *registry)
     if (registry == nullptr) {
         m_control_rounds_ = nullptr;
         m_slo_violations_ = nullptr;
+        m_restarts_ = nullptr;
+        m_slo_breaker_trips_ = nullptr;
         m_jobs_ = nullptr;
         m_threshold_sum_ = nullptr;
         m_promo_rate_ = nullptr;
@@ -22,6 +24,8 @@ NodeAgent::bind_metrics(MetricRegistry *registry)
     }
     m_control_rounds_ = &registry->counter("agent.control_rounds");
     m_slo_violations_ = &registry->counter("agent.slo_violations");
+    m_restarts_ = &registry->counter("agent.restarts");
+    m_slo_breaker_trips_ = &registry->counter("agent.slo_breaker_trips");
     m_jobs_ = &registry->gauge("agent.jobs");
     m_threshold_sum_ = &registry->gauge("agent.threshold_sum");
     // Realized promotion rate as a fraction of WSS per minute; the
@@ -32,15 +36,44 @@ NodeAgent::bind_metrics(MetricRegistry *registry)
         {0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.02, 0.1, 1.0});
 }
 
+NodeAgent::JobState
+NodeAgent::make_state(const Memcg &cg, SimTime job_start) const
+{
+    // Snapshots seed from the job's current kernel-side state: zero
+    // for a fresh job, the live histograms after an agent restart
+    // (the kernel keeps counting while the agent is down, and a
+    // restarted agent must not interpret that backlog as one
+    // period's delta).
+    return JobState{ThresholdController(config_.slo, job_start,
+                                        registry_),
+                    cg.promo_hist(), cg.promo_hist(), cg.stats(),
+                    cg.stats().zswap_promotions,
+                    CircuitBreaker(config_.slo_breaker)};
+}
+
 void
 NodeAgent::register_job(const Memcg &cg)
 {
-    auto [it, inserted] = jobs_.emplace(
-        cg.id(),
-        JobState{ThresholdController(config_.slo, cg.start_time(),
-                                     registry_),
-                 AgeHistogram{}, AgeHistogram{}, MemcgStats{}, 0});
+    auto [it, inserted] =
+        jobs_.emplace(cg.id(), make_state(cg, cg.start_time()));
     SDFM_ASSERT(inserted);
+}
+
+void
+NodeAgent::crash_restart(SimTime now, std::vector<Memcg *> &jobs)
+{
+    ++stats_.restarts;
+    if (m_restarts_ != nullptr)
+        m_restarts_->inc();
+    jobs_.clear();
+    for (Memcg *cg : jobs) {
+        jobs_.emplace(cg->id(), make_state(*cg, now));
+        // The restarted agent starts conservative: reclaim off until
+        // its controllers re-enter steady state after the S-second
+        // warmup, exactly as for a newly started job.
+        cg->set_reclaim_threshold(0);
+        cg->set_zswap_enabled(false);
+    }
 }
 
 void
@@ -69,18 +102,38 @@ NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
         // Realized promotion-rate SLI for the period just ended (the
         // would-be rate drives the controller; this is what the job
         // actually experienced, the quantity the SLO is stated over).
-        if (m_promo_rate_ != nullptr) {
-            std::uint64_t promos = cg->stats().zswap_promotions;
-            std::uint64_t delta = promos - state.control_promotions;
-            state.control_promotions = promos;
-            std::uint64_t wss = cg->wss_pages();
-            if (wss > 0) {
-                double rate = static_cast<double>(delta) /
-                              static_cast<double>(wss) / period_minutes;
+        std::uint64_t promos = cg->stats().zswap_promotions;
+        std::uint64_t delta_promos = promos - state.control_promotions;
+        state.control_promotions = promos;
+        std::uint64_t wss = cg->wss_pages();
+        bool breached = false;
+        if (wss > 0) {
+            double rate = static_cast<double>(delta_promos) /
+                          static_cast<double>(wss) / period_minutes;
+            breached = rate > config_.slo.target_promotion_rate;
+            if (m_promo_rate_ != nullptr) {
                 m_promo_rate_->observe(rate);
-                if (rate > config_.slo.target_promotion_rate)
+                if (breached)
                     m_slo_violations_->inc();
             }
+        }
+
+        // Per-job SLO circuit breaker: N consecutive breached periods
+        // disable zswap outright; the half-open probe re-enables it
+        // with exponentially longer hold-offs on repeat offenses.
+        bool slo_forced_off = false;
+        if (config_.slo_breaker_enabled) {
+            if (breached) {
+                if (state.slo_breaker.record_failure()) {
+                    ++stats_.slo_breaker_trips;
+                    if (m_slo_breaker_trips_ != nullptr)
+                        m_slo_breaker_trips_->inc();
+                }
+            } else {
+                state.slo_breaker.record_success();
+            }
+            state.slo_breaker.tick();
+            slo_forced_off = !state.slo_breaker.allow();
         }
 
         AgeBucket threshold = 0;
@@ -95,7 +148,11 @@ NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
             break;
           }
           case FarMemoryPolicy::kStatic:
-            threshold = (now - cg->start_time() >= config_.slo.enable_delay)
+            // The delay window is keyed off the controller's start,
+            // not the memcg's, so an agent crash_restart re-enters
+            // the warmup for static jobs too.
+            threshold = (now - state.controller.job_start() >=
+                         config_.slo.enable_delay)
                             ? config_.static_threshold
                             : 0;
             break;
@@ -104,6 +161,8 @@ NodeAgent::control(SimTime now, std::vector<Memcg *> &jobs,
             threshold = 0;  // no proactive reclaim
             break;
         }
+        if (slo_forced_off)
+            threshold = 0;  // breaker open: job opted out of zswap
         cg->set_reclaim_threshold(threshold);
         cg->set_zswap_enabled(threshold > 0);
         // Soft limit: protect the working set from direct reclaim.

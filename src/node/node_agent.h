@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/circuit_breaker.h"
 #include "mem/memcg.h"
 #include "node/policy.h"
 #include "node/slo.h"
@@ -31,6 +32,23 @@ struct NodeAgentConfig
 
     /** Threshold bucket used by the kStatic policy. */
     AgeBucket static_threshold = 4;
+
+    /**
+     * Per-job SLO circuit breaker: after slo_breaker.failure_threshold
+     * consecutive control periods above the promotion-rate SLO, zswap
+     * is disabled for the job (threshold forced to 0) and re-enabled
+     * via the breaker's half-open probe with exponential hold-offs.
+     * Off by default (the controller alone matches the paper).
+     */
+    bool slo_breaker_enabled = false;
+    CircuitBreakerParams slo_breaker;
+};
+
+/** Node-agent fault/recovery counters. */
+struct NodeAgentStats
+{
+    std::uint64_t restarts = 0;           ///< crash_restart() calls
+    std::uint64_t slo_breaker_trips = 0;  ///< per-job breakers opened
 };
 
 /** One machine's node agent. */
@@ -64,6 +82,20 @@ class NodeAgent
                           TraceLog *sink);
 
     const NodeAgentConfig &config() const { return config_; }
+    const NodeAgentStats &stats() const { return stats_; }
+
+    /**
+     * Fault plane: the agent process crashed and restarted. All
+     * per-job controller state (threshold-observation pools, breaker
+     * state, histogram snapshots) is lost; every job is re-registered
+     * as if it had just started at @p now, so it re-enters the
+     * S-second zswap-off warmup (SloConfig.enable_delay) before
+     * reclaim resumes -- the conservative restart the paper's agent
+     * performs. Kernel-side state (histograms, memcg counters, pages
+     * already in far memory) survives, so snapshots are re-seeded
+     * from the current kernel values rather than zero.
+     */
+    void crash_restart(SimTime now, std::vector<Memcg *> &jobs);
 
     /** Mutate tunables (autotuner deployment path). */
     void set_slo(const SloConfig &slo);
@@ -84,17 +116,24 @@ class NodeAgent
         MemcgStats sli_snapshot;          ///< counters at last export
         std::uint64_t control_promotions = 0;  ///< realized promos at
                                                ///< last control
+        CircuitBreaker slo_breaker;  ///< per-job SLO breaker
     };
 
     JobState &state_of(const Memcg &cg);
 
+    /** Build a fresh JobState with snapshots seeded from @p cg. */
+    JobState make_state(const Memcg &cg, SimTime job_start) const;
+
     NodeAgentConfig config_;
+    NodeAgentStats stats_;
     std::unordered_map<JobId, JobState> jobs_;
 
     MetricRegistry *registry_ = nullptr;
     // Cached registry metrics (null when unbound).
     Counter *m_control_rounds_ = nullptr;
     Counter *m_slo_violations_ = nullptr;
+    Counter *m_restarts_ = nullptr;
+    Counter *m_slo_breaker_trips_ = nullptr;
     Gauge *m_jobs_ = nullptr;
     Gauge *m_threshold_sum_ = nullptr;
     Histogram *m_promo_rate_ = nullptr;

@@ -61,6 +61,10 @@ class ThresholdController
     /** The threshold chosen by the last update (0 = disabled). */
     AgeBucket current_threshold() const { return current_; }
 
+    /** Start of the S-second delay window (job start, or the agent's
+     *  restart time after a crash -- see NodeAgent::crash_restart). */
+    SimTime job_start() const { return job_start_; }
+
     /**
      * Swap in new tunables (autotuner deployment). The pool of past
      * observations and the job start time are preserved.

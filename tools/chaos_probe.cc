@@ -1,0 +1,131 @@
+// Probe: run a short fleet under a canned fault schedule and print
+// the recovery telemetry table.
+//
+// This is the fault plane's end-to-end smoke test: donor failures,
+// zswap corruption, remote-tier degradation windows, and node-agent
+// crashes all fire from one seeded injector while the step loop keeps
+// running; the table at the end is the FleetFaultReport (every row is
+// also a counter in metrics_dump frames). With every probability at
+// zero the table is all zeros and the run is bit-identical to a
+// fault-free fleet.
+//
+// Usage: chaos_probe [--minutes N] [--clusters N] [--seed S]
+//                    [--donor-fph F] [--corrupt P] [--degrade P]
+//                    [--agent-crash P]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/far_memory_system.h"
+#include "util/table.h"
+
+using namespace sdfm;
+
+int
+main(int argc, char **argv)
+{
+    SimTime minutes = 60;
+    std::uint32_t num_clusters = 2;
+    std::uint64_t seed = 1;
+    double donor_fph = 6.0;     // donor failures per machine-hour
+    double corrupt_prob = 0.2;  // zswap corruption events per step
+    double degrade_prob = 0.05; // remote degradation windows per step
+    double crash_prob = 0.01;   // agent crashes per step
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+            minutes = std::atoll(argv[++i]);
+        } else if (std::strcmp(argv[i], "--clusters") == 0 &&
+                   i + 1 < argc) {
+            num_clusters =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--donor-fph") == 0 &&
+                   i + 1 < argc) {
+            donor_fph = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--corrupt") == 0 &&
+                   i + 1 < argc) {
+            corrupt_prob = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--degrade") == 0 &&
+                   i + 1 < argc) {
+            degrade_prob = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--agent-crash") == 0 &&
+                   i + 1 < argc) {
+            crash_prob = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--minutes N] [--clusters N] "
+                         "[--seed S] [--donor-fph F] [--corrupt P] "
+                         "[--degrade P] [--agent-crash P]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    // Small fleet with the remote tier enabled so donor failures and
+    // tier degradation have something to break; the tier and SLO
+    // breakers are on so the degradation machinery (not just the
+    // injector) is exercised.
+    FleetConfig config;
+    config.seed = seed;
+    config.num_clusters = num_clusters;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.num_machines = 4;
+    config.cluster.machine.dram_pages = 16 * 1024;
+    config.cluster.machine.remote.capacity_pages = 1ull << 20;
+    config.cluster.machine.tier_breaker_enabled = true;
+    config.cluster.machine.slo_breaker_enabled = true;
+
+    FaultConfig &fault = config.cluster.machine.fault;
+    fault.enabled = true;
+    fault.donor_failure_prob = donor_fph / 60.0;  // per control period
+    fault.zswap_corruption_prob = corrupt_prob;
+    fault.corruption_batch = 4;
+    fault.remote_degrade_prob = degrade_prob;
+    fault.agent_crash_prob = crash_prob;
+
+    FarMemorySystem system(config);
+    system.populate();
+    std::uint64_t jobs_at_start = system.num_jobs();
+    system.run(minutes * kMinute);
+
+    FleetFaultReport report = system.fault_report();
+    TablePrinter table({"fault/recovery counter", "value"});
+    table.add_row({"faults injected", fmt_int(
+        static_cast<long long>(report.faults_injected))});
+    table.add_row({"donor failures", fmt_int(
+        static_cast<long long>(report.donor_failures))});
+    table.add_row({"jobs killed", fmt_int(
+        static_cast<long long>(report.jobs_killed))});
+    table.add_row({"zswap corruptions", fmt_int(
+        static_cast<long long>(report.corruptions))});
+    table.add_row({"poisoned entries re-faulted", fmt_int(
+        static_cast<long long>(report.poisoned_entries))});
+    table.add_row({"remote read retries", fmt_int(
+        static_cast<long long>(report.remote_read_retries))});
+    table.add_row({"remote reads exhausted", fmt_int(
+        static_cast<long long>(report.remote_reads_exhausted))});
+    table.add_row({"tier breaker opens", fmt_int(
+        static_cast<long long>(report.tier_breaker_opens))});
+    table.add_row({"nvm media errors", fmt_int(
+        static_cast<long long>(report.nvm_media_errors))});
+    table.add_row({"nvm capacity lost (pages)", fmt_int(
+        static_cast<long long>(report.nvm_capacity_lost_pages))});
+    table.add_row({"nvm spillover to zswap (pages)", fmt_int(
+        static_cast<long long>(report.nvm_spillover_pages))});
+    table.add_row({"agent restarts", fmt_int(
+        static_cast<long long>(report.agent_restarts))});
+    table.add_row({"slo breaker trips", fmt_int(
+        static_cast<long long>(report.slo_breaker_trips))});
+    table.print(std::cout);
+
+    std::printf("\njobs start=%llu end=%llu  coverage=%s  "
+                "(%lld min, seed %llu)\n",
+                static_cast<unsigned long long>(jobs_at_start),
+                static_cast<unsigned long long>(system.num_jobs()),
+                fmt_percent(system.fleet_coverage()).c_str(),
+                static_cast<long long>(minutes),
+                static_cast<unsigned long long>(seed));
+    return 0;
+}
