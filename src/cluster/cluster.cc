@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/digest.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace sdfm {
@@ -248,6 +250,29 @@ Cluster::deploy_slo(const SloConfig &slo)
 {
     for (auto &machine : machines_)
         machine->agent().set_slo(slo);
+}
+
+void
+Cluster::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    for (const auto &machine : machines_)
+        machine->check_invariants();
+}
+
+std::uint64_t
+Cluster::state_digest() const
+{
+    StateDigest d;
+    d.mix(cluster_id_);
+    d.mix(next_job_id_);
+    d.mix(num_jobs());
+    d.mix(machines_.size());
+    for (const auto &machine : machines_)
+        d.mix(machine->state_digest());
+    d.mix(trace_log_.entries().size());
+    return d.value();
 }
 
 }  // namespace sdfm

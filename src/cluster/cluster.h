@@ -149,6 +149,20 @@ class Cluster
                                             std::uint32_t machine_index,
                                             std::uint32_t donor);
 
+    /**
+     * Whole-cluster consistency check (SDFM_INVARIANT tier): every
+     * machine reconciles (Machine::check_invariants). A no-op unless
+     * the build defines SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+    /**
+     * Order-sensitive digest over every machine's trajectory state
+     * plus the scheduler's. The serial-vs-parallel determinism test
+     * asserts these agree step for step.
+     */
+    std::uint64_t state_digest() const;
+
   private:
     /** Place a job on a machine with capacity; null if none fits. */
     Machine *pick_machine(std::uint64_t pages);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/digest.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -27,7 +29,7 @@ FarMemorySystem::FarMemorySystem(const FleetConfig &config)
     // trace log; job ids are namespaced by cluster), so stepping
     // them concurrently is deterministic and race-free. One worker
     // per cluster, capped at the hardware parallelism.
-    if (config_.num_clusters > 1) {
+    if (config_.num_clusters > 1 && !config_.serial_step) {
         pool_ = std::make_unique<ThreadPool>(
             std::min<std::size_t>(config_.num_clusters,
                                   std::thread::hardware_concurrency()));
@@ -186,6 +188,26 @@ FarMemorySystem::deploy_slo(const SloConfig &slo)
 {
     for (auto &cluster : clusters_)
         cluster->deploy_slo(slo);
+}
+
+void
+FarMemorySystem::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    for (const auto &cluster : clusters_)
+        cluster->check_invariants();
+}
+
+std::uint64_t
+FarMemorySystem::state_digest() const
+{
+    StateDigest d;
+    d.mix(static_cast<std::uint64_t>(now_));
+    d.mix(clusters_.size());
+    for (const auto &cluster : clusters_)
+        d.mix(cluster->state_digest());
+    return d.value();
 }
 
 }  // namespace sdfm

@@ -50,6 +50,15 @@ struct FleetConfig
     SimTime start_time = 8 * kHour;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Debug mode: step clusters serially on the calling thread
+     * instead of fanning out over the thread pool. Trajectories are
+     * identical either way -- clusters share no mutable state -- and
+     * the determinism tests assert exactly that by comparing
+     * state_digest() between a serial and a parallel fleet.
+     */
+    bool serial_step = false;
 };
 
 /** Fleet-level step aggregate. */
@@ -154,6 +163,21 @@ class FarMemorySystem
     }
 
     const FleetConfig &config() const { return config_; }
+
+    /**
+     * Whole-fleet consistency check (SDFM_INVARIANT tier): every
+     * cluster, machine, cgroup and arena reconciles. A no-op unless
+     * the build defines SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+    /**
+     * Order-sensitive digest of the fleet's trajectory state. Two
+     * fleets built from the same FleetConfig -- including one stepped
+     * serially and one in parallel -- must agree on it after every
+     * step.
+     */
+    std::uint64_t state_digest() const;
 
   private:
     FleetConfig config_;

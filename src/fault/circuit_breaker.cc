@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace sdfm {
@@ -33,6 +34,8 @@ CircuitBreaker::CircuitBreaker(const CircuitBreakerParams &params)
 void
 CircuitBreaker::trip()
 {
+    SDFM_INVARIANT(state_ != BreakerState::kOpen,
+                   "an open breaker cannot re-trip");
     state_ = BreakerState::kOpen;
     open_remaining_ = current_open_periods_;
     consecutive_failures_ = 0;
@@ -57,6 +60,7 @@ CircuitBreaker::record_success()
       case BreakerState::kOpen:
         break;  // no traffic should flow while open; ignore
     }
+    check_invariants();
 }
 
 bool
@@ -66,8 +70,10 @@ CircuitBreaker::record_failure()
       case BreakerState::kClosed:
         if (++consecutive_failures_ >= params_.failure_threshold) {
             trip();
+            check_invariants();
             return true;
         }
+        check_invariants();
         return false;
       case BreakerState::kHalfOpen: {
         // The probe failed: reopen and grow the hold-off.
@@ -78,6 +84,7 @@ CircuitBreaker::record_failure()
             static_cast<std::uint64_t>(std::min(grown, cap));
         trip();
         ++stats_.reopens;
+        check_invariants();
         return true;
       }
       case BreakerState::kOpen:
@@ -94,6 +101,34 @@ CircuitBreaker::tick()
     SDFM_ASSERT(open_remaining_ > 0);
     if (--open_remaining_ == 0)
         state_ = BreakerState::kHalfOpen;
+    check_invariants();
+}
+
+void
+CircuitBreaker::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    // The only legal states of the countdown: running iff open.
+    SDFM_INVARIANT((state_ == BreakerState::kOpen) ==
+                       (open_remaining_ > 0),
+                   "hold-off countdown runs exactly while open");
+    SDFM_INVARIANT(open_remaining_ <= current_open_periods_,
+                   "countdown never exceeds the current hold-off");
+    std::uint64_t cap = std::max(params_.open_periods,
+                                 params_.max_open_periods);
+    SDFM_INVARIANT(current_open_periods_ >= params_.open_periods &&
+                       current_open_periods_ <= cap,
+                   "backoff stays within [open_periods, cap]");
+    SDFM_INVARIANT(consecutive_failures_ < params_.failure_threshold,
+                   "reaching the failure threshold always trips");
+    SDFM_INVARIANT(state_ == BreakerState::kClosed ||
+                       consecutive_failures_ == 0,
+                   "the failure streak only accumulates while closed");
+    SDFM_INVARIANT(stats_.reopens <= stats_.opens,
+                   "reopens are a subset of opens");
+    SDFM_INVARIANT(stats_.closes <= stats_.opens,
+                   "every recovery follows a trip");
 }
 
 std::uint64_t

@@ -107,6 +107,28 @@ class CircuitBreaker
     const CircuitBreakerParams &params() const { return params_; }
     const CircuitBreakerStats &stats() const { return stats_; }
 
+    /**
+     * State-machine consistency check (SDFM_INVARIANT tier): the
+     * hold-off countdown runs iff the breaker is open, the backoff
+     * stays within [open_periods, max(open_periods, max_open_periods)],
+     * and the failure counter never reaches the trip threshold without
+     * tripping. A no-op unless the build defines
+     * SDFM_CHECK_INVARIANTS. Every transition method ends with this
+     * check, so an illegal transition is caught at its source.
+     */
+    void check_invariants() const;
+
+#ifdef SDFM_CHECK_INVARIANTS
+    /** Test-only: force an illegal state so the invariant tests can
+     *  prove check_invariants() trips. */
+    void
+    debug_force_state(BreakerState state)
+    {
+        state_ = state;
+        check_invariants();
+    }
+#endif
+
   private:
     void trip();
 

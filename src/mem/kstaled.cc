@@ -1,5 +1,7 @@
 #include "mem/kstaled.h"
 
+#include "util/invariant.h"
+
 namespace sdfm {
 
 Kstaled::Kstaled(const KstaledParams &params) : params_(params)
@@ -110,6 +112,13 @@ Kstaled::scan(Memcg &cg, std::uint32_t phase) const
         }
         cold.add(meta.age);
     }
+    SDFM_INVARIANT(result.accessed_pages <= result.pages_scanned,
+                   "accessed pages are a subset of scanned pages");
+    // Ages are 8-bit and saturate at 255, so the rebuilt cold-age
+    // histogram must cover the whole address space, no page escaping
+    // past the last bucket.
+    SDFM_INVARIANT(cold.total() == n,
+                   "post-scan cold-age histogram covers every page");
     result.cpu_cycles =
         params_.cycles_per_page * static_cast<double>(result.pages_scanned);
     if (m_scans_ != nullptr) {

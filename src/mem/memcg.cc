@@ -1,7 +1,11 @@
 #include "mem/memcg.h"
 
+#include <algorithm>
+
 #include "mem/far_tier.h"
 #include "mem/zswap.h"
+#include "util/digest.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace sdfm {
@@ -111,8 +115,12 @@ Memcg::zswap_page_ids() const
 {
     std::vector<PageId> ids;
     ids.reserve(zswap_handles_.size());
+    // sdfm-lint: allow(unordered-iter) -- ids are sorted before they
+    // are returned, so teardown (drop_all) order is deterministic
+    // regardless of hash-map iteration order.
     for (const auto &[p, h] : zswap_handles_)
         ids.push_back(p);
+    std::sort(ids.begin(), ids.end());
     return ids;
 }
 
@@ -158,6 +166,104 @@ Memcg::note_loaded_from_nvm(PageId p)
     SDFM_ASSERT(nvm_pages_ > 0);
     --nvm_pages_;
     ++resident_pages_;
+}
+
+void
+Memcg::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+
+    std::uint64_t in_zswap = 0;
+    std::uint64_t in_nvm = 0;
+    for (PageId p = 0; p < num_pages(); ++p) {
+        const PageMeta &meta = pages_[p];
+        if (meta.test(kPageInZswap)) {
+            ++in_zswap;
+            SDFM_INVARIANT(!meta.test(kPageInNvm),
+                           "a page lives in at most one far tier");
+            SDFM_INVARIANT(!meta.test(kPageUnevictable),
+                           "unevictable pages never reach far memory");
+            SDFM_INVARIANT(!meta.test(kPageIncompressible),
+                           "incompressible-marked pages are never "
+                           "stored in zswap");
+            SDFM_INVARIANT(zswap_handle(p) != 0,
+                           "every zswap-resident page has a handle");
+        } else {
+            SDFM_INVARIANT(zswap_handle(p) == 0,
+                           "only zswap-resident pages carry handles");
+            if (meta.test(kPageInNvm)) {
+                ++in_nvm;
+                SDFM_INVARIANT(!meta.test(kPageUnevictable),
+                               "unevictable pages never reach far "
+                               "memory");
+            }
+        }
+        if (region_huge_.size() > region_of(p) &&
+            region_huge_[region_of(p)]) {
+            SDFM_INVARIANT(!meta.test(kPageInZswap) &&
+                               !meta.test(kPageInNvm),
+                           "huge-mapped pages stay resident until the "
+                           "region is split");
+        }
+    }
+    SDFM_INVARIANT(in_zswap == zswap_pages_,
+                   "zswap residency counter matches page flags");
+    SDFM_INVARIANT(in_nvm == nvm_pages_,
+                   "NVM residency counter matches page flags");
+    SDFM_INVARIANT(resident_pages_ + zswap_pages_ + nvm_pages_ ==
+                       num_pages(),
+                   "every page is resident or in exactly one far tier");
+    SDFM_INVARIANT(zswap_handles_.size() == zswap_pages_,
+                   "handle map holds exactly the zswap-resident pages");
+
+    std::uint64_t huge = 0;
+    for (bool h : region_huge_)
+        huge += h ? 1 : 0;
+    SDFM_INVARIANT(huge == huge_count_,
+                   "huge-region counter matches the region bitmap");
+
+    // The cold-age histogram always covers the whole address space:
+    // the constructor seeds bucket 0 with every page and each kstaled
+    // scan rebuilds it from all page ages.
+    SDFM_INVARIANT(cold_hist_.total() == num_pages(),
+                   "cold-age histogram covers every page");
+}
+
+std::uint64_t
+Memcg::state_digest() const
+{
+    StateDigest d;
+    d.mix(id_);
+    d.mix(content_seed_);
+    d.mix(static_cast<std::uint64_t>(start_time_));
+    d.mix(resident_pages_);
+    d.mix(zswap_pages_);
+    d.mix(nvm_pages_);
+    d.mix(reclaim_threshold_);
+    d.mix(static_cast<std::uint64_t>(zswap_enabled_) << 2 |
+          static_cast<std::uint64_t>(best_effort_) << 1 |
+          static_cast<std::uint64_t>(huge_count_ > 0));
+    d.mix(soft_limit_pages_);
+    d.mix(huge_count_);
+    for (const PageMeta &meta : pages_) {
+        d.mix(static_cast<std::uint64_t>(meta.age) << 32 |
+              static_cast<std::uint64_t>(meta.flags) << 24 |
+              static_cast<std::uint64_t>(meta.version) << 8 |
+              static_cast<std::uint64_t>(meta.content));
+    }
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        d.mix(cold_hist_.at(static_cast<AgeBucket>(b)));
+        d.mix(promo_hist_.at(static_cast<AgeBucket>(b)));
+    }
+    d.mix(stats_.zswap_stores);
+    d.mix(stats_.zswap_rejects);
+    d.mix(stats_.zswap_promotions);
+    d.mix(stats_.compressed_bytes_stored);
+    d.mix(stats_.far_refaults);
+    d.mix(stats_.nvm_stores);
+    d.mix(stats_.nvm_promotions);
+    return d.value();
 }
 
 std::vector<PageId>

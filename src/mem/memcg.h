@@ -249,6 +249,23 @@ class Memcg
     MemcgStats &stats() { return stats_; }
     const MemcgStats &stats() const { return stats_; }
 
+    /**
+     * Whole-cgroup consistency check (SDFM_INVARIANT tier): residency
+     * counters vs per-page flags, zswap-handle bookkeeping, cold-age
+     * histogram coverage, huge-region accounting, and the
+     * incompressible-mark contract. A no-op unless the build defines
+     * SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+    /**
+     * Order-sensitive digest over every trajectory-relevant field:
+     * page metadata, residency counters, histograms, and the
+     * agent-controlled knobs. Serial and parallel stepping of the
+     * same fleet must agree on it (see tests/invariant_test.cc).
+     */
+    std::uint64_t state_digest() const;
+
   private:
     /** Out-of-line slow path of touch(): promote from zswap/NVM. */
     bool touch_far(PageId p, bool is_write, Zswap &zswap, FarTier *tier);

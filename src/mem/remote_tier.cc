@@ -121,12 +121,16 @@ RemoteTier::fail_donor(std::uint32_t donor)
     ++stats_.donor_failures;
     std::set<JobId> affected;
     std::vector<std::uint64_t> lost_keys;
+    // sdfm-lint: allow(unordered-iter) -- lost_keys is sorted below
+    // and `affected` is an ordered set, so iteration order of the
+    // placement map cannot leak into the failure trajectory.
     for (const auto &[k, placement] : placements_) {
         if (placement.donor != donor)
             continue;
         lost_keys.push_back(k);
         affected.insert(placement.cg->id());
     }
+    std::sort(lost_keys.begin(), lost_keys.end());
     for (std::uint64_t k : lost_keys) {
         Placement placement = placements_[k];
         placements_.erase(k);
@@ -151,6 +155,8 @@ std::uint64_t
 RemoteTier::donor_pages(std::uint32_t donor) const
 {
     std::uint64_t count = 0;
+    // sdfm-lint: allow(unordered-iter) -- pure count; the result is
+    // independent of iteration order.
     for (const auto &[k, placement] : placements_) {
         if (placement.donor == donor)
             ++count;

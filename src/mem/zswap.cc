@@ -1,10 +1,11 @@
 #include "mem/zswap.h"
 
+#include <algorithm>
 #include <cstring>
-#include <iterator>
 #include <vector>
 
 #include "compression/szo.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -214,12 +215,33 @@ Zswap::corrupt_entry(Rng &rng)
 {
     if (checksums_.empty())
         return false;
-    std::uint64_t skip = rng.next_below(checksums_.size());
-    auto it = checksums_.begin();
-    std::advance(it, static_cast<std::ptrdiff_t>(skip));
-    it->second ^= 0xDEADBEEFCAFEF00DULL;
+    // Pick the victim from a *sorted* handle list: selecting by
+    // position in the unordered map would make the corrupted entry --
+    // and with it the whole fault trajectory -- depend on hash-table
+    // iteration order, which varies across standard libraries.
+    std::vector<ZsHandle> handles;
+    handles.reserve(checksums_.size());
+    // sdfm-lint: allow(unordered-iter) -- keys are sorted before use,
+    // so the iteration order cannot leak into the trajectory.
+    for (const auto &[handle, checksum] : checksums_)
+        handles.push_back(handle);
+    std::sort(handles.begin(), handles.end());
+    ZsHandle victim = handles[rng.next_below(handles.size())];
+    checksums_[victim] ^= 0xDEADBEEFCAFEF00DULL;
     ++stats_.corruptions_injected;
     return true;
+}
+
+void
+Zswap::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    arena_.check_invariants();
+    SDFM_INVARIANT(checksums_.size() == arena_.live_objects(),
+                   "every live arena entry has one integrity checksum");
+    SDFM_INVARIANT(stats_.stores >= stats_.promotions,
+                   "promotions never exceed stores");
 }
 
 void

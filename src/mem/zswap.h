@@ -132,6 +132,19 @@ class Zswap
     const ZswapStats &stats() const { return stats_; }
     Compressor &compressor() { return *compressor_; }
 
+    /**
+     * Whole-store consistency check (SDFM_INVARIANT tier): every live
+     * arena object has exactly one integrity checksum, and the arena's
+     * own accounting reconciles (ZsmallocArena::check_invariants). A
+     * no-op unless the build defines SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+#ifdef SDFM_CHECK_INVARIANTS
+    /** Test-only: non-const arena access for accounting corruption. */
+    ZsmallocArena &debug_arena() { return arena_; }
+#endif
+
   private:
     /** Refresh the arena-level gauges after a store/load/compact. */
     void update_arena_metrics();

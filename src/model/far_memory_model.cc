@@ -12,6 +12,9 @@ namespace {
 /** Per-job replay accumulator. */
 struct JobOutcome
 {
+    // sdfm-lint: allow(float-accounting) -- statistical accumulator
+    // for a mean, not exact bookkeeping; per-window captures are
+    // already fractional after the warmup blend.
     double captured_pages_sum = 0.0;
     double captured_fraction_sum = 0.0;
     double promotions_sum = 0.0;  ///< would-be promotions, enabled windows

@@ -34,6 +34,8 @@ struct ModelResult
      * Mean pages captured in far memory per window, summed over jobs
      * (the objective to maximize).
      */
+    // sdfm-lint: allow(float-accounting) -- a mean over windows is
+    // inherently fractional; this is model output, not accounting.
     double mean_captured_pages = 0.0;
 
     /**

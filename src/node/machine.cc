@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/digest.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace sdfm {
@@ -203,7 +205,73 @@ Machine::step(SimTime now)
     metrics_->gauge("machine.far_memory_pages")
         .set(static_cast<double>(far_memory_pages()));
 
+    check_invariants();
     return result;
+}
+
+void
+Machine::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+
+    std::uint64_t zswap_pages = 0;
+    std::uint64_t nvm_pages = 0;
+    for (const auto &job : jobs_) {
+        const Memcg &cg = job->memcg();
+        cg.check_invariants();
+        zswap_pages += cg.zswap_pages();
+        nvm_pages += cg.nvm_pages();
+    }
+    zswap_->check_invariants();
+    SDFM_INVARIANT(zswap_pages == zswap_->stored_pages(),
+                   "per-job zswap residency sums to the store's count");
+    if (tier_ != nullptr) {
+        SDFM_INVARIANT(nvm_pages == tier_->used_pages(),
+                       "per-job tier residency sums to tier occupancy");
+    } else {
+        SDFM_INVARIANT(nvm_pages == 0,
+                       "no tier-resident pages without a second tier");
+    }
+    // handle_pressure() evicts until the machine fits (or is empty),
+    // so a completed step always leaves the capacity respected.
+    SDFM_INVARIANT(jobs_.empty() ||
+                       used_pages() <= config_.dram_pages,
+                   "post-step DRAM usage within capacity");
+}
+
+std::uint64_t
+Machine::state_digest() const
+{
+    StateDigest d;
+    d.mix(machine_id_);
+    d.mix(steps_);
+    d.mix(static_cast<std::uint64_t>(last_scan_));
+    d.mix(scan_phase_);
+    d.mix(static_cast<std::uint64_t>(last_telemetry_));
+    d.mix(jobs_.size());
+    for (const auto &job : jobs_)
+        d.mix(job->memcg().state_digest());
+    const ZsmallocStats &arena = zswap_->arena().stats();
+    d.mix(arena.live_objects);
+    d.mix(arena.stored_bytes);
+    d.mix(arena.pool_bytes);
+    d.mix(arena.total_allocs);
+    d.mix(arena.total_frees);
+    d.mix(zswap_->stats().stores);
+    d.mix(zswap_->stats().rejects);
+    d.mix(zswap_->stats().promotions);
+    d.mix(zswap_->stats().poisoned_entries);
+    d.mix(tier_ != nullptr ? tier_->used_pages() : 0);
+    d.mix(static_cast<std::uint64_t>(
+        static_cast<std::uint8_t>(tier_breaker_.state())));
+    d.mix(counters_.accesses);
+    d.mix(counters_.promotions);
+    d.mix(counters_.direct_reclaims);
+    d.mix(counters_.evictions);
+    d.mix_double(counters_.kstaled_cycles);
+    d.mix_double(counters_.kreclaimd_cycles);
+    return d.value();
 }
 
 void

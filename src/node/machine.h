@@ -248,6 +248,25 @@ class Machine
     /** Telemetry sink; null disables export. */
     void set_trace_sink(TraceLog *sink) { trace_sink_ = sink; }
 
+    /**
+     * Whole-machine consistency check (SDFM_INVARIANT tier): every
+     * job's cgroup reconciles (Memcg::check_invariants), the zswap
+     * store and its arena reconcile, and the cross-structure sums
+     * agree -- per-job zswap/NVM residency vs the store and tier
+     * counters, and DRAM capacity after pressure handling. Called at
+     * the end of every step(); a no-op unless the build defines
+     * SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+    /**
+     * Order-sensitive digest over the machine's trajectory state: all
+     * job cgroups (in placement order), the zswap arena accounting,
+     * tier occupancy, breaker state, and the step counters. Serial
+     * and parallel fleet stepping must agree on it.
+     */
+    std::uint64_t state_digest() const;
+
   private:
     void handle_pressure(MachineStepResult *result);
     std::vector<Memcg *> memcgs();

@@ -222,6 +222,9 @@ NodeAgent::set_slo(const SloConfig &slo)
     config_.slo = slo;
     // Controllers keep their observation pools; only the tunables
     // change (staged autotuner deployment, Section 5.3).
+    // sdfm-lint: allow(unordered-iter) -- every controller receives
+    // the same SloConfig and controllers do not interact, so the
+    // visit order cannot affect any state.
     for (auto &[id, state] : jobs_)
         state.controller.set_slo(slo);
 }

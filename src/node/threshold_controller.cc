@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/invariant.h"
 #include "util/logging.h"
 
 namespace sdfm {
@@ -93,6 +94,7 @@ ThresholdController::update(SimTime now, const AgeHistogram &promo_delta,
         current_ = 0;
         if (m_threshold_ != nullptr)
             m_threshold_->observe(0.0);
+        check_invariants();
         return current_;
     }
 
@@ -101,7 +103,26 @@ ThresholdController::update(SimTime now, const AgeHistogram &promo_delta,
     current_ = std::max(pool_percentile(), best);
     if (m_threshold_ != nullptr)
         m_threshold_->observe(static_cast<double>(current_));
+    check_invariants();
     return current_;
+}
+
+void
+ThresholdController::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    SDFM_INVARIANT(pool_.size() <= slo_.history_window,
+                   "observation pool bounded by the sliding window");
+    SDFM_INVARIANT(slo_.percentile_k >= 0.0 &&
+                       slo_.percentile_k <= 100.0,
+                   "K is a percentile");
+    SDFM_INVARIANT(slo_.target_promotion_rate >= 0.0,
+                   "promotion-rate SLO is non-negative");
+    // current_ == 0 means "zswap disabled"; any enabled threshold
+    // must have come from the pool, which only holds values >= 1.
+    SDFM_INVARIANT(current_ == 0 || !pool_.empty(),
+                   "an enabled threshold implies observations");
 }
 
 }  // namespace sdfm

@@ -81,6 +81,25 @@ class ThresholdController
                                     double target_rate,
                                     double period_minutes);
 
+    /**
+     * Controller consistency check (SDFM_INVARIANT tier): the
+     * observation pool respects the sliding window bound and the
+     * percentile tunable is a valid percentile. A no-op unless the
+     * build defines SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+#ifdef SDFM_CHECK_INVARIANTS
+    /** Test-only: overfill the pool past the window bound so the
+     *  invariant tests can prove check_invariants() trips. */
+    void
+    debug_overfill_pool(std::size_t extra)
+    {
+        for (std::size_t i = 0; i < extra; ++i)
+            pool_.push_back(0);
+    }
+#endif
+
   private:
     AgeBucket pool_percentile() const;
 

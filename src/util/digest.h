@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A small FNV-1a-style state digest for determinism checks.
+ *
+ * Machine, Cluster and FarMemorySystem fold their trajectory state
+ * (page metadata, residency counters, histograms, controller state)
+ * into one 64-bit value. Two runs -- or a serial and a parallel
+ * stepping of the same fleet -- must produce identical digests; the
+ * determinism tests assert exactly that. The digest is order
+ * sensitive by design: state is always folded in a deterministic
+ * (index) order, so any divergence shows up.
+ */
+
+#ifndef SDFM_UTIL_DIGEST_H
+#define SDFM_UTIL_DIGEST_H
+
+#include <bit>
+#include <cstdint>
+
+namespace sdfm {
+
+/** Accumulates 64-bit words into an order-sensitive digest. */
+class StateDigest
+{
+  public:
+    /** Fold one word into the digest (FNV-1a over its 8 bytes). */
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (i * 8)) & 0xFFU;
+            h_ *= 0x100000001B3ULL;
+        }
+    }
+
+    /** Fold a double by bit pattern (exact, not approximate). */
+    void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_UTIL_DIGEST_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compile-time-gated invariant checks.
+ *
+ * SDFM_ASSERT (util/logging.h) guards cheap, always-on checks on the
+ * hot path. SDFM_INVARIANT is the expensive tier: whole-structure
+ * consistency checks (recomputing an arena's byte accounting from its
+ * entries, recounting page flags against residency counters) that are
+ * compiled out unless the build enables -DSDFM_CHECK_INVARIANTS=1
+ * (CMake option SDFM_CHECK_INVARIANTS). The debug CI leg runs the
+ * full suite with the checks on; release builds pay nothing.
+ *
+ * Every accounting-heavy class exposes a check_invariants() routine
+ * built from these macros; callers may invoke it unconditionally --
+ * it early-returns when the build has checks disabled.
+ */
+
+#ifndef SDFM_UTIL_INVARIANT_H
+#define SDFM_UTIL_INVARIANT_H
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+/** True when this build enforces SDFM_INVARIANT checks. */
+#ifdef SDFM_CHECK_INVARIANTS
+inline constexpr bool kInvariantsEnabled = true;
+#else
+inline constexpr bool kInvariantsEnabled = false;
+#endif
+
+namespace detail {
+
+[[noreturn]] void invariant_fail(const char *expr, const char *msg,
+                                 const char *file, int line);
+
+}  // namespace detail
+
+}  // namespace sdfm
+
+/**
+ * Check an invariant with a human-readable description. Aborts via
+ * panic() on violation; compiles to nothing (the condition is
+ * type-checked but never evaluated) when SDFM_CHECK_INVARIANTS is
+ * not defined.
+ */
+#ifdef SDFM_CHECK_INVARIANTS
+#define SDFM_INVARIANT(expr, msg)                                          \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::sdfm::detail::invariant_fail(#expr, msg, __FILE__,           \
+                                           __LINE__);                      \
+        }                                                                  \
+    } while (0)
+#else
+#define SDFM_INVARIANT(expr, msg)                                          \
+    do {                                                                   \
+        if (false) {                                                       \
+            static_cast<void>(expr);                                       \
+            static_cast<void>(msg);                                        \
+        }                                                                  \
+    } while (0)
+#endif
+
+#endif  // SDFM_UTIL_INVARIANT_H

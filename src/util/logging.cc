@@ -1,13 +1,18 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "util/invariant.h"
 
 namespace sdfm {
 
 namespace {
 
-bool g_quiet = false;
+/** Atomic: warn()/inform() run on pool workers while tests flip the
+ *  flag from the main thread (TSan-clean by construction). */
+std::atomic<bool> g_quiet{false};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
@@ -42,7 +47,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_quiet)
+    if (g_quiet.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -53,7 +58,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_quiet)
+    if (g_quiet.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -64,7 +69,7 @@ inform(const char *fmt, ...)
 void
 set_log_quiet(bool quiet)
 {
-    g_quiet = quiet;
+    g_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -73,6 +78,13 @@ void
 assert_fail(const char *expr, const char *file, int line)
 {
     panic("assertion failed: %s (%s:%d)", expr, file, line);
+}
+
+void
+invariant_fail(const char *expr, const char *msg, const char *file,
+               int line)
+{
+    panic("invariant violated: %s -- %s (%s:%d)", msg, expr, file, line);
 }
 
 }  // namespace detail

@@ -46,6 +46,7 @@ std::string fmt_double(double value, int digits = 2);
 std::string fmt_percent(double fraction, int digits = 1);
 
 /** Format a byte count with a binary-unit suffix (KiB/MiB/GiB). */
+// sdfm-lint: allow(float-accounting) -- display formatting only.
 std::string fmt_bytes(double bytes);
 
 /** Format an integer count. */

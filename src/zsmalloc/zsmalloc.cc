@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/invariant.h"
 #include "util/units.h"
 #include "util/logging.h"
 
@@ -253,6 +254,80 @@ ZsmallocArena::compact()
         }
     }
     return released;
+}
+
+void
+ZsmallocArena::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+
+    // Recompute the aggregate stats from the entry table.
+    std::uint64_t live = 0;
+    std::uint64_t stored = 0;
+    std::vector<std::uint64_t> class_live(classes_.size(), 0);
+    for (std::uint64_t slot = 1; slot < entries_.size(); ++slot) {
+        const Entry &entry = entries_[slot];
+        if (!entry.live)
+            continue;
+        ++live;
+        stored += entry.size;
+        SDFM_INVARIANT(entry.class_idx < classes_.size(),
+                       "live entry references a valid size class");
+        ++class_live[entry.class_idx];
+        const SizeClass &cls = classes_[entry.class_idx];
+        SDFM_INVARIANT(entry.size <= cls.object_size,
+                       "payload fits its size class");
+        SDFM_INVARIANT(entry.zspage < cls.zspage_occupancy.size(),
+                       "live entry references a valid zspage");
+        SDFM_INVARIANT(cls.zspage_occupancy[entry.zspage] > 0,
+                       "live entry sits in a backed zspage");
+    }
+    SDFM_INVARIANT(live == stats_.live_objects,
+                   "live-object count matches the entry table");
+    SDFM_INVARIANT(stored == stats_.stored_bytes,
+                   "stored-byte accounting matches summed entry sizes");
+    SDFM_INVARIANT(stats_.total_allocs - stats_.total_frees == live,
+                   "alloc/free counters reconcile with live objects");
+
+    // Per-class occupancy vs live objects, and pool-byte accounting:
+    // a zspage is backed by physical pages iff it holds objects.
+    std::uint64_t pool = 0;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        const SizeClass &cls = classes_[c];
+        std::uint64_t occupied = 0;
+        for (std::uint32_t occ : cls.zspage_occupancy) {
+            SDFM_INVARIANT(occ <= cls.objects_per_zspage,
+                           "zspage occupancy within capacity");
+            occupied += occ;
+            if (occ > 0) {
+                pool += static_cast<std::uint64_t>(cls.pages_per_zspage) *
+                        kPageSize;
+            }
+        }
+        SDFM_INVARIANT(occupied == cls.live,
+                       "class live count matches summed occupancy");
+        SDFM_INVARIANT(cls.live == class_live[c],
+                       "class live count matches the entry table");
+        for (std::uint32_t id : cls.free_zspage_slots) {
+            SDFM_INVARIANT(id < cls.zspage_occupancy.size(),
+                           "free zspage slot id in range");
+            SDFM_INVARIANT(cls.zspage_occupancy[id] == 0,
+                           "free zspage slots are empty");
+        }
+    }
+    SDFM_INVARIANT(pool == stats_.pool_bytes,
+                   "pool-byte accounting matches backed zspages");
+
+    // The free list holds exactly the dead entry slots.
+    for (std::uint64_t slot : free_entries_) {
+        SDFM_INVARIANT(slot > 0 && slot < entries_.size(),
+                       "free-list slot in range");
+        SDFM_INVARIANT(!entries_[slot].live,
+                       "free-list slots are dead");
+    }
+    SDFM_INVARIANT(free_entries_.size() + live == entries_.size() - 1,
+                   "every non-reserved slot is either live or free");
 }
 
 double

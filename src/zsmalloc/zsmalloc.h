@@ -97,6 +97,24 @@ class ZsmallocArena
     /** Number of live objects. */
     std::uint64_t live_objects() const { return stats_.live_objects; }
 
+    /**
+     * Whole-arena consistency check (SDFM_INVARIANT tier): recompute
+     * live-object count, stored bytes, per-class occupancy and pool
+     * bytes from the entry table and compare against the running
+     * stats. O(entries); compiled to a no-op unless the build defines
+     * SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants() const;
+
+#ifdef SDFM_CHECK_INVARIANTS
+    /** Test-only: damage the byte accounting so the invariant tests
+     *  can prove check_invariants() actually trips. */
+    void debug_corrupt_stored_bytes(std::uint64_t delta)
+    {
+        stats_.stored_bytes += delta;
+    }
+#endif
+
   private:
     struct SizeClass
     {

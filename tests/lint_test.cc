@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the sdfm_lint rule engine: each rule is exercised with
+ * known-bad fixture snippets (which must produce findings) and
+ * known-good ones (which must not), plus the suppression-comment
+ * semantics and the header/source pair propagation that catches
+ * iteration in foo.cc over an unordered member declared in foo.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_engine.h"
+
+namespace sdfm {
+namespace lint {
+namespace {
+
+/** Lint one in-memory file and return its findings. */
+std::vector<Finding>
+lint_one(const std::string &path, const std::string &content)
+{
+    return lint_sources({Source{path, content}});
+}
+
+/** Count findings for one rule. */
+std::size_t
+count_rule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&](const Finding &f) { return f.rule == rule; }));
+}
+
+// ------------------------------------------------------------ wallclock
+
+TEST(LintWallclockTest, FlagsRandAndChronoClocks)
+{
+    auto findings = lint_one("src/x.cc",
+                             "int f() { return rand(); }\n"
+                             "std::mt19937 gen;\n"
+                             "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_EQ(count_rule(findings, "wallclock"), 3u);
+    EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintWallclockTest, RequiresCallSyntaxForFunctionNames)
+{
+    // `time` as a plain identifier (a variable) is fine; only the
+    // call `time(...)` is banned.
+    auto findings = lint_one("src/x.cc",
+                             "SimTime time = 0;\n"
+                             "SimTime t2 = time (nullptr);\n");
+    EXPECT_EQ(count_rule(findings, "wallclock"), 1u);
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintWallclockTest, ExemptsRngAndSimTime)
+{
+    EXPECT_TRUE(lint_one("src/util/rng.cc",
+                         "std::mt19937 reference_gen;\n")
+                    .empty());
+    EXPECT_TRUE(lint_one("src/util/sim_time.h",
+                         "#pragma once\n"
+                         "// uses steady_clock for doc purposes\n")
+                    .empty());
+}
+
+TEST(LintWallclockTest, IgnoresCommentsAndStrings)
+{
+    auto findings = lint_one("src/x.cc",
+                             "// rand() is banned\n"
+                             "const char *s = \"rand()\";\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------- unordered-iter
+
+TEST(LintUnorderedIterTest, FlagsRangeForOverMember)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_map<int, int> table_;\n"
+        "void f() { for (const auto &[k, v] : table_) use(k); }\n");
+    EXPECT_EQ(count_rule(findings, "unordered-iter"), 1u);
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintUnorderedIterTest, FlagsExplicitIteratorWalk)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> seen_;\n"
+        "auto it = seen_.begin();\n");
+    EXPECT_EQ(count_rule(findings, "unordered-iter"), 1u);
+}
+
+TEST(LintUnorderedIterTest, PropagatesAcrossHeaderSourcePair)
+{
+    // The member is declared in the header; the source iterates it.
+    std::vector<Source> sources = {
+        Source{"src/mem/thing.h",
+               "#pragma once\n"
+               "std::unordered_map<int, int> handles_;\n"},
+        Source{"src/mem/thing.cc",
+               "void f() { for (auto &kv : handles_) use(kv); }\n"},
+    };
+    auto findings = lint_sources(sources);
+    ASSERT_EQ(count_rule(findings, "unordered-iter"), 1u);
+    EXPECT_EQ(findings[0].path, "src/mem/thing.cc");
+}
+
+TEST(LintUnorderedIterTest, OrderedContainersAreFine)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::map<int, int> table_;\n"
+        "void f() { for (const auto &[k, v] : table_) use(k); }\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------- suppression
+
+TEST(LintSuppressionTest, SameLineComment)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> s_;\n"
+        "for (int v : s_) count(v);  "
+        "// sdfm-lint: allow(unordered-iter) -- pure count\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, CommentOnPrecedingLine)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> s_;\n"
+        "// sdfm-lint: allow(unordered-iter) -- pure count\n"
+        "for (int v : s_) count(v);\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, MultiLineJustificationReaches)
+{
+    // The directive sits two comment lines above the statement; the
+    // suppression must reach past its own justification text.
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> s_;\n"
+        "// sdfm-lint: allow(unordered-iter) -- the result of this\n"
+        "// loop is order independent because it only counts\n"
+        "// matching elements.\n"
+        "for (int v : s_) count(v);\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, DoesNotReachPastCode)
+{
+    // A code line between the suppression and the violation breaks
+    // the reach: the suppression covers that code line, not the loop.
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> s_;\n"
+        "// sdfm-lint: allow(unordered-iter)\n"
+        "int unrelated = 0;\n"
+        "for (int v : s_) count(v);\n");
+    EXPECT_EQ(count_rule(findings, "unordered-iter"), 1u);
+}
+
+TEST(LintSuppressionTest, AllowFileCoversWholeFile)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "// sdfm-lint: allow-file(unordered-iter)\n"
+        "std::unordered_set<int> s_;\n"
+        "for (int v : s_) count(v);\n"
+        "for (int v : s_) count(v);\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, OnlyNamedRulesAreSuppressed)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "std::unordered_set<int> s_;\n"
+        "// sdfm-lint: allow(wallclock)\n"
+        "for (int v : s_) count(v);\n");
+    EXPECT_EQ(count_rule(findings, "unordered-iter"), 1u);
+}
+
+// ----------------------------------------------------- float-accounting
+
+TEST(LintFloatAccountingTest, FlagsFloatDeclarationsOfExactQuantities)
+{
+    auto findings = lint_one("src/x.cc",
+                             "double total_bytes = 0.0;\n"
+                             "float page_count = 0;\n"
+                             "double resident_pages = 0.0;\n");
+    // "page_count" ends in _count; the other two contain bytes/pages.
+    EXPECT_EQ(count_rule(findings, "float-accounting"), 3u);
+}
+
+TEST(LintFloatAccountingTest, CastsAndRatiosAreFine)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "double frac = static_cast<double>(pool_bytes()) / total;\n"
+        "double mean_latency_us = 0.0;\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------- header-hygiene
+
+TEST(LintHeaderHygieneTest, RequiresIncludeGuard)
+{
+    auto findings = lint_one("src/x.h", "int f();\n");
+    EXPECT_EQ(count_rule(findings, "header-hygiene"), 1u);
+    EXPECT_TRUE(lint_one("src/y.h",
+                         "#ifndef SDFM_Y_H\n#define SDFM_Y_H\n"
+                         "int f();\n#endif\n")
+                    .empty());
+    EXPECT_TRUE(lint_one("src/z.h", "#pragma once\nint f();\n").empty());
+}
+
+TEST(LintHeaderHygieneTest, FlagsUsingNamespaceInHeader)
+{
+    auto findings = lint_one("src/x.h",
+                             "#pragma once\n"
+                             "using namespace std;\n");
+    EXPECT_EQ(count_rule(findings, "header-hygiene"), 1u);
+    // Sources may use it (they do not leak into includers).
+    EXPECT_TRUE(
+        lint_one("src/x.cc", "using namespace std::chrono_literals;\n")
+            .empty());
+}
+
+// ---------------------------------------------------------- metric-name
+
+TEST(LintMetricNameTest, EnforcesSubsystemSnakeCase)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "registry.counter(\"zswap.stores\").inc();\n"
+        "registry.counter(\"BadName\").inc();\n"
+        "registry->gauge(\"machine.Resident\").set(1.0);\n"
+        "registry.histogram(\"kstaled.scan_cycles\", bounds);\n");
+    EXPECT_EQ(count_rule(findings, "metric-name"), 2u);
+}
+
+TEST(LintMetricNameTest, IgnoresNonMemberCallsAndVariables)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "counter(\"not a metric factory\");\n"   // free function
+        "registry.counter(name).inc();\n");      // not a literal
+    EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------------ machinery
+
+TEST(LintEngineTest, RuleNamesMatchImplementedRules)
+{
+    auto names = rule_names();
+    EXPECT_EQ(names.size(), 5u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "wallclock"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "unordered-iter"),
+              names.end());
+}
+
+TEST(LintEngineTest, FindingsAreSortedAndFormatted)
+{
+    std::vector<Source> sources = {
+        Source{"src/b.cc", "double cold_bytes = 0.0;\n"},
+        Source{"src/a.cc", "int x = rand();\n"},
+    };
+    auto findings = lint_sources(sources);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].path, "src/a.cc");
+    EXPECT_EQ(findings[1].path, "src/b.cc");
+    EXPECT_EQ(to_string(findings[0]).rfind("src/a.cc:1: [wallclock]", 0),
+              0u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace sdfm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * sdfm_lint: the project's determinism/invariant linter, run as a
+ * CTest over src/. See lint_engine.h for the rule set and the
+ * suppression syntax, and docs/ARCHITECTURE.md ("Determinism
+ * contract") for what the rules protect.
+ *
+ * Usage: sdfm_lint [--list-rules] <dir> [<dir>...]
+ *
+ * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_engine.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &rule : sdfm::lint::rule_names())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: sdfm_lint [--list-rules] <dir> "
+                        "[<dir>...]\n");
+            return 0;
+        }
+        roots.push_back(arg);
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr,
+                     "usage: sdfm_lint [--list-rules] <dir> "
+                     "[<dir>...]\n");
+        return 2;
+    }
+
+    bool io_error = false;
+    std::vector<sdfm::lint::Finding> findings;
+    for (const std::string &root : roots) {
+        for (sdfm::lint::Finding &f : sdfm::lint::lint_tree(root)) {
+            if (f.rule == "io-error")
+                io_error = true;
+            findings.push_back(std::move(f));
+        }
+    }
+    for (const sdfm::lint::Finding &f : findings)
+        std::fprintf(stderr, "%s\n", sdfm::lint::to_string(f).c_str());
+    if (io_error)
+        return 2;
+    if (!findings.empty()) {
+        std::fprintf(stderr, "sdfm_lint: %zu finding(s)\n",
+                     findings.size());
+        return 1;
+    }
+    return 0;
+}
