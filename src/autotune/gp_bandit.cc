@@ -133,4 +133,45 @@ GpBandit::best_feasible() const
     return *best;
 }
 
+void
+GpBandit::ckpt_save(Serializer &s) const
+{
+    s.put_rng(rng_);
+    s.put_u64(observations_.size());
+    for (const auto &obs : observations_) {
+        s.put_u64(obs.x.size());
+        for (double v : obs.x)
+            s.put_double(v);
+        s.put_double(obs.objective);
+        s.put_double(obs.constraint);
+    }
+}
+
+bool
+GpBandit::ckpt_load(Deserializer &d)
+{
+    d.get_rng(rng_);
+    std::size_t num = d.get_size(d.remaining() / 24, 24);
+    if (!d.ok())
+        return false;
+    observations_.clear();
+    observations_.reserve(num);
+    for (std::size_t i = 0; i < num; ++i) {
+        BanditObservation obs;
+        std::size_t dims = d.get_size(config_.dims);
+        if (!d.ok() || dims != config_.dims)
+            return false;
+        obs.x.resize(dims);
+        for (std::size_t k = 0; k < dims; ++k) {
+            obs.x[k] = d.get_double();
+            if (obs.x[k] < 0.0 || obs.x[k] > 1.0)
+                return false;
+        }
+        obs.objective = d.get_double();
+        obs.constraint = d.get_double();
+        observations_.push_back(std::move(obs));
+    }
+    return d.ok();
+}
+
 }  // namespace sdfm

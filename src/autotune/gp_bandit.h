@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "autotune/gp.h"
+#include "ckpt/checkpoint.h"
 #include "util/rng.h"
 
 namespace sdfm {
@@ -80,6 +81,16 @@ class GpBandit
     {
         return observations_;
     }
+
+    /**
+     * Checkpointable-shaped snapshot: the candidate RNG and the full
+     * observation history (the GP surrogates are rebuilt from the
+     * observations on every suggest(), so they carry no state of
+     * their own). ckpt_load() rejects observations whose
+     * dimensionality disagrees with the configured search space.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
 
   private:
     double acquisition(const GaussianProcess &objective_gp,

@@ -1,0 +1,359 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sdfm {
+
+namespace {
+
+/** Reflected CRC32 table for polynomial 0xEDB88320 (IEEE 802.3). */
+const std::array<std::uint32_t, 256> &
+crc_table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+const char *
+to_string(CkptStatus status)
+{
+    switch (status) {
+      case CkptStatus::kOk:
+        return "ok";
+      case CkptStatus::kIoError:
+        return "io-error";
+      case CkptStatus::kBadMagic:
+        return "bad-magic";
+      case CkptStatus::kBadVersion:
+        return "bad-version";
+      case CkptStatus::kTruncated:
+        return "truncated";
+      case CkptStatus::kCrcMismatch:
+        return "crc-mismatch";
+      case CkptStatus::kConfigMismatch:
+        return "config-mismatch";
+      case CkptStatus::kCorruptPayload:
+        return "corrupt-payload";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = crc_table()[static_cast<std::size_t>((c ^ data[i]) & 0xffu)] ^
+            (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+// -- Serializer ------------------------------------------------------
+
+void
+Serializer::put_double(double v)
+{
+    put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Serializer::put_string(const std::string &s)
+{
+    put_u64(s.size());
+    for (char ch : s)
+        put_u8(static_cast<std::uint8_t>(ch));
+}
+
+void
+Serializer::put_u64_vec(const std::vector<std::uint64_t> &v)
+{
+    put_u64(v.size());
+    for (std::uint64_t x : v)
+        put_u64(x);
+}
+
+void
+Serializer::put_rng(const Rng &rng)
+{
+    RngState state = rng.state();
+    for (std::uint64_t word : state.s)
+        put_u64(word);
+    put_bool(state.have_gauss);
+    put_double(state.gauss_spare);
+}
+
+void
+Serializer::put_age_histogram(const AgeHistogram &h)
+{
+    std::uint32_t nonzero = 0;
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        if (h.at(static_cast<AgeBucket>(b)) != 0)
+            ++nonzero;
+    }
+    put_u32(nonzero);
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        std::uint64_t count = h.at(static_cast<AgeBucket>(b));
+        if (count == 0)
+            continue;
+        put_u8(static_cast<std::uint8_t>(b));
+        put_u64(count);
+    }
+}
+
+// -- Deserializer ----------------------------------------------------
+
+double
+Deserializer::get_double()
+{
+    return std::bit_cast<double>(get_u64());
+}
+
+std::string
+Deserializer::get_string()
+{
+    std::size_t len = get_size(remaining());
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>(get_u8()));
+    return s;
+}
+
+std::vector<std::uint64_t>
+Deserializer::get_u64_vec()
+{
+    std::size_t n = get_size(remaining() / 8, 8);
+    std::vector<std::uint64_t> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.push_back(get_u64());
+    return v;
+}
+
+void
+Deserializer::get_rng(Rng &rng)
+{
+    RngState state;
+    for (std::uint64_t &word : state.s)
+        word = get_u64();
+    state.have_gauss = get_bool();
+    state.gauss_spare = get_double();
+    if (!ok_)
+        return;
+    // An all-zero xoshiro state in the payload is corruption, not a
+    // legal snapshot; poison the stream instead of asserting.
+    if ((state.s[0] | state.s[1] | state.s[2] | state.s[3]) == 0) {
+        ok_ = false;
+        return;
+    }
+    rng.set_state(state);
+}
+
+void
+Deserializer::get_age_histogram(AgeHistogram &h)
+{
+    std::uint32_t nonzero = get_u32();
+    if (nonzero > kAgeBuckets) {
+        ok_ = false;
+        return;
+    }
+    AgeHistogram restored;
+    for (std::uint32_t i = 0; i < nonzero; ++i) {
+        AgeBucket bucket = get_u8();
+        std::uint64_t count = get_u64();
+        if (count == 0) {
+            ok_ = false;
+            return;
+        }
+        restored.add(bucket, count);
+    }
+    if (ok_)
+        h = restored;
+}
+
+std::size_t
+Deserializer::get_size(std::size_t max_elems, std::size_t min_bytes_per_elem)
+{
+    std::uint64_t n = get_u64();
+    if (!ok_)
+        return 0;
+    if (n > max_elems ||
+        n * min_bytes_per_elem > remaining()) {
+        ok_ = false;
+        return 0;
+    }
+    return static_cast<std::size_t>(n);
+}
+
+// -- CkptWriter ------------------------------------------------------
+
+void
+CkptWriter::add_section(std::string name, std::vector<std::uint8_t> payload)
+{
+    for (const CkptSection &section : sections_)
+        SDFM_ASSERT(section.name != name);
+    sections_.push_back({std::move(name), std::move(payload)});
+}
+
+std::vector<std::uint8_t>
+CkptWriter::encode() const
+{
+    std::vector<const CkptSection *> ordered;
+    ordered.reserve(sections_.size());
+    for (const CkptSection &section : sections_)
+        ordered.push_back(&section);
+    // Sections are written in ascending name order so the container
+    // bytes are independent of add_section() call order.
+    std::sort(ordered.begin(), ordered.end(),
+              [](const CkptSection *a, const CkptSection *b) {
+                  return a->name < b->name;
+              });
+
+    Serializer s;
+    s.put_u64(kCkptMagic);
+    s.put_u32(kCkptFormatVersion);
+    s.put_u32(static_cast<std::uint32_t>(ordered.size()));
+    for (const CkptSection *section : ordered) {
+        s.put_u32(static_cast<std::uint32_t>(section->name.size()));
+        for (char ch : section->name)
+            s.put_u8(static_cast<std::uint8_t>(ch));
+        s.put_u64(section->payload.size());
+        for (std::uint8_t byte : section->payload)
+            s.put_u8(byte);
+        s.put_u32(crc32(section->payload.data(), section->payload.size()));
+    }
+    return s.take();
+}
+
+CkptStatus
+CkptWriter::write_file(const std::string &path) const
+{
+    std::vector<std::uint8_t> bytes = encode();
+    // Write-to-temp + rename so a crash mid-write never leaves a
+    // half-written file at the destination path.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return CkptStatus::kIoError;
+    std::size_t written = bytes.empty()
+                              ? 0
+                              : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool flushed = std::fflush(f) == 0;
+    bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !flushed || !closed) {
+        std::remove(tmp.c_str());
+        return CkptStatus::kIoError;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return CkptStatus::kIoError;
+    }
+    return CkptStatus::kOk;
+}
+
+// -- CkptReader ------------------------------------------------------
+
+CkptStatus
+CkptReader::parse(std::vector<std::uint8_t> bytes)
+{
+    sections_.clear();
+    Deserializer d(bytes);
+    if (d.remaining() < 8)
+        return CkptStatus::kTruncated;
+    if (d.get_u64() != kCkptMagic)
+        return CkptStatus::kBadMagic;
+    if (d.remaining() < 4)
+        return CkptStatus::kTruncated;
+    if (d.get_u32() != kCkptFormatVersion)
+        return CkptStatus::kBadVersion;
+    if (d.remaining() < 4)
+        return CkptStatus::kTruncated;
+    std::uint32_t count = d.get_u32();
+
+    std::vector<CkptSection> sections;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (d.remaining() < 4)
+            return CkptStatus::kTruncated;
+        std::uint32_t name_len = d.get_u32();
+        if (name_len > d.remaining())
+            return CkptStatus::kTruncated;
+        std::string name;
+        name.reserve(name_len);
+        for (std::uint32_t c = 0; c < name_len; ++c)
+            name.push_back(static_cast<char>(d.get_u8()));
+        if (d.remaining() < 8)
+            return CkptStatus::kTruncated;
+        std::uint64_t payload_len = d.get_u64();
+        if (payload_len > d.remaining())
+            return CkptStatus::kTruncated;
+        std::vector<std::uint8_t> payload;
+        payload.reserve(static_cast<std::size_t>(payload_len));
+        for (std::uint64_t b = 0; b < payload_len; ++b)
+            payload.push_back(d.get_u8());
+        if (d.remaining() < 4)
+            return CkptStatus::kTruncated;
+        std::uint32_t stored_crc = d.get_u32();
+        if (crc32(payload.data(), payload.size()) != stored_crc)
+            return CkptStatus::kCrcMismatch;
+        // Ascending unique names are part of the format.
+        if (!sections.empty() && sections.back().name >= name)
+            return CkptStatus::kCorruptPayload;
+        sections.push_back({std::move(name), std::move(payload)});
+    }
+    if (!d.at_end())
+        return CkptStatus::kCorruptPayload;
+    SDFM_ASSERT(d.ok());
+    sections_ = std::move(sections);
+    return CkptStatus::kOk;
+}
+
+CkptStatus
+CkptReader::read_file(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return CkptStatus::kIoError;
+    std::vector<std::uint8_t> bytes;
+    std::array<std::uint8_t, 64 * 1024> chunk;
+    for (;;) {
+        std::size_t got = std::fread(chunk.data(), 1, chunk.size(), f);
+        bytes.insert(bytes.end(), chunk.begin(),
+                     chunk.begin() + static_cast<std::ptrdiff_t>(got));
+        if (got < chunk.size())
+            break;
+    }
+    bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        return CkptStatus::kIoError;
+    return parse(std::move(bytes));
+}
+
+const std::vector<std::uint8_t> *
+CkptReader::section(const std::string &name) const
+{
+    for (const CkptSection &section : sections_) {
+        if (section.name == name)
+            return &section.payload;
+    }
+    return nullptr;
+}
+
+}  // namespace sdfm

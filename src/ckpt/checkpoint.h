@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Crash-consistent checkpoint/restore primitives: a versioned,
+ * sectioned binary container plus the byte-level Serializer /
+ * Deserializer every stateful subsystem uses to snapshot itself.
+ *
+ * Container layout (all integers little-endian):
+ *
+ *   u64 magic            "SDFMCKPT"
+ *   u32 format version   kCkptFormatVersion
+ *   u32 section count
+ *   per section, in ascending name order:
+ *     u32 name length, name bytes
+ *     u64 payload length, payload bytes
+ *     u32 CRC32 (IEEE) of the payload bytes
+ *
+ * The reader validates the whole container -- magic, version, length
+ * framing, every section CRC -- before any payload is handed to a
+ * subsystem, and restore callers stage into a replica before touching
+ * live state, so a rejected checkpoint never partially mutates a
+ * running fleet. Rejections are typed (CkptStatus), never UB.
+ *
+ * Versioning policy: kCkptFormatVersion bumps on any wire-format
+ * change; there is no cross-version migration (a checkpoint is a
+ * point-in-time artifact of one build lineage, not an interchange
+ * format), so readers reject any version other than their own.
+ */
+
+#ifndef SDFM_CKPT_CHECKPOINT_H
+#define SDFM_CKPT_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/age_histogram.h"
+#include "util/rng.h"
+
+namespace sdfm {
+
+/** "SDFMCKPT", read as a little-endian u64. */
+inline constexpr std::uint64_t kCkptMagic = 0x54504B434D464453ULL;
+
+/** Wire-format version this build writes and accepts. */
+inline constexpr std::uint32_t kCkptFormatVersion = 1;
+
+/** Typed outcome of checkpoint container and restore operations. */
+enum class CkptStatus : std::uint8_t
+{
+    kOk = 0,
+    kIoError,         ///< file could not be opened/read/written
+    kBadMagic,        ///< not a checkpoint file
+    kBadVersion,      ///< unknown format version
+    kTruncated,       ///< framing runs past the end of the file
+    kCrcMismatch,     ///< a section payload fails its CRC
+    kConfigMismatch,  ///< checkpoint was taken under a different config
+    kCorruptPayload,  ///< CRC-valid bytes that do not parse
+};
+
+/** Human-readable status name (stable, for logs and tests). */
+const char *to_string(CkptStatus status);
+
+/** CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Append-only little-endian byte sink. One Serializer builds one
+ * section payload; framing and CRCs are the CkptWriter's job.
+ */
+class Serializer
+{
+  public:
+    void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    put_u16(std::uint16_t v)
+    {
+        put_u8(static_cast<std::uint8_t>(v & 0xff));
+        put_u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    put_u32(std::uint32_t v)
+    {
+        put_u16(static_cast<std::uint16_t>(v & 0xffff));
+        put_u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    put_u64(std::uint64_t v)
+    {
+        put_u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+        put_u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+    /** Bit-exact double (IEEE-754 bits as u64). */
+    void put_double(double v);
+
+    void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+    /** u64 length prefix + raw bytes. */
+    void put_string(const std::string &s);
+
+    /** u64 count prefix + one u64 per element. */
+    void put_u64_vec(const std::vector<std::uint64_t> &v);
+
+    /** Full engine state of an Rng stream. */
+    void put_rng(const Rng &rng);
+
+    /** Sparse (nonzero buckets only) age-histogram encoding. */
+    void put_age_histogram(const AgeHistogram &h);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian byte source over a section payload.
+ * Reads past the end set a sticky failure flag and return zeros;
+ * callers check ok() once after a load instead of after every field.
+ * Payloads are CRC-validated before a Deserializer ever sees them,
+ * so a failed read means semantic corruption (kCorruptPayload).
+ */
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deserializer(const std::vector<std::uint8_t> &bytes)
+        : Deserializer(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t
+    get_u8()
+    {
+        if (pos_ >= size_) {
+            ok_ = false;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    get_u16()
+    {
+        std::uint16_t lo = get_u8();
+        std::uint16_t hi = get_u8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    get_u32()
+    {
+        std::uint32_t lo = get_u16();
+        std::uint32_t hi = get_u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    get_u64()
+    {
+        std::uint64_t lo = get_u32();
+        std::uint64_t hi = get_u32();
+        return lo | (hi << 32);
+    }
+
+    std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+    double get_double();
+
+    bool get_bool() { return get_u8() != 0; }
+
+    std::string get_string();
+
+    std::vector<std::uint64_t> get_u64_vec();
+
+    void get_rng(Rng &rng);
+
+    void get_age_histogram(AgeHistogram &h);
+
+    /**
+     * A size prefix that bounds a following container. Fails the
+     * stream (and returns 0) when the declared size exceeds
+     * @p max_elems or the remaining bytes could not possibly hold it
+     * (@p min_bytes_per_elem each), so corrupt counts cannot drive
+     * huge allocations.
+     */
+    std::size_t get_size(std::size_t max_elems,
+                         std::size_t min_bytes_per_elem = 1);
+
+    /** False once any read ran past the end or a guard tripped. */
+    bool ok() const { return ok_; }
+
+    /** Explicitly poison the stream (semantic validation failed). */
+    void fail() { ok_ = false; }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool at_end() const { return pos_ == size_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Interface for a subsystem that can snapshot and restore its full
+ * trajectory state. ckpt_load() runs on CRC-validated bytes and
+ * returns false on semantic corruption; it may leave the object in a
+ * modified state, because whole-fleet restore stages into a replica
+ * and only commits (swaps) after every subsystem loaded cleanly --
+ * the live fleet is never partially mutated.
+ *
+ * Contract: a ckpt_save()/ckpt_load() round trip must reproduce the
+ * subsequent trajectory bit-identically (state_digest()-equal at
+ * every future step), which means every RNG stream, counter, and
+ * container the step path reads must be covered. Serialization must
+ * be deterministic: iterate unordered containers only through a
+ * sorted key extraction (see the sdfm_lint unordered-iter rule).
+ */
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+
+    /** Append this subsystem's complete state. */
+    virtual void ckpt_save(Serializer &s) const = 0;
+
+    /** Restore state written by ckpt_save(); false on corruption. */
+    virtual bool ckpt_load(Deserializer &d) = 0;
+};
+
+/**
+ * Tag selecting a restore constructor: build the cheapest structurally
+ * valid object (no RNG draws, minimal allocation) and rely on a
+ * following ckpt_load() to overwrite every member. Keeps the normal
+ * constructors free of checkpoint concerns.
+ */
+struct CkptRestoreTag
+{
+};
+
+/** One named, CRC-protected section. */
+struct CkptSection
+{
+    std::string name;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Builds and writes a checkpoint container. */
+class CkptWriter
+{
+  public:
+    /** Add a section; names must be unique. */
+    void add_section(std::string name, std::vector<std::uint8_t> payload);
+
+    /** Encode the container (sections sorted by name). */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Encode and atomically replace @p path (write tmp + rename). */
+    CkptStatus write_file(const std::string &path) const;
+
+  private:
+    std::vector<CkptSection> sections_;
+};
+
+/**
+ * Parses and fully validates a checkpoint container. After parse()
+ * returns kOk, every section's framing and CRC has been verified.
+ */
+class CkptReader
+{
+  public:
+    /** Validate @p bytes; on kOk, populates this reader. */
+    CkptStatus parse(std::vector<std::uint8_t> bytes);
+
+    /** Read and validate a file. */
+    CkptStatus read_file(const std::string &path);
+
+    /** Section payload by name; nullptr when absent. */
+    const std::vector<std::uint8_t> *section(const std::string &name) const;
+
+    const std::vector<CkptSection> &sections() const { return sections_; }
+
+  private:
+    std::vector<CkptSection> sections_;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_CKPT_CHECKPOINT_H

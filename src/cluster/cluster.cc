@@ -261,6 +261,42 @@ Cluster::check_invariants() const
         machine->check_invariants();
 }
 
+void
+Cluster::ckpt_save(Serializer &s) const
+{
+    s.put_u32(cluster_id_);
+    s.put_rng(rng_);
+    s.put_u64(next_job_id_);
+    trace_log_.ckpt_save(s);
+    s.put_u64(machines_.size());
+    for (const auto &machine : machines_)
+        machine->ckpt_save(s);
+}
+
+bool
+Cluster::ckpt_load(Deserializer &d)
+{
+    std::uint32_t id = d.get_u32();
+    if (!d.ok() || id != cluster_id_)
+        return false;
+    d.get_rng(rng_);
+    next_job_id_ = d.get_u64();
+    // Ids are partitioned per cluster (top bits); a corrupt allocator
+    // would hand out ids colliding with another cluster's space.
+    if (!d.ok() || (next_job_id_ >> 40) != cluster_id_)
+        return false;
+    if (!trace_log_.ckpt_load(d))
+        return false;
+    std::uint64_t num = d.get_u64();
+    if (!d.ok() || num != machines_.size())
+        return false;
+    for (auto &machine : machines_) {
+        if (!machine->ckpt_load(d))
+            return false;
+    }
+    return d.ok();
+}
+
 std::uint64_t
 Cluster::state_digest() const
 {

@@ -163,6 +163,19 @@ class Cluster
      */
     std::uint64_t state_digest() const;
 
+    /**
+     * Checkpointable-shaped snapshot: the scheduler RNG, the job-id
+     * allocator, the telemetry database, and every machine in index
+     * order. ckpt_load() expects a freshly constructed Cluster with
+     * the identical ClusterConfig and seed (machine construction
+     * consumes the cluster RNG for platform draws and machine seeds,
+     * so config identity implies the same machine wiring); it
+     * validates the machine count and fails without partially
+     * applying a corrupt snapshot beyond the machine being loaded.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
+
   private:
     /** Place a job on a machine with capacity; null if none fits. */
     Machine *pick_machine(std::uint64_t pages);

@@ -211,6 +211,24 @@ ContentMix::pick(std::uint64_t seed) const
     return ContentClass::kIncompressible;
 }
 
+bool
+ContentMix::restore_cdf(
+    const double (&cdf)[static_cast<int>(ContentClass::kNumClasses)])
+{
+    constexpr int n = static_cast<int>(ContentClass::kNumClasses);
+    double prev = 0.0;
+    for (int i = 0; i < n; ++i) {
+        if (!(cdf[i] >= prev && cdf[i] <= 1.0))
+            return false;
+        prev = cdf[i];
+    }
+    if (cdf[n - 1] != 1.0)
+        return false;
+    for (int i = 0; i < n; ++i)
+        cdf_[i] = cdf[i];
+    return true;
+}
+
 double
 ContentMix::probability(ContentClass cls) const
 {

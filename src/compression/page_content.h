@@ -16,6 +16,7 @@
 #ifndef SDFM_COMPRESSION_PAGE_CONTENT_H
 #define SDFM_COMPRESSION_PAGE_CONTENT_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/units.h"
@@ -65,6 +66,22 @@ class ContentMix
 
     /** Probability of a class. */
     double probability(ContentClass cls) const;
+
+    /** CDF value at class index @p i (checkpoint serialization). */
+    double
+    cdf_at(std::size_t i) const
+    {
+        return cdf_[i];
+    }
+
+    /**
+     * Overwrite the mix from serialized CDF values. Rejects (returns
+     * false, mix unspecified) anything that is not a valid CDF:
+     * values outside [0, 1], a decreasing step, or a final value
+     * other than exactly 1.0.
+     */
+    bool restore_cdf(
+        const double (&cdf)[static_cast<int>(ContentClass::kNumClasses)]);
 
   private:
     double cdf_[static_cast<int>(ContentClass::kNumClasses)];

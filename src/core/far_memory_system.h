@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "cluster/cluster.h"
 #include "node/slo.h"
 #include "telemetry/exporter.h"
@@ -178,6 +180,30 @@ class FarMemorySystem
      * step.
      */
     std::uint64_t state_digest() const;
+
+    // -- checkpoint/restore ------------------------------------------
+
+    /**
+     * Write a crash-consistent snapshot of the whole fleet to @p path
+     * (atomic: temp file + rename). Sections: "config" (the fleet
+     * configuration fingerprint), "fleet" (simulation clock), and one
+     * "cluster.NNNN" per cluster. Restoring the file into a fleet
+     * built from the same FleetConfig and running to step N
+     * reproduces the uninterrupted run's state_digest() trajectory
+     * exactly.
+     */
+    CkptStatus checkpoint(const std::string &path) const;
+
+    /**
+     * Replace this fleet's state with the snapshot at @p path. The
+     * checkpoint is staged into a replica fleet first and committed
+     * by swap only after every section validated and loaded cleanly,
+     * so any rejection -- kTruncated, kCrcMismatch, kBadMagic,
+     * kBadVersion, kConfigMismatch (the file was taken under a
+     * different FleetConfig), kCorruptPayload -- leaves the live
+     * fleet untouched.
+     */
+    CkptStatus restore(const std::string &path);
 
   private:
     FleetConfig config_;

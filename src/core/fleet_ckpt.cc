@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Whole-fleet checkpoint/restore (FarMemorySystem::checkpoint and
+ * ::restore) plus the deterministic FleetConfig fingerprint the
+ * "config" section carries.
+ *
+ * The fingerprint is compared byte-for-byte on restore -- there is no
+ * config *parser*. Every trajectory-relevant field must therefore be
+ * serialized here: two configs that differ in any such field must
+ * produce different bytes (kConfigMismatch), and serial_step is the
+ * one deliberate exclusion because serial and parallel stepping are
+ * digest-identical by construction.
+ */
+
+#include <cstdio>
+
+#include "core/far_memory_system.h"
+
+namespace sdfm {
+
+namespace {
+
+void
+save_cost_model(Serializer &s, const CostModelParams &p)
+{
+    s.put_double(p.cpu_ghz);
+    s.put_double(p.compress_base_cycles);
+    s.put_double(p.compress_cycles_per_input_byte);
+    s.put_double(p.decompress_base_cycles);
+    s.put_double(p.decompress_cycles_per_input_byte);
+    s.put_double(p.decompress_cycles_per_output_byte);
+    s.put_double(p.jitter_sigma);
+}
+
+void
+save_breaker_params(Serializer &s, const CircuitBreakerParams &p)
+{
+    s.put_u32(p.failure_threshold);
+    s.put_u64(p.open_periods);
+    s.put_double(p.backoff_factor);
+    s.put_u64(p.max_open_periods);
+    s.put_u32(p.half_open_trials);
+}
+
+void
+save_fault_config(Serializer &s, const FaultConfig &f)
+{
+    s.put_bool(f.enabled);
+    s.put_u64(f.seed);
+    s.put_double(f.donor_failure_prob);
+    s.put_double(f.zswap_corruption_prob);
+    s.put_double(f.remote_degrade_prob);
+    s.put_double(f.nvm_latency_spike_prob);
+    s.put_double(f.nvm_media_error_prob);
+    s.put_double(f.nvm_capacity_loss_prob);
+    s.put_double(f.agent_crash_prob);
+    s.put_u32(f.corruption_batch);
+    s.put_i64(f.degrade_duration);
+    s.put_double(f.remote_read_failure_prob);
+    s.put_double(f.nvm_latency_multiplier);
+    s.put_u32(f.media_error_burst);
+    s.put_double(f.capacity_loss_frac);
+    s.put_u64(f.schedule.size());
+    for (const ScheduledFault &sf : f.schedule) {
+        s.put_i64(sf.at);
+        s.put_u8(static_cast<std::uint8_t>(sf.event.kind));
+        s.put_u32(sf.event.magnitude);
+        s.put_i64(sf.event.duration);
+    }
+}
+
+void
+save_machine_config(Serializer &s, const MachineConfig &m)
+{
+    s.put_u64(m.dram_pages);
+    s.put_u8(static_cast<std::uint8_t>(m.policy));
+    ckpt_save_slo(s, m.slo);
+    s.put_u8(m.static_threshold);
+    s.put_u8(static_cast<std::uint8_t>(m.compression));
+    save_cost_model(s, m.cost_model);
+    s.put_bool(m.verify_zswap_roundtrip);
+    s.put_i64(m.control_period);
+    s.put_double(m.reactive_free_watermark);
+    s.put_u64(m.compact_every);
+    s.put_double(m.kstaled.cycles_per_page);
+    s.put_u32(m.kstaled.scan_stride);
+    s.put_double(m.kreclaimd.cycles_per_page);
+    s.put_double(m.kreclaimd.split_cycles);
+    s.put_u64(m.nvm.capacity_pages);
+    s.put_double(m.nvm.read_latency_us);
+    s.put_double(m.nvm.write_latency_us);
+    s.put_double(m.nvm.jitter_sigma);
+    s.put_double(m.nvm.cost_per_byte_vs_dram);
+    s.put_u64(m.remote.capacity_pages);
+    s.put_u32(m.remote.num_donors);
+    s.put_double(m.remote.read_latency_us);
+    s.put_double(m.remote.jitter_sigma);
+    s.put_double(m.remote.crypto_cycles_per_page);
+    s.put_u32(m.remote.max_read_retries);
+    s.put_double(m.remote.retry_backoff_base_us);
+    s.put_double(m.remote_donor_failures_per_hour);
+    s.put_double(m.nvm_deep_threshold_factor);
+    save_fault_config(s, m.fault);
+    s.put_bool(m.tier_breaker_enabled);
+    save_breaker_params(s, m.tier_breaker);
+    s.put_bool(m.slo_breaker_enabled);
+    save_breaker_params(s, m.slo_breaker);
+}
+
+void
+save_cluster_config(Serializer &s, const ClusterConfig &c)
+{
+    s.put_u32(c.num_machines);
+    save_machine_config(s, c.machine);
+    s.put_u64(c.mix.profiles.size());
+    for (const JobProfile &profile : c.mix.profiles)
+        ckpt_save_profile(s, profile);
+    s.put_u64(c.mix.weights.size());
+    for (double w : c.mix.weights)
+        s.put_double(w);
+    s.put_double(c.target_utilization);
+    s.put_double(c.churn_per_hour);
+    s.put_u64(c.platform_ghz.size());
+    for (double ghz : c.platform_ghz)
+        s.put_double(ghz);
+    s.put_u8(static_cast<std::uint8_t>(c.placement));
+}
+
+void
+save_fleet_config(Serializer &s, const FleetConfig &config)
+{
+    s.put_u32(config.num_clusters);
+    save_cluster_config(s, config.cluster);
+    s.put_double(config.mix_weight_jitter);
+    s.put_i64(config.start_time);
+    s.put_u64(config.seed);
+}
+
+std::string
+cluster_section_name(std::size_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "cluster.%04zu", index);
+    return buf;
+}
+
+}  // namespace
+
+CkptStatus
+FarMemorySystem::checkpoint(const std::string &path) const
+{
+    CkptWriter writer;
+    {
+        Serializer s;
+        save_fleet_config(s, config_);
+        writer.add_section("config", s.take());
+    }
+    {
+        Serializer s;
+        s.put_i64(now_);
+        s.put_u32(static_cast<std::uint32_t>(clusters_.size()));
+        writer.add_section("fleet", s.take());
+    }
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        Serializer s;
+        clusters_[c]->ckpt_save(s);
+        writer.add_section(cluster_section_name(c), s.take());
+    }
+    return writer.write_file(path);
+}
+
+CkptStatus
+FarMemorySystem::restore(const std::string &path)
+{
+    CkptReader reader;
+    CkptStatus status = reader.read_file(path);
+    if (status != CkptStatus::kOk)
+        return status;
+
+    const std::vector<std::uint8_t> *config_bytes =
+        reader.section("config");
+    if (config_bytes == nullptr)
+        return CkptStatus::kCorruptPayload;
+    Serializer expected;
+    save_fleet_config(expected, config_);
+    if (*config_bytes != expected.bytes())
+        return CkptStatus::kConfigMismatch;
+
+    const std::vector<std::uint8_t> *fleet_bytes =
+        reader.section("fleet");
+    if (fleet_bytes == nullptr)
+        return CkptStatus::kCorruptPayload;
+    Deserializer fd(*fleet_bytes);
+    SimTime now = fd.get_i64();
+    std::uint32_t num_clusters = fd.get_u32();
+    if (!fd.ok() || !fd.at_end() ||
+        num_clusters != config_.num_clusters || now < config_.start_time)
+        return CkptStatus::kCorruptPayload;
+
+    // Stage into a replica fleet built from the identical config (so
+    // construction consumes the same RNG draws and wires the same
+    // machines); the live fleet is untouched until every section has
+    // loaded and validated cleanly.
+    FarMemorySystem replica(config_);
+    for (std::size_t c = 0; c < replica.clusters_.size(); ++c) {
+        const std::vector<std::uint8_t> *bytes =
+            reader.section(cluster_section_name(c));
+        if (bytes == nullptr)
+            return CkptStatus::kCorruptPayload;
+        Deserializer d(*bytes);
+        if (!replica.clusters_[c]->ckpt_load(d) || !d.ok() || !d.at_end())
+            return CkptStatus::kCorruptPayload;
+    }
+
+    clusters_ = std::move(replica.clusters_);
+    now_ = now;
+    check_invariants();
+    return CkptStatus::kOk;
+}
+
+}  // namespace sdfm

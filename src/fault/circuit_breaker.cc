@@ -131,6 +131,52 @@ CircuitBreaker::check_invariants() const
                    "every recovery follows a trip");
 }
 
+void
+CircuitBreaker::ckpt_save(Serializer &s) const
+{
+    s.put_u64(stats_.opens);
+    s.put_u64(stats_.reopens);
+    s.put_u64(stats_.closes);
+    s.put_u8(static_cast<std::uint8_t>(state_));
+    s.put_u32(consecutive_failures_);
+    s.put_u64(open_remaining_);
+    s.put_u64(current_open_periods_);
+}
+
+bool
+CircuitBreaker::ckpt_load(Deserializer &d)
+{
+    stats_.opens = d.get_u64();
+    stats_.reopens = d.get_u64();
+    stats_.closes = d.get_u64();
+    std::uint8_t raw_state = d.get_u8();
+    consecutive_failures_ = d.get_u32();
+    open_remaining_ = d.get_u64();
+    current_open_periods_ = d.get_u64();
+    if (!d.ok() ||
+        raw_state > static_cast<std::uint8_t>(BreakerState::kHalfOpen))
+        return false;
+    state_ = static_cast<BreakerState>(raw_state);
+    // Re-establish exactly what check_invariants() asserts, so a
+    // corrupt payload cannot smuggle in an illegal machine state.
+    std::uint64_t cap =
+        std::max(params_.open_periods, params_.max_open_periods);
+    if ((state_ == BreakerState::kOpen) != (open_remaining_ > 0))
+        return false;
+    if (open_remaining_ > current_open_periods_)
+        return false;
+    if (current_open_periods_ < params_.open_periods ||
+        current_open_periods_ > cap)
+        return false;
+    if (consecutive_failures_ >= params_.failure_threshold)
+        return false;
+    if (state_ != BreakerState::kClosed && consecutive_failures_ != 0)
+        return false;
+    if (stats_.reopens > stats_.opens || stats_.closes > stats_.opens)
+        return false;
+    return true;
+}
+
 std::uint64_t
 CircuitBreaker::trial_budget() const
 {

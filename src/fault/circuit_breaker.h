@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.h"
+
 namespace sdfm {
 
 /** Breaker states (the classic three). */
@@ -63,7 +65,7 @@ struct CircuitBreakerStats
 };
 
 /** The breaker state machine. */
-class CircuitBreaker
+class CircuitBreaker : public Checkpointable
 {
   public:
     explicit CircuitBreaker(
@@ -117,6 +119,15 @@ class CircuitBreaker
      * check, so an illegal transition is caught at its source.
      */
     void check_invariants() const;
+
+    /**
+     * Checkpointable: snapshots the state machine (state, failure
+     * streak, hold-off countdown, grown backoff) and the lifetime
+     * counters. Params come from the config and are not stored;
+     * ckpt_load() re-validates the loaded state against them.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
 
 #ifdef SDFM_CHECK_INVARIANTS
     /** Test-only: force an illegal state so the invariant tests can

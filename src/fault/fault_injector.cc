@@ -123,4 +123,39 @@ FaultInjector::step(SimTime begin, SimTime end)
     return events;
 }
 
+void
+FaultInjector::ckpt_save(Serializer &s) const
+{
+    s.put_rng(rng_);
+    s.put_rng(target_rng_);
+    s.put_u64(stats_.injected_total);
+    s.put_u64(stats_.donor_failures);
+    s.put_u64(stats_.zswap_corruptions);
+    s.put_u64(stats_.remote_degrades);
+    s.put_u64(stats_.nvm_latency_spikes);
+    s.put_u64(stats_.nvm_media_errors);
+    s.put_u64(stats_.nvm_capacity_losses);
+    s.put_u64(stats_.agent_crashes);
+    s.put_u64(next_scheduled_);
+}
+
+bool
+FaultInjector::ckpt_load(Deserializer &d)
+{
+    d.get_rng(rng_);
+    d.get_rng(target_rng_);
+    stats_.injected_total = d.get_u64();
+    stats_.donor_failures = d.get_u64();
+    stats_.zswap_corruptions = d.get_u64();
+    stats_.remote_degrades = d.get_u64();
+    stats_.nvm_latency_spikes = d.get_u64();
+    stats_.nvm_media_errors = d.get_u64();
+    stats_.nvm_capacity_losses = d.get_u64();
+    stats_.agent_crashes = d.get_u64();
+    next_scheduled_ = d.get_u64();
+    if (!d.ok() || next_scheduled_ > config_.schedule.size())
+        return false;
+    return true;
+}
+
 }  // namespace sdfm

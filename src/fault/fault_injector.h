@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -152,7 +153,7 @@ struct FaultStats
 };
 
 /** One machine's fault injector. */
-class FaultInjector
+class FaultInjector : public Checkpointable
 {
   public:
     /**
@@ -181,6 +182,14 @@ class FaultInjector
 
     const FaultConfig &config() const { return config_; }
     const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Checkpointable: snapshots both RNG streams, the counters, and
+     * the cursor into the explicit schedule. The schedule itself comes
+     * from the config, so only the cursor is stored.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
 
   private:
     void count(FaultKind kind);

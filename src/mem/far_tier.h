@@ -16,16 +16,34 @@
 #define SDFM_MEM_FAR_TIER_H
 
 #include <cstdint>
+#include <map>
 
+#include "ckpt/checkpoint.h"
 #include "mem/memcg.h"
 
 namespace sdfm {
 
 /** Second-tier interface. */
-class FarTier
+class FarTier : public Checkpointable
 {
   public:
     virtual ~FarTier() = default;
+
+    /**
+     * Second phase of restore for tiers whose state references jobs:
+     * ckpt_load() parses bytes before any job exists, and this hook
+     * re-resolves the parsed references once the owning machine has
+     * rebuilt its jobs (@p jobs maps job id to its restored memcg).
+     * Tiers that store no references accept the default.
+     *
+     * @return false when a reference does not resolve (corruption).
+     */
+    virtual bool
+    ckpt_resolve(const std::map<JobId, Memcg *> &jobs)
+    {
+        static_cast<void>(jobs);
+        return true;
+    }
 
     /** True iff a free page slot exists. */
     virtual bool has_space() const = 0;

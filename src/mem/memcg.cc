@@ -266,6 +266,168 @@ Memcg::state_digest() const
     return d.value();
 }
 
+void
+Memcg::ckpt_save(Serializer &s) const
+{
+    s.put_u64(id_);
+    s.put_u64(content_seed_);
+    s.put_i64(start_time_);
+    s.put_u64(pages_.size());
+    for (const PageMeta &meta : pages_) {
+        s.put_u8(meta.age);
+        s.put_u8(meta.flags);
+        s.put_u8(static_cast<std::uint8_t>(meta.content));
+        s.put_u16(meta.version);
+    }
+
+    std::vector<std::pair<PageId, ZsHandle>> handles;
+    handles.reserve(zswap_handles_.size());
+    // sdfm-lint: allow(unordered-iter) -- extraction only; the pairs
+    // are sorted by page id before serialization so the wire bytes
+    // are independent of hash-map iteration order.
+    for (const auto &[p, h] : zswap_handles_)
+        handles.emplace_back(p, h);
+    std::sort(handles.begin(), handles.end());
+    s.put_u64(handles.size());
+    for (const auto &[p, h] : handles) {
+        s.put_u32(p);
+        s.put_u64(h);
+    }
+
+    s.put_age_histogram(cold_hist_);
+    s.put_age_histogram(promo_hist_);
+    s.put_u64(resident_pages_);
+    s.put_u64(zswap_pages_);
+    s.put_u64(nvm_pages_);
+    s.put_u8(reclaim_threshold_);
+    s.put_bool(zswap_enabled_);
+    s.put_bool(best_effort_);
+    s.put_u64(soft_limit_pages_);
+    s.put_u64(region_huge_.size());
+    for (std::size_t r = 0; r < region_huge_.size(); ++r)
+        s.put_bool(region_huge_[r]);
+
+    ckpt_save_memcg_stats(s, stats_);
+}
+
+void
+ckpt_save_memcg_stats(Serializer &s, const MemcgStats &stats)
+{
+    s.put_u64(stats.zswap_stores);
+    s.put_u64(stats.zswap_rejects);
+    s.put_u64(stats.zswap_promotions);
+    s.put_double(stats.compress_cycles);
+    s.put_double(stats.decompress_cycles);
+    s.put_double(stats.app_cycles);
+    s.put_u64(stats.compressed_bytes_stored);
+    s.put_double(stats.decompress_latency_us_sum);
+    s.put_double(stats.direct_stall_cycles);
+    s.put_u64(stats.far_refaults);
+    s.put_double(stats.refault_stall_cycles);
+    s.put_u64(stats.nvm_stores);
+    s.put_u64(stats.nvm_promotions);
+    s.put_double(stats.nvm_read_latency_us_sum);
+    s.put_double(stats.nvm_stall_cycles);
+}
+
+bool
+ckpt_load_memcg_stats(Deserializer &d, MemcgStats &stats)
+{
+    stats.zswap_stores = d.get_u64();
+    stats.zswap_rejects = d.get_u64();
+    stats.zswap_promotions = d.get_u64();
+    stats.compress_cycles = d.get_double();
+    stats.decompress_cycles = d.get_double();
+    stats.app_cycles = d.get_double();
+    stats.compressed_bytes_stored = d.get_u64();
+    stats.decompress_latency_us_sum = d.get_double();
+    stats.direct_stall_cycles = d.get_double();
+    stats.far_refaults = d.get_u64();
+    stats.refault_stall_cycles = d.get_double();
+    stats.nvm_stores = d.get_u64();
+    stats.nvm_promotions = d.get_u64();
+    stats.nvm_read_latency_us_sum = d.get_double();
+    stats.nvm_stall_cycles = d.get_double();
+    return d.ok();
+}
+
+bool
+Memcg::ckpt_load(Deserializer &d)
+{
+    id_ = d.get_u64();
+    content_seed_ = d.get_u64();
+    start_time_ = d.get_i64();
+    std::size_t num = d.get_size(0xffffffffu, 5);
+    if (!d.ok() || num == 0)
+        return false;
+    pages_.assign(num, PageMeta{});
+    std::uint64_t flagged_zswap = 0;
+    std::uint64_t flagged_nvm = 0;
+    for (PageMeta &meta : pages_) {
+        meta.age = d.get_u8();
+        meta.flags = d.get_u8();
+        std::uint8_t content = d.get_u8();
+        meta.version = d.get_u16();
+        if (content >= static_cast<std::uint8_t>(ContentClass::kNumClasses))
+            return false;
+        meta.content = static_cast<ContentClass>(content);
+        if (meta.test(kPageInZswap))
+            ++flagged_zswap;
+        if (meta.test(kPageInNvm))
+            ++flagged_nvm;
+    }
+
+    zswap_handles_.clear();
+    std::size_t num_handles = d.get_size(num, 12);
+    if (!d.ok())
+        return false;
+    PageId prev_page = 0;
+    for (std::size_t i = 0; i < num_handles; ++i) {
+        PageId p = d.get_u32();
+        ZsHandle h = d.get_u64();
+        if (!d.ok() || h == 0 || p >= num || (i > 0 && p <= prev_page))
+            return false;
+        if (!pages_[p].test(kPageInZswap))
+            return false;
+        prev_page = p;
+        zswap_handles_.emplace(p, h);
+    }
+
+    d.get_age_histogram(cold_hist_);
+    d.get_age_histogram(promo_hist_);
+    resident_pages_ = d.get_u64();
+    zswap_pages_ = d.get_u64();
+    nvm_pages_ = d.get_u64();
+    reclaim_threshold_ = d.get_u8();
+    zswap_enabled_ = d.get_bool();
+    best_effort_ = d.get_bool();
+    soft_limit_pages_ = d.get_u64();
+    std::size_t num_regions =
+        (num + kHugeRegionPages - 1) / kHugeRegionPages;
+    std::size_t regions = d.get_size(num_regions);
+    if (!d.ok() || regions != num_regions)
+        return false;
+    region_huge_.assign(regions, false);
+    huge_count_ = 0;
+    for (std::size_t r = 0; r < regions; ++r) {
+        region_huge_[r] = d.get_bool();
+        if (region_huge_[r])
+            ++huge_count_;
+    }
+
+    if (!ckpt_load_memcg_stats(d, stats_))
+        return false;
+
+    // Residency counters must reconcile with the restored page flags
+    // and the handle map must cover exactly the zswap-flagged pages.
+    if (zswap_pages_ != flagged_zswap || nvm_pages_ != flagged_nvm ||
+        zswap_handles_.size() != flagged_zswap ||
+        resident_pages_ + zswap_pages_ + nvm_pages_ != num) {
+        return false;
+    }
+    return true;
+}
+
 std::vector<PageId>
 Memcg::nvm_page_ids() const
 {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "mem/page.h"
 #include "util/age_histogram.h"
 #include "util/logging.h"
@@ -49,11 +50,19 @@ struct MemcgStats
     double nvm_stall_cycles = 0.0;
 };
 
+/**
+ * Serialize/restore every MemcgStats field in declaration order.
+ * Shared between Memcg's own checkpoint and the node agent's SLI
+ * snapshots (which are whole copies of this struct).
+ */
+void ckpt_save_memcg_stats(Serializer &s, const MemcgStats &stats);
+bool ckpt_load_memcg_stats(Deserializer &d, MemcgStats &stats);
+
 /** Pages per transparent huge page (2 MiB / 4 KiB). */
 inline constexpr std::uint32_t kHugeRegionPages = 512;
 
 /** Per-job memory cgroup. */
-class Memcg
+class Memcg : public Checkpointable
 {
   public:
     /**
@@ -265,6 +274,16 @@ class Memcg
      * same fleet must agree on it (see tests/invariant_test.cc).
      */
     std::uint64_t state_digest() const;
+
+    /**
+     * Checkpointable: snapshots the complete cgroup (identity,
+     * per-page metadata, zswap-handle map in sorted page order, both
+     * histograms, residency counters, agent knobs, huge-region
+     * bitmap, and cumulative stats). ckpt_load() cross-checks the
+     * residency counters against the restored page flags.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
 
   private:
     /** Out-of-line slow path of touch(): promote from zswap/NVM. */

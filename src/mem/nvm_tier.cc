@@ -93,4 +93,41 @@ NvmTier::drop_all(Memcg &cg)
         drop(cg, p);
 }
 
+void
+NvmTier::ckpt_save(Serializer &s) const
+{
+    // capacity_pages is mutable at runtime (lose_capacity), so it is
+    // trajectory state even though it starts from the config.
+    s.put_u64(params_.capacity_pages);
+    s.put_u64(stats_.stores);
+    s.put_u64(stats_.promotions);
+    s.put_u64(stats_.rejected_full);
+    s.put_double(stats_.read_latency_us_sum);
+    s.put_u64(stats_.media_errors);
+    s.put_u64(stats_.capacity_lost_pages);
+    s.put_u64(used_pages_);
+    s.put_rng(rng_);
+    s.put_double(latency_multiplier_);
+    s.put_u32(pending_media_errors_);
+}
+
+bool
+NvmTier::ckpt_load(Deserializer &d)
+{
+    params_.capacity_pages = d.get_u64();
+    stats_.stores = d.get_u64();
+    stats_.promotions = d.get_u64();
+    stats_.rejected_full = d.get_u64();
+    stats_.read_latency_us_sum = d.get_double();
+    stats_.media_errors = d.get_u64();
+    stats_.capacity_lost_pages = d.get_u64();
+    used_pages_ = d.get_u64();
+    d.get_rng(rng_);
+    latency_multiplier_ = d.get_double();
+    pending_media_errors_ = d.get_u32();
+    if (!d.ok() || used_pages_ > params_.capacity_pages)
+        return false;
+    return true;
+}
+
 }  // namespace sdfm

@@ -133,6 +133,15 @@ class NvmTier : public FarTier
      */
     std::uint64_t lose_capacity(double frac);
 
+    /**
+     * Checkpointable: snapshots the (possibly fault-reduced) device
+     * capacity, residency and fault counters, the latency-jitter RNG,
+     * and the pending-media-error queue. Residency flags live in each
+     * memcg, so no per-page state is stored here.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
+
   private:
     NvmTierParams params_;
     NvmTierStats stats_;

@@ -151,6 +151,112 @@ RemoteTier::fail_random_donor()
         rng_.next_below(params_.num_donors)));
 }
 
+void
+RemoteTier::ckpt_save(Serializer &s) const
+{
+    s.put_u64(stats_.stores);
+    s.put_u64(stats_.promotions);
+    s.put_u64(stats_.rejected_full);
+    s.put_u64(stats_.donor_failures);
+    s.put_u64(stats_.pages_lost);
+    s.put_double(stats_.read_latency_us_sum);
+    s.put_double(stats_.crypto_cycles);
+    s.put_u64(stats_.read_failures);
+    s.put_u64(stats_.read_retries);
+    s.put_u64(stats_.reads_exhausted);
+    s.put_u64(used_pages_);
+    s.put_u32(next_donor_);
+    s.put_rng(rng_);
+    s.put_double(transient_read_failure_prob_);
+
+    struct Row
+    {
+        std::uint64_t key;
+        JobId job;
+        PageId page;
+        std::uint32_t donor;
+    };
+    std::vector<Row> rows;
+    rows.reserve(placements_.size());
+    // sdfm-lint: allow(unordered-iter) -- extraction only; rows are
+    // sorted by placement key before serialization so the wire bytes
+    // are independent of hash-map iteration order.
+    for (const auto &[k, placement] : placements_) {
+        rows.push_back(
+            {k, placement.cg->id(), placement.page, placement.donor});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.key < b.key; });
+    s.put_u64(rows.size());
+    for (const Row &row : rows) {
+        s.put_u64(row.job);
+        s.put_u32(row.page);
+        s.put_u32(row.donor);
+    }
+}
+
+bool
+RemoteTier::ckpt_load(Deserializer &d)
+{
+    stats_.stores = d.get_u64();
+    stats_.promotions = d.get_u64();
+    stats_.rejected_full = d.get_u64();
+    stats_.donor_failures = d.get_u64();
+    stats_.pages_lost = d.get_u64();
+    stats_.read_latency_us_sum = d.get_double();
+    stats_.crypto_cycles = d.get_double();
+    stats_.read_failures = d.get_u64();
+    stats_.read_retries = d.get_u64();
+    stats_.reads_exhausted = d.get_u64();
+    used_pages_ = d.get_u64();
+    next_donor_ = d.get_u32();
+    d.get_rng(rng_);
+    transient_read_failure_prob_ = d.get_double();
+
+    placements_.clear();
+    pending_placements_.clear();
+    std::size_t num = d.get_size(d.remaining() / 16, 16);
+    if (!d.ok() || num != used_pages_ ||
+        used_pages_ > params_.capacity_pages ||
+        next_donor_ >= params_.num_donors) {
+        return false;
+    }
+    pending_placements_.reserve(num);
+    for (std::size_t i = 0; i < num; ++i) {
+        PendingPlacement pending;
+        pending.job = d.get_u64();
+        pending.page = d.get_u32();
+        pending.donor = d.get_u32();
+        if (!d.ok() || pending.donor >= params_.num_donors)
+            return false;
+        pending_placements_.push_back(pending);
+    }
+    return true;
+}
+
+bool
+RemoteTier::ckpt_resolve(const std::map<JobId, Memcg *> &jobs)
+{
+    for (const PendingPlacement &pending : pending_placements_) {
+        auto it = jobs.find(pending.job);
+        if (it == jobs.end())
+            return false;
+        Memcg *cg = it->second;
+        if (pending.page >= cg->num_pages() ||
+            !cg->page(pending.page).test(kPageInNvm)) {
+            return false;
+        }
+        auto [pos, inserted] = placements_.emplace(
+            key(*cg, pending.page),
+            Placement{cg, pending.page, pending.donor});
+        if (!inserted)
+            return false;
+    }
+    pending_placements_.clear();
+    pending_placements_.shrink_to_fit();
+    return true;
+}
+
 std::uint64_t
 RemoteTier::donor_pages(std::uint32_t donor) const
 {

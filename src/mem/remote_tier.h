@@ -124,6 +124,17 @@ class RemoteTier : public FarTier
     const RemoteTierParams &params() const { return params_; }
     const RemoteTierStats &stats() const { return stats_; }
 
+    /**
+     * Checkpointable: snapshots counters, the round-robin donor
+     * cursor, the degradation knob, the RNG, and every placement as
+     * (job id, page, donor) in ascending key order. Placements hold
+     * raw memcg pointers, so ckpt_load() only parses; ckpt_resolve()
+     * rebuilds the map once the machine's jobs exist again.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
+    bool ckpt_resolve(const std::map<JobId, Memcg *> &jobs) override;
+
   private:
     struct Placement
     {
@@ -141,6 +152,16 @@ class RemoteTier : public FarTier
     std::unordered_map<std::uint64_t, Placement> placements_;
     Rng rng_;
     double transient_read_failure_prob_ = 0.0;
+
+    /** Parsed-but-unresolved placements between ckpt_load() and
+     *  ckpt_resolve(): (job id, page, donor). */
+    struct PendingPlacement
+    {
+        JobId job;
+        PageId page;
+        std::uint32_t donor;
+    };
+    std::vector<PendingPlacement> pending_placements_;
 };
 
 }  // namespace sdfm

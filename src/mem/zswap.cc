@@ -268,4 +268,71 @@ Zswap::drop_all(Memcg &cg)
         drop(cg, p);
 }
 
+void
+Zswap::ckpt_save(Serializer &s) const
+{
+    arena_.ckpt_save(s);
+    s.put_u64(stats_.stores);
+    s.put_u64(stats_.rejects);
+    s.put_u64(stats_.promotions);
+    s.put_u64(stats_.verified_roundtrips);
+    s.put_u64(stats_.poisoned_entries);
+    s.put_u64(stats_.corruptions_injected);
+    s.put_double(stats_.compress_cycles);
+    s.put_double(stats_.decompress_cycles);
+    s.put_rng(rng_);
+    s.put_bool(verify_roundtrip_);
+
+    std::vector<std::pair<ZsHandle, std::uint64_t>> sums;
+    sums.reserve(checksums_.size());
+    // sdfm-lint: allow(unordered-iter) -- extraction only; sorted by
+    // handle before serialization so the wire bytes are independent
+    // of hash-map iteration order.
+    for (const auto &[handle, sum] : checksums_)
+        sums.emplace_back(handle, sum);
+    std::sort(sums.begin(), sums.end());
+    s.put_u64(sums.size());
+    for (const auto &[handle, sum] : sums) {
+        s.put_u64(handle);
+        s.put_u64(sum);
+    }
+}
+
+bool
+Zswap::ckpt_load(Deserializer &d)
+{
+    if (!arena_.ckpt_load(d))
+        return false;
+    stats_.stores = d.get_u64();
+    stats_.rejects = d.get_u64();
+    stats_.promotions = d.get_u64();
+    stats_.verified_roundtrips = d.get_u64();
+    stats_.poisoned_entries = d.get_u64();
+    stats_.corruptions_injected = d.get_u64();
+    stats_.compress_cycles = d.get_double();
+    stats_.decompress_cycles = d.get_double();
+    d.get_rng(rng_);
+    bool verify = d.get_bool();
+    if (!d.ok() || verify != verify_roundtrip_)
+        return false;
+
+    checksums_.clear();
+    std::size_t num = d.get_size(arena_.live_objects(), 16);
+    if (!d.ok() || num != arena_.live_objects())
+        return false;
+    ZsHandle prev = 0;
+    for (std::size_t i = 0; i < num; ++i) {
+        ZsHandle handle = d.get_u64();
+        std::uint64_t sum = d.get_u64();
+        if (!d.ok() || !arena_.is_live(handle) ||
+            (i > 0 && handle <= prev)) {
+            return false;
+        }
+        prev = handle;
+        checksums_.emplace(handle, sum);
+    }
+    update_arena_metrics();
+    return true;
+}
+
 }  // namespace sdfm

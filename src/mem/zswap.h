@@ -46,7 +46,7 @@ struct ZswapStats
 inline constexpr double kZswapRefaultLatencyUs = 80.0;
 
 /** Per-machine zswap instance. */
-class Zswap
+class Zswap : public Checkpointable
 {
   public:
     /**
@@ -139,6 +139,17 @@ class Zswap
      * no-op unless the build defines SDFM_CHECK_INVARIANTS.
      */
     void check_invariants() const;
+
+    /**
+     * Checkpointable: snapshots the arena (entry table + size-class
+     * occupancy), the integrity-checksum table in ascending handle
+     * order, the latency-jitter RNG, and the cumulative counters.
+     * The compressor backend and metric bindings are reconstructed
+     * wiring, not state. ckpt_load() rejects checksum tables that do
+     * not cover exactly the live arena handles.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
 
 #ifdef SDFM_CHECK_INVARIANTS
     /** Test-only: non-const arena access for accounting corruption. */

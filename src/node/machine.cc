@@ -1,6 +1,7 @@
 #include "node/machine.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/digest.h"
 #include "util/invariant.h"
@@ -534,6 +535,126 @@ Machine::update_fault_plane(MachineStepResult *result)
             .set(static_cast<double>(
                 static_cast<std::uint8_t>(tier_breaker_.state())));
     }
+}
+
+void
+Machine::ckpt_save(Serializer &s) const
+{
+    s.put_u32(machine_id_);
+    s.put_rng(rng_);
+    s.put_u64(counters_.accesses);
+    s.put_u64(counters_.promotions);
+    s.put_u64(counters_.direct_reclaims);
+    s.put_u64(counters_.evictions);
+    s.put_double(counters_.kstaled_cycles);
+    s.put_double(counters_.kreclaimd_cycles);
+    s.put_i64(last_scan_);
+    s.put_u32(scan_phase_);
+    s.put_i64(last_telemetry_);
+    s.put_u64(steps_);
+
+    fault_.ckpt_save(s);
+    tier_breaker_.ckpt_save(s);
+    s.put_i64(remote_degraded_until_);
+    s.put_i64(nvm_degraded_until_);
+    s.put_u64(seen_read_failures_);
+    s.put_u64(seen_read_retries_);
+    s.put_u64(seen_reads_exhausted_);
+    s.put_u64(seen_media_errors_);
+
+    s.put_u64(jobs_.size());
+    for (const auto &job : jobs_)
+        job->ckpt_save(s);
+
+    zswap_->ckpt_save(s);
+    s.put_bool(tier_ != nullptr);
+    if (tier_ != nullptr)
+        tier_->ckpt_save(s);
+    agent_.ckpt_save(s);
+    // Registry last: on restore, agent_.ckpt_load() re-registers the
+    // controller metrics, which must exist before the checkpointed
+    // values overwrite them.
+    metrics_->ckpt_save(s);
+}
+
+bool
+Machine::ckpt_load(Deserializer &d)
+{
+    std::uint32_t id = d.get_u32();
+    if (!d.ok() || id != machine_id_)
+        return false;
+    d.get_rng(rng_);
+    counters_.accesses = d.get_u64();
+    counters_.promotions = d.get_u64();
+    counters_.direct_reclaims = d.get_u64();
+    counters_.evictions = d.get_u64();
+    counters_.kstaled_cycles = d.get_double();
+    counters_.kreclaimd_cycles = d.get_double();
+    last_scan_ = d.get_i64();
+    scan_phase_ = d.get_u32();
+    last_telemetry_ = d.get_i64();
+    steps_ = d.get_u64();
+
+    if (!fault_.ckpt_load(d) || !tier_breaker_.ckpt_load(d))
+        return false;
+    remote_degraded_until_ = d.get_i64();
+    nvm_degraded_until_ = d.get_i64();
+    seen_read_failures_ = d.get_u64();
+    seen_read_retries_ = d.get_u64();
+    seen_reads_exhausted_ = d.get_u64();
+    seen_media_errors_ = d.get_u64();
+
+    jobs_.clear();
+    std::size_t num_jobs = d.get_size(d.remaining() / 64, 64);
+    if (!d.ok())
+        return false;
+    std::map<JobId, Memcg *> cgs;
+    for (std::size_t i = 0; i < num_jobs; ++i) {
+        std::unique_ptr<Job> job = Job::ckpt_restore(d);
+        if (job == nullptr)
+            return false;
+        auto [it, inserted] = cgs.emplace(job->id(), &job->memcg());
+        if (!inserted)
+            return false;
+        jobs_.push_back(std::move(job));
+    }
+
+    if (!zswap_->ckpt_load(d))
+        return false;
+    bool has_tier = d.get_bool();
+    if (!d.ok() || has_tier != (tier_ != nullptr))
+        return false;
+    if (tier_ != nullptr &&
+        (!tier_->ckpt_load(d) || !tier_->ckpt_resolve(cgs)))
+        return false;
+    if (!agent_.ckpt_load(d))
+        return false;
+
+    // Cross-structure accounting: the agent manages exactly the
+    // machine's jobs, per-job far-memory residency reconciles with
+    // the store and tier, and DRAM capacity is respected (checkpoints
+    // are taken between steps, where handle_pressure() guarantees it).
+    if (agent_.managed_jobs() != jobs_.size())
+        return false;
+    std::uint64_t zswap_pages = 0;
+    std::uint64_t tier_pages = 0;
+    for (const auto &job : jobs_) {
+        if (agent_.slo_breaker_of(job->id()) == nullptr)
+            return false;
+        zswap_pages += job->memcg().zswap_pages();
+        tier_pages += job->memcg().nvm_pages();
+    }
+    if (zswap_pages != zswap_->stored_pages())
+        return false;
+    if (tier_pages != (tier_ != nullptr ? tier_->used_pages() : 0))
+        return false;
+    if (!jobs_.empty() && used_pages() > config_.dram_pages)
+        return false;
+
+    if (!metrics_->ckpt_load(d))
+        return false;
+    check_invariants();
+    return d.ok();
 }
 
 std::uint64_t

@@ -267,6 +267,21 @@ class Machine
      */
     std::uint64_t state_digest() const;
 
+    /**
+     * Checkpointable-shaped snapshot of the whole machine: RNG,
+     * cumulative counters, scan/telemetry cadence anchors, the fault
+     * plane (injector, tier breaker, degradation windows, last-seen
+     * failure counters), every job in placement order, the zswap
+     * store with its arena, the second tier, the node agent, and --
+     * last -- the metric registry. ckpt_load() expects a freshly
+     * constructed Machine with the identical MachineConfig; it
+     * cross-checks the restored accounting (per-job far-memory
+     * residency vs store/tier occupancy, agent job membership, DRAM
+     * capacity) and returns false on any disagreement.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
+
   private:
     void handle_pressure(MachineStepResult *result);
     std::vector<Memcg *> memcgs();

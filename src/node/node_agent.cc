@@ -1,5 +1,7 @@
 #include "node/node_agent.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace sdfm {
@@ -214,6 +216,77 @@ NodeAgent::export_telemetry(SimTime now, std::vector<Memcg *> &jobs,
         if (sink != nullptr)
             sink->append(std::move(entry));
     }
+}
+
+const CircuitBreaker *
+NodeAgent::slo_breaker_of(JobId id) const
+{
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : &it->second.slo_breaker;
+}
+
+void
+NodeAgent::ckpt_save(Serializer &s) const
+{
+    ckpt_save_slo(s, config_.slo);
+    s.put_u64(stats_.restarts);
+    s.put_u64(stats_.slo_breaker_trips);
+
+    std::vector<JobId> ids;
+    ids.reserve(jobs_.size());
+    // sdfm-lint: allow(unordered-iter) -- key extraction only; ids
+    // are sorted before serialization so the wire bytes are
+    // independent of hash-map iteration order.
+    for (const auto &[id, state] : jobs_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    s.put_u64(ids.size());
+    for (JobId id : ids) {
+        const JobState &state = jobs_.at(id);
+        s.put_u64(id);
+        state.controller.ckpt_save(s);
+        s.put_age_histogram(state.control_snapshot);
+        s.put_age_histogram(state.telemetry_snapshot);
+        ckpt_save_memcg_stats(s, state.sli_snapshot);
+        s.put_u64(state.control_promotions);
+        state.slo_breaker.ckpt_save(s);
+    }
+}
+
+bool
+NodeAgent::ckpt_load(Deserializer &d)
+{
+    if (!ckpt_load_slo(d, config_.slo))
+        return false;
+    stats_.restarts = d.get_u64();
+    stats_.slo_breaker_trips = d.get_u64();
+
+    jobs_.clear();
+    std::size_t num = d.get_size(d.remaining() / 64, 64);
+    if (!d.ok())
+        return false;
+    JobId prev_id = 0;
+    for (std::size_t i = 0; i < num; ++i) {
+        JobId id = d.get_u64();
+        if (!d.ok() || (i > 0 && id <= prev_id))
+            return false;
+        prev_id = id;
+        JobState state{
+            ThresholdController(config_.slo, 0, registry_),
+            AgeHistogram{}, AgeHistogram{}, MemcgStats{}, 0,
+            CircuitBreaker(config_.slo_breaker)};
+        if (!state.controller.ckpt_load(d))
+            return false;
+        d.get_age_histogram(state.control_snapshot);
+        d.get_age_histogram(state.telemetry_snapshot);
+        if (!ckpt_load_memcg_stats(d, state.sli_snapshot))
+            return false;
+        state.control_promotions = d.get_u64();
+        if (!state.slo_breaker.ckpt_load(d))
+            return false;
+        jobs_.emplace(id, std::move(state));
+    }
+    return d.ok();
 }
 
 void

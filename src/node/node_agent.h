@@ -101,6 +101,30 @@ class NodeAgent
     void set_slo(const SloConfig &slo);
 
     /**
+     * The per-job SLO circuit breaker for @p id; nullptr when the job
+     * is not registered. Exposed so tests can verify breaker
+     * lifecycle guarantees -- in particular that crash_restart()
+     * discards accumulated consecutive-breach state along with the
+     * rest of the per-job controller state.
+     */
+    const CircuitBreaker *slo_breaker_of(JobId id) const;
+
+    /** Number of jobs currently under agent management. */
+    std::size_t managed_jobs() const { return jobs_.size(); }
+
+    /**
+     * Checkpointable-shaped snapshot: the live SLO tunables (which
+     * may have diverged from the construction config via set_slo),
+     * the restart counters, and every per-job control state --
+     * controller, histogram snapshots, SLI snapshot, and SLO breaker
+     * -- in ascending job-id order. bind_metrics() state is not
+     * serialized; call it before ckpt_load() so rebuilt controllers
+     * bind to the live registry.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
+
+    /**
      * Attach to the machine's metric registry (agent.* metrics, and
      * controller.* metrics for every controller created afterwards).
      * Call before jobs register; null detaches for future jobs.

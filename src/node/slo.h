@@ -13,6 +13,9 @@
 #ifndef SDFM_NODE_SLO_H
 #define SDFM_NODE_SLO_H
 
+#include <cstddef>
+
+#include "ckpt/checkpoint.h"
 #include "util/sim_time.h"
 
 namespace sdfm {
@@ -41,6 +44,35 @@ struct SloConfig
      */
     std::size_t history_window = 360;
 };
+
+/**
+ * Serialize/restore an SloConfig. Tunables are checkpointed (not
+ * re-derived from the fleet config) because the autotuner deploys new
+ * (K, S) values at runtime; a restored agent must resume with the
+ * deployed values, not the configured defaults.
+ */
+inline void
+ckpt_save_slo(Serializer &s, const SloConfig &slo)
+{
+    s.put_double(slo.target_promotion_rate);
+    s.put_double(slo.percentile_k);
+    s.put_i64(slo.enable_delay);
+    s.put_u64(slo.history_window);
+}
+
+inline bool
+ckpt_load_slo(Deserializer &d, SloConfig &slo)
+{
+    slo.target_promotion_rate = d.get_double();
+    slo.percentile_k = d.get_double();
+    slo.enable_delay = d.get_i64();
+    slo.history_window = d.get_u64();
+    if (!d.ok())
+        return false;
+    return slo.target_promotion_rate >= 0.0 && slo.percentile_k >= 0.0 &&
+           slo.percentile_k <= 100.0 && slo.enable_delay >= 0 &&
+           slo.history_window > 0;
+}
 
 }  // namespace sdfm
 

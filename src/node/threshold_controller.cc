@@ -108,6 +108,35 @@ ThresholdController::update(SimTime now, const AgeHistogram &promo_delta,
 }
 
 void
+ThresholdController::ckpt_save(Serializer &s) const
+{
+    ckpt_save_slo(s, slo_);
+    s.put_i64(job_start_);
+    s.put_u64(pool_.size());
+    for (AgeBucket b : pool_)
+        s.put_u8(b);
+    s.put_u8(current_);
+}
+
+bool
+ThresholdController::ckpt_load(Deserializer &d)
+{
+    if (!ckpt_load_slo(d, slo_))
+        return false;
+    job_start_ = d.get_i64();
+    std::size_t num = d.get_size(slo_.history_window);
+    if (!d.ok())
+        return false;
+    pool_.clear();
+    for (std::size_t i = 0; i < num; ++i)
+        pool_.push_back(d.get_u8());
+    current_ = d.get_u8();
+    if (!d.ok() || (current_ != 0 && pool_.empty()))
+        return false;
+    return true;
+}
+
+void
 ThresholdController::check_invariants() const
 {
     if constexpr (!kInvariantsEnabled)

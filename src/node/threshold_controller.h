@@ -82,6 +82,15 @@ class ThresholdController
                                     double period_minutes);
 
     /**
+     * Checkpointable-shaped snapshot: the (possibly autotuner-
+     * deployed) tunables, the delay-window anchor, the best-threshold
+     * pool in order, and the current threshold. The registry binding
+     * is construction state and is not serialized.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
+
+    /**
      * Controller consistency check (SDFM_INVARIANT tier): the
      * observation pool respects the sliding window bound and the
      * percentile tunable is a valid percentile. A no-op unless the

@@ -94,6 +94,19 @@ Histogram::data() const
     return d;
 }
 
+bool
+Histogram::ckpt_set(const HistogramData &data)
+{
+    if (data.upper_bounds != bounds_ ||
+        data.counts.size() != buckets_.size())
+        return false;
+    for (std::size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b].store(data.counts[b], std::memory_order_relaxed);
+    count_.store(data.total_count, std::memory_order_relaxed);
+    sum_.store(data.sum, std::memory_order_relaxed);
+    return true;
+}
+
 std::vector<double>
 exponential_bounds(double start, double factor, std::size_t count)
 {

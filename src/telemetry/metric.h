@@ -51,6 +51,15 @@ class Counter
         return value_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Checkpoint restore: overwrite the total. Restore-path only --
+     * a running counter is strictly monotonic and must use inc().
+     */
+    void ckpt_set(std::uint64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<std::uint64_t> value_{0};
 };
@@ -174,6 +183,14 @@ class Histogram
 
     /** Copy out a consistent-enough read of the current state. */
     HistogramData data() const;
+
+    /**
+     * Checkpoint restore: overwrite the contents from a saved
+     * HistogramData. Returns false (histogram unchanged) unless
+     * @p data's bounds match this histogram's and the bucket count is
+     * consistent. Restore-path only.
+     */
+    bool ckpt_set(const HistogramData &data);
 
   private:
     std::vector<double> bounds_;

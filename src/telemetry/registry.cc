@@ -1,5 +1,7 @@
 #include "telemetry/registry.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace sdfm {
@@ -38,6 +40,92 @@ MetricRegistry::histogram(const std::string &name,
         SDFM_ASSERT(slot->upper_bounds() == upper_bounds);
     }
     return *slot;
+}
+
+void
+MetricRegistry::ckpt_save(Serializer &s) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.put_u64(counters_.size());
+    for (const auto &[name, metric] : counters_) {
+        s.put_string(name);
+        s.put_u64(metric->value());
+    }
+    s.put_u64(gauges_.size());
+    for (const auto &[name, metric] : gauges_) {
+        s.put_string(name);
+        s.put_double(metric->value());
+    }
+    s.put_u64(histograms_.size());
+    for (const auto &[name, metric] : histograms_) {
+        s.put_string(name);
+        HistogramData data = metric->data();
+        s.put_u64(data.upper_bounds.size());
+        for (double b : data.upper_bounds)
+            s.put_double(b);
+        s.put_u64_vec(data.counts);
+        s.put_u64(data.total_count);
+        s.put_double(data.sum);
+    }
+}
+
+bool
+MetricRegistry::ckpt_load(Deserializer &d)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t num_counters = d.get_size(d.remaining() / 9, 9);
+    if (!d.ok())
+        return false;
+    for (std::size_t i = 0; i < num_counters; ++i) {
+        std::string name = d.get_string();
+        std::uint64_t value = d.get_u64();
+        if (!d.ok() || name.empty())
+            return false;
+        auto &slot = counters_[name];
+        if (!slot)
+            slot = std::make_unique<Counter>();
+        slot->ckpt_set(value);
+    }
+    std::size_t num_gauges = d.get_size(d.remaining() / 9, 9);
+    if (!d.ok())
+        return false;
+    for (std::size_t i = 0; i < num_gauges; ++i) {
+        std::string name = d.get_string();
+        double value = d.get_double();
+        if (!d.ok() || name.empty())
+            return false;
+        auto &slot = gauges_[name];
+        if (!slot)
+            slot = std::make_unique<Gauge>();
+        slot->set(value);
+    }
+    std::size_t num_histograms = d.get_size(d.remaining() / 9, 9);
+    if (!d.ok())
+        return false;
+    for (std::size_t i = 0; i < num_histograms; ++i) {
+        std::string name = d.get_string();
+        HistogramData data;
+        std::size_t num_bounds = d.get_size(d.remaining() / 8, 8);
+        if (!d.ok() || name.empty() || num_bounds == 0)
+            return false;
+        data.upper_bounds.resize(num_bounds);
+        for (double &b : data.upper_bounds)
+            b = d.get_double();
+        data.counts = d.get_u64_vec();
+        data.total_count = d.get_u64();
+        data.sum = d.get_double();
+        if (!d.ok() ||
+            data.counts.size() != data.upper_bounds.size() + 1 ||
+            !std::is_sorted(data.upper_bounds.begin(),
+                            data.upper_bounds.end()))
+            return false;
+        auto &slot = histograms_[name];
+        if (!slot)
+            slot = std::make_unique<Histogram>(data.upper_bounds);
+        if (!slot->ckpt_set(data))
+            return false;
+    }
+    return true;
 }
 
 MetricsSnapshot

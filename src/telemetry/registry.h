@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "telemetry/metric.h"
 #include "telemetry/snapshot.h"
 
@@ -62,6 +63,18 @@ class MetricRegistry
 
     /** Copy the current value of every metric into a snapshot. */
     MetricsSnapshot snapshot() const;
+
+    /**
+     * Checkpoint the registry contents: every metric by name, in map
+     * (lexicographic) order. Restore overwrites metrics in place --
+     * creating any not yet registered, since registration is lazy --
+     * so it must run after the owning machine has bound its daemons
+     * (their cached pointers then see the restored values). Returns
+     * false on corrupt bytes or a histogram whose stored bounds
+     * disagree with an already-registered histogram of the same name.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
 
   private:
     mutable std::mutex mutex_;

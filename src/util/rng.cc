@@ -150,6 +150,29 @@ Rng::fork()
     return Rng(a ^ rotl(b, 32));
 }
 
+RngState
+Rng::state() const
+{
+    RngState state;
+    for (std::size_t i = 0; i < 4; ++i)
+        state.s[i] = s_[i];
+    state.have_gauss = have_gauss_;
+    state.gauss_spare = gauss_spare_;
+    return state;
+}
+
+void
+Rng::set_state(const RngState &state)
+{
+    // An all-zero word state would make xoshiro emit zeros forever;
+    // no snapshot of a live stream can contain it.
+    SDFM_ASSERT((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0);
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    have_gauss_ = state.have_gauss;
+    gauss_spare_ = state.gauss_spare;
+}
+
 ZipfDistribution::ZipfDistribution(std::size_t n, double s)
 {
     SDFM_ASSERT(n >= 1);

@@ -16,6 +16,21 @@
 
 namespace sdfm {
 
+/**
+ * Complete engine state of an Rng stream: the xoshiro256** word
+ * state plus the cached Box-Muller spare. A stream restored from a
+ * snapshot emits the identical draw sequence, which is what
+ * checkpoint/restore (src/ckpt) relies on.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_gauss = false;
+    double gauss_spare = 0.0;
+
+    bool operator==(const RngState &other) const = default;
+};
+
 /** xoshiro256** pseudo-random generator with convenience draws. */
 class Rng
 {
@@ -65,6 +80,12 @@ class Rng
 
     /** Fork a child generator with an independent stream. */
     Rng fork();
+
+    /** Snapshot the full engine state (checkpointing). */
+    RngState state() const;
+
+    /** Overwrite the engine state from a snapshot. */
+    void set_state(const RngState &state);
 
   private:
     std::uint64_t s_[4];

@@ -114,6 +114,50 @@ AccessPattern::AccessPattern(const JobProfile &profile,
     }
 }
 
+AccessPattern::AccessPattern(const JobProfile &profile, CkptRestoreTag)
+    : profile_(profile), rng_(0)
+{
+}
+
+void
+AccessPattern::ckpt_save(Serializer &s) const
+{
+    s.put_u64(classes_.size());
+    for (ReuseClass c : classes_)
+        s.put_u8(static_cast<std::uint8_t>(c));
+    s.put_rng(rng_);
+    s.put_u64_vec(queue_.raw());
+    s.put_i64(next_scan_);
+}
+
+bool
+AccessPattern::ckpt_load(Deserializer &d)
+{
+    std::size_t num = d.get_size(0xffffffffu);
+    if (!d.ok() || num == 0)
+        return false;
+    classes_.resize(num);
+    for (ReuseClass &c : classes_) {
+        std::uint8_t raw = d.get_u8();
+        if (raw >= static_cast<std::uint8_t>(ReuseClass::kNumClasses))
+            return false;
+        c = static_cast<ReuseClass>(raw);
+    }
+    d.get_rng(rng_);
+    std::vector<std::uint64_t> heap = d.get_u64_vec();
+    next_scan_ = d.get_i64();
+    if (!d.ok() || heap.size() > num)
+        return false;
+    for (std::uint64_t key : heap) {
+        if ((key & 0xffffffffu) >= num)
+            return false;
+    }
+    queue_.restore_raw(std::move(heap));
+    if ((profile_.scan_interval_mean > 0) != (next_scan_ != 0))
+        return false;
+    return true;
+}
+
 SimTime
 AccessPattern::to_gap_public(double seconds)
 {

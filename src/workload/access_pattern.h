@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "mem/page.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -44,6 +45,22 @@ class AccessPattern
      */
     AccessPattern(const JobProfile &profile, std::uint32_t num_pages,
                   Rng rng, SimTime start);
+
+    /**
+     * Restore construction: skips the (RNG-consuming) class
+     * assignment and initial scheduling; ckpt_load() must follow and
+     * overwrite every member.
+     */
+    AccessPattern(const JobProfile &profile, CkptRestoreTag);
+
+    /**
+     * Checkpointable-shaped snapshot of the renewal-process state:
+     * per-page reuse classes, the generator, the packed event heap
+     * verbatim, and the next scan time. The profile is restored by
+     * the owning Job, not here.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
 
     /**
      * Generate all accesses with timestamps in [now, now + dt) and

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mem/page.h"
+#include "util/invariant.h"
 #include "util/logging.h"
 #include "util/sim_time.h"
 
@@ -62,6 +63,29 @@ class EventQueue
     PageId top_page() const
     {
         return static_cast<PageId>(heap_.front() & 0xffffffffu);
+    }
+
+    /**
+     * The packed heap array, verbatim. Checkpointing serializes this
+     * raw representation (rather than draining the queue) so a
+     * restored queue is bit-identical: pop order is a total order
+     * over unique keys either way, but the heap layout also feeds
+     * nothing downstream, so copying it wholesale is both exact and
+     * O(n).
+     */
+    const std::vector<std::uint64_t> &raw() const { return heap_; }
+
+    /** Replace the heap with a serialized raw() array. */
+    void
+    restore_raw(std::vector<std::uint64_t> heap)
+    {
+        heap_ = std::move(heap);
+        if constexpr (kInvariantsEnabled) {
+            for (std::size_t i = 1; i < heap_.size(); ++i) {
+                SDFM_INVARIANT(heap_[(i - 1) / kArity] <= heap_[i],
+                               "restored event heap violates heap order");
+            }
+        }
     }
 
     /** Remove the earliest event. */

@@ -30,6 +30,40 @@ Job::Job(JobId id, const JobProfile &profile, std::uint64_t seed,
     }
 }
 
+Job::Job(const JobProfile &profile, CkptRestoreTag)
+    : profile_(profile), rng_(0)
+{
+    // Cheapest structurally valid members; ckpt_restore() overwrites
+    // them all from the wire.
+    memcg_ = std::make_unique<Memcg>(0, 1, 0, profile.mix, 0);
+    pattern_ =
+        std::make_unique<AccessPattern>(profile, CkptRestoreTag{});
+}
+
+void
+Job::ckpt_save(Serializer &s) const
+{
+    ckpt_save_profile(s, profile_);
+    s.put_rng(rng_);
+    memcg_->ckpt_save(s);
+    pattern_->ckpt_save(s);
+}
+
+std::unique_ptr<Job>
+Job::ckpt_restore(Deserializer &d)
+{
+    JobProfile profile;
+    if (!ckpt_load_profile(d, profile))
+        return nullptr;
+    std::unique_ptr<Job> job(new Job(profile, CkptRestoreTag{}));
+    d.get_rng(job->rng_);
+    if (!job->memcg_->ckpt_load(d) || !job->pattern_->ckpt_load(d))
+        return nullptr;
+    if (job->pattern_->num_pages() != job->memcg_->num_pages())
+        return nullptr;
+    return job;
+}
+
 JobStepStats
 Job::run_step(SimTime now, SimTime dt, Zswap &zswap, FarTier *tier)
 {

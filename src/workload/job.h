@@ -40,6 +40,22 @@ class Job
     Job(JobId id, const JobProfile &profile, std::uint64_t seed,
         SimTime start);
 
+    /**
+     * Serialize the complete job: its profile (self-contained, no
+     * catalogue reference), the step RNG, the memcg, and the access
+     * pattern.
+     */
+    void ckpt_save(Serializer &s) const;
+
+    /**
+     * Rebuild a job from ckpt_save() bytes. Uses restore
+     * constructors throughout -- no RNG draw happens, so the restored
+     * job's generators continue exactly where the saved ones stopped.
+     * Returns nullptr on corrupt bytes (d is left poisoned or the
+     * cross-member validation failed).
+     */
+    static std::unique_ptr<Job> ckpt_restore(Deserializer &d);
+
     JobId id() const { return memcg_->id(); }
     const JobProfile &profile() const { return profile_; }
 
@@ -57,6 +73,8 @@ class Job
     AccessPattern &pattern() { return *pattern_; }
 
   private:
+    Job(const JobProfile &profile, CkptRestoreTag);
+
     JobProfile profile_;
     Rng rng_;
     std::unique_ptr<Memcg> memcg_;

@@ -166,6 +166,73 @@ typical_fleet_mix()
     return mix;
 }
 
+void
+ckpt_save_profile(Serializer &s, const JobProfile &profile)
+{
+    s.put_string(profile.name);
+    s.put_u32(profile.min_pages);
+    s.put_u32(profile.max_pages);
+    s.put_double(profile.hot_frac);
+    s.put_double(profile.warm_frac);
+    s.put_double(profile.diurnal_frac);
+    s.put_double(profile.cold_frac);
+    s.put_double(profile.hot_gap_mean);
+    s.put_double(profile.warm_median_gap);
+    s.put_double(profile.warm_sigma);
+    s.put_double(profile.cold_scale);
+    s.put_double(profile.cold_alpha);
+    s.put_double(profile.frozen_reaccess_prob);
+    s.put_double(profile.write_frac);
+    s.put_double(profile.diurnal_amplitude);
+    s.put_double(profile.diurnal_peak_hour);
+    s.put_double(profile.diurnal_active_gap_mean);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ContentClass::kNumClasses); ++i)
+        s.put_double(profile.mix.cdf_at(i));
+    s.put_double(profile.cycles_per_access);
+    s.put_bool(profile.best_effort);
+    s.put_double(profile.unevictable_frac);
+    s.put_i64(profile.scan_interval_mean);
+    s.put_double(profile.scan_fraction);
+    s.put_double(profile.huge_page_frac);
+}
+
+bool
+ckpt_load_profile(Deserializer &d, JobProfile &profile)
+{
+    profile.name = d.get_string();
+    profile.min_pages = d.get_u32();
+    profile.max_pages = d.get_u32();
+    profile.hot_frac = d.get_double();
+    profile.warm_frac = d.get_double();
+    profile.diurnal_frac = d.get_double();
+    profile.cold_frac = d.get_double();
+    profile.hot_gap_mean = d.get_double();
+    profile.warm_median_gap = d.get_double();
+    profile.warm_sigma = d.get_double();
+    profile.cold_scale = d.get_double();
+    profile.cold_alpha = d.get_double();
+    profile.frozen_reaccess_prob = d.get_double();
+    profile.write_frac = d.get_double();
+    profile.diurnal_amplitude = d.get_double();
+    profile.diurnal_peak_hour = d.get_double();
+    profile.diurnal_active_gap_mean = d.get_double();
+    double cdf[static_cast<int>(ContentClass::kNumClasses)];
+    for (double &v : cdf)
+        v = d.get_double();
+    profile.cycles_per_access = d.get_double();
+    profile.best_effort = d.get_bool();
+    profile.unevictable_frac = d.get_double();
+    profile.scan_interval_mean = d.get_i64();
+    profile.scan_fraction = d.get_double();
+    profile.huge_page_frac = d.get_double();
+    if (!d.ok() || !profile.mix.restore_cdf(cdf))
+        return false;
+    if (profile.min_pages == 0 || profile.min_pages > profile.max_pages)
+        return false;
+    return true;
+}
+
 JobProfile
 profile_by_name(const std::string &name)
 {

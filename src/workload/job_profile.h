@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "compression/page_content.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -109,6 +110,17 @@ struct JobProfile
      */
     double huge_page_frac = 0.0;
 };
+
+/**
+ * Serialize every JobProfile field (including the content-mix CDF) in
+ * declaration order. Jobs store their full profile in checkpoints --
+ * rather than an index into the catalogue -- so a restored job never
+ * depends on catalogue ordering.
+ */
+void ckpt_save_profile(Serializer &s, const JobProfile &profile);
+
+/** Mirror of ckpt_save_profile(); false on corrupt bytes. */
+bool ckpt_load_profile(Deserializer &d, JobProfile &profile);
 
 /**
  * The archetype catalogue plus sampling weights: the job mix a

@@ -128,4 +128,63 @@ TraceLog::load(std::istream &is)
     return true;
 }
 
+void
+TraceLog::ckpt_save(Serializer &s) const
+{
+    s.put_u64(entries_.size());
+    for (const TraceEntry &e : entries_) {
+        s.put_u64(e.job);
+        s.put_i64(e.timestamp);
+        s.put_u64(e.wss_pages);
+        s.put_age_histogram(e.promo_delta);
+        s.put_age_histogram(e.cold_hist);
+        s.put_u64(e.sli.zswap_promotions_delta);
+        s.put_u64(e.sli.zswap_stores_delta);
+        s.put_u64(e.sli.zswap_rejects_delta);
+        s.put_u64(e.sli.zswap_pages);
+        s.put_u64(e.sli.resident_pages);
+        s.put_u64(e.sli.cold_pages_min);
+        s.put_u64(e.sli.compressed_bytes);
+        s.put_double(e.sli.compress_cycles_delta);
+        s.put_double(e.sli.decompress_cycles_delta);
+        s.put_double(e.sli.app_cycles_delta);
+        s.put_double(e.sli.decompress_latency_us_delta);
+    }
+}
+
+bool
+TraceLog::ckpt_load(Deserializer &d)
+{
+    entries_.clear();
+    // An entry is at least 24 bytes of header plus two (possibly
+    // empty) sparse histograms and the 11 SLI fields.
+    std::size_t num = d.get_size(d.remaining() / 120, 120);
+    if (!d.ok())
+        return false;
+    entries_.reserve(num);
+    for (std::size_t i = 0; i < num; ++i) {
+        TraceEntry e;
+        e.job = d.get_u64();
+        e.timestamp = d.get_i64();
+        e.wss_pages = d.get_u64();
+        d.get_age_histogram(e.promo_delta);
+        d.get_age_histogram(e.cold_hist);
+        e.sli.zswap_promotions_delta = d.get_u64();
+        e.sli.zswap_stores_delta = d.get_u64();
+        e.sli.zswap_rejects_delta = d.get_u64();
+        e.sli.zswap_pages = d.get_u64();
+        e.sli.resident_pages = d.get_u64();
+        e.sli.cold_pages_min = d.get_u64();
+        e.sli.compressed_bytes = d.get_u64();
+        e.sli.compress_cycles_delta = d.get_double();
+        e.sli.decompress_cycles_delta = d.get_double();
+        e.sli.app_cycles_delta = d.get_double();
+        e.sli.decompress_latency_us_delta = d.get_double();
+        if (!d.ok())
+            return false;
+        entries_.push_back(std::move(e));
+    }
+    return true;
+}
+
 }  // namespace sdfm

@@ -17,6 +17,7 @@
 #include <ostream>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "mem/page.h"
 #include "util/age_histogram.h"
 #include "util/sim_time.h"
@@ -97,6 +98,14 @@ class TraceLog
      * @return false on malformed input (log state is unspecified).
      */
     bool load(std::istream &is);
+
+    /**
+     * Binary checkpoint serialization. Unlike the text save()/load()
+     * pair -- which formats doubles for humans and loses bits -- this
+     * is bit-exact, so a restored log compares == entry for entry.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
 
   private:
     std::vector<TraceEntry> entries_;

@@ -330,6 +330,141 @@ ZsmallocArena::check_invariants() const
                    "every non-reserved slot is either live or free");
 }
 
+void
+ZsmallocArena::ckpt_save(Serializer &s) const
+{
+    s.put_bool(keep_payload_bytes_);
+    s.put_u64(entries_.size());
+    for (std::uint64_t slot = 1; slot < entries_.size(); ++slot) {
+        const Entry &entry = entries_[slot];
+        s.put_u32(entry.size);
+        s.put_u16(entry.class_idx);
+        s.put_u32(entry.zspage);
+        s.put_bool(entry.live);
+        s.put_u64(entry.bytes.size());
+        for (std::uint8_t byte : entry.bytes)
+            s.put_u8(byte);
+    }
+    s.put_u64_vec(free_entries_);
+    s.put_u64(classes_.size());
+    for (const SizeClass &cls : classes_) {
+        // Static geometry (object_size, pages/objects per zspage) is
+        // rebuilt by the constructor; only dynamic state is written.
+        s.put_u64(cls.zspage_occupancy.size());
+        for (std::uint32_t occ : cls.zspage_occupancy)
+            s.put_u32(occ);
+        s.put_u64(cls.candidates.size());
+        for (std::uint32_t id : cls.candidates)
+            s.put_u32(id);
+        s.put_u64(cls.free_zspage_slots.size());
+        for (std::uint32_t id : cls.free_zspage_slots)
+            s.put_u32(id);
+        s.put_u64(cls.live);
+    }
+    s.put_u64(stats_.live_objects);
+    s.put_u64(stats_.stored_bytes);
+    s.put_u64(stats_.pool_bytes);
+    s.put_u64(stats_.total_allocs);
+    s.put_u64(stats_.total_frees);
+    s.put_u64(stats_.compactions);
+    s.put_u64(stats_.compaction_moved_bytes);
+}
+
+bool
+ZsmallocArena::ckpt_load(Deserializer &d)
+{
+    bool keep_bytes = d.get_bool();
+    if (!d.ok() || keep_bytes != keep_payload_bytes_)
+        return false;
+    std::size_t num_entries = d.get_size(SIZE_MAX / sizeof(Entry), 12);
+    if (!d.ok() || num_entries == 0)
+        return false;
+    entries_.assign(num_entries, Entry{});
+    std::uint64_t live_count = 0;
+    for (std::uint64_t slot = 1; slot < entries_.size(); ++slot) {
+        Entry &entry = entries_[slot];
+        entry.size = d.get_u32();
+        entry.class_idx = d.get_u16();
+        entry.zspage = d.get_u32();
+        entry.live = d.get_bool();
+        std::size_t num_bytes = d.get_size(kMaxAlloc);
+        if (!d.ok())
+            return false;
+        entry.bytes.reserve(num_bytes);
+        for (std::size_t b = 0; b < num_bytes; ++b)
+            entry.bytes.push_back(d.get_u8());
+        if (entry.live) {
+            ++live_count;
+            if (entry.class_idx >= kNumClasses ||
+                entry.size == 0 || entry.size > kMaxAlloc) {
+                return false;
+            }
+        }
+    }
+    free_entries_ = d.get_u64_vec();
+    std::size_t num_classes = d.get_size(kNumClasses);
+    if (!d.ok() || num_classes != classes_.size())
+        return false;
+    for (SizeClass &cls : classes_) {
+        std::size_t num_zspages = d.get_size(d.remaining() / 4, 4);
+        if (!d.ok())
+            return false;
+        cls.zspage_occupancy.assign(num_zspages, 0);
+        for (std::uint32_t &occ : cls.zspage_occupancy)
+            occ = d.get_u32();
+        std::size_t num_candidates = d.get_size(d.remaining() / 4, 4);
+        if (!d.ok())
+            return false;
+        cls.candidates.assign(num_candidates, 0);
+        for (std::uint32_t &id : cls.candidates) {
+            id = d.get_u32();
+            if (id >= num_zspages)
+                return false;
+        }
+        std::size_t num_free = d.get_size(num_zspages, 4);
+        if (!d.ok())
+            return false;
+        cls.free_zspage_slots.assign(num_free, 0);
+        for (std::uint32_t &id : cls.free_zspage_slots) {
+            id = d.get_u32();
+            if (id >= num_zspages)
+                return false;
+        }
+        cls.live = d.get_u64();
+    }
+    stats_.live_objects = d.get_u64();
+    stats_.stored_bytes = d.get_u64();
+    stats_.pool_bytes = d.get_u64();
+    stats_.total_allocs = d.get_u64();
+    stats_.total_frees = d.get_u64();
+    stats_.compactions = d.get_u64();
+    stats_.compaction_moved_bytes = d.get_u64();
+    if (!d.ok())
+        return false;
+
+    // The free list and the live entries must partition the slots,
+    // and every live entry must sit in a backed zspage.
+    if (stats_.live_objects != live_count ||
+        free_entries_.size() + live_count != entries_.size() - 1) {
+        return false;
+    }
+    for (std::uint64_t slot : free_entries_) {
+        if (slot == 0 || slot >= entries_.size() || entries_[slot].live)
+            return false;
+    }
+    for (std::uint64_t slot = 1; slot < entries_.size(); ++slot) {
+        const Entry &entry = entries_[slot];
+        if (entry.live &&
+            (entry.zspage >=
+                 classes_[entry.class_idx].zspage_occupancy.size() ||
+             classes_[entry.class_idx].zspage_occupancy[entry.zspage] ==
+                 0)) {
+            return false;
+        }
+    }
+    return true;
+}
+
 double
 ZsmallocArena::fragmentation() const
 {

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+
 namespace sdfm {
 
 /** Opaque handle to a stored payload; 0 is invalid. */
@@ -40,7 +42,7 @@ struct ZsmallocStats
 };
 
 /** Size-class compressed-payload arena. */
-class ZsmallocArena
+class ZsmallocArena : public Checkpointable
 {
   public:
     /**
@@ -97,6 +99,14 @@ class ZsmallocArena
     /** Number of live objects. */
     std::uint64_t live_objects() const { return stats_.live_objects; }
 
+    /** True iff @p handle currently references a live payload. */
+    bool
+    is_live(ZsHandle handle) const
+    {
+        return handle > 0 && handle < entries_.size() &&
+               entries_[handle].live;
+    }
+
     /**
      * Whole-arena consistency check (SDFM_INVARIANT tier): recompute
      * live-object count, stored bytes, per-class occupancy and pool
@@ -105,6 +115,17 @@ class ZsmallocArena
      * SDFM_CHECK_INVARIANTS.
      */
     void check_invariants() const;
+
+    /**
+     * Checkpointable: snapshots the entry table, the free-entry list
+     * (verbatim order -- handle reuse order is trajectory state), and
+     * each size class's dynamic occupancy. Handles stay stable across
+     * a round trip because a handle IS the entry index. The static
+     * class geometry is rebuilt by the constructor; ckpt_load()
+     * rejects payloads whose accounting does not reconcile.
+     */
+    void ckpt_save(Serializer &s) const override;
+    bool ckpt_load(Deserializer &d) override;
 
 #ifdef SDFM_CHECK_INVARIANTS
     /** Test-only: damage the byte accounting so the invariant tests

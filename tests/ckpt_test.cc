@@ -1,0 +1,677 @@
+/**
+ * @file
+ * Tests for crash-consistent checkpoint/restore: the container format
+ * (framing, CRCs, versioning), per-subsystem save/load round trips
+ * compared by state digest or by subsequent behavior, the whole-fleet
+ * checkpoint-at-k / restore / run-to-N trajectory guarantee, and every
+ * rejection path (truncation, CRC flip, bad magic, bad version,
+ * config mismatch, corrupt payload) -- each proving the live fleet is
+ * left untouched by a failed restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autotune/gp_bandit.h"
+#include "ckpt/checkpoint.h"
+#include "cluster/cluster.h"
+#include "core/far_memory_system.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "mem/memcg.h"
+#include "node/machine.h"
+#include "node/threshold_controller.h"
+#include "telemetry/registry.h"
+#include "util/rng.h"
+#include "workload/job.h"
+#include "workload/job_profile.h"
+#include "workload/trace.h"
+
+namespace sdfm {
+namespace {
+
+// ---------------------------------------------------------------------
+// RNG streams (satellite: every stream fully snapshottable)
+// ---------------------------------------------------------------------
+
+TEST(RngCkpt, RestoredStreamProducesIdenticalSequence)
+{
+    Rng original(12345);
+    // Burn a mixed prefix so the snapshot is mid-stream, not at seed
+    // state, and includes the gaussian spare-value cache if any.
+    for (int i = 0; i < 100; ++i) {
+        original.next_u64();
+        original.next_double();
+        original.next_gaussian();
+        original.next_below(1000);
+    }
+
+    Serializer s;
+    s.put_rng(original);
+    Rng restored(999);  // different seed: every word must be overwritten
+    Deserializer d(s.bytes());
+    d.get_rng(restored);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d.at_end());
+
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(original.next_u64(), restored.next_u64());
+        EXPECT_EQ(original.next_double(), restored.next_double());
+        EXPECT_EQ(original.next_gaussian(), restored.next_gaussian());
+        EXPECT_EQ(original.next_below(77), restored.next_below(77));
+        EXPECT_EQ(original.next_bool(0.3), restored.next_bool(0.3));
+    }
+}
+
+TEST(RngCkpt, AllZeroStateIsRejected)
+{
+    Serializer s;
+    for (int i = 0; i < 4; ++i)
+        s.put_u64(0);
+    Rng rng(1);
+    Deserializer d(s.bytes());
+    d.get_rng(rng);
+    EXPECT_FALSE(d.ok());
+}
+
+// ---------------------------------------------------------------------
+// Container format
+// ---------------------------------------------------------------------
+
+TEST(CkptContainer, RoundTripsSections)
+{
+    CkptWriter writer;
+    writer.add_section("zebra", {1, 2, 3});
+    writer.add_section("alpha", {9});
+    writer.add_section("mid", {});
+    std::vector<std::uint8_t> bytes = writer.encode();
+
+    CkptReader reader;
+    ASSERT_EQ(reader.parse(bytes), CkptStatus::kOk);
+    ASSERT_EQ(reader.sections().size(), 3u);
+    // Sections come back in ascending name order.
+    EXPECT_EQ(reader.sections()[0].name, "alpha");
+    EXPECT_EQ(reader.sections()[1].name, "mid");
+    EXPECT_EQ(reader.sections()[2].name, "zebra");
+    ASSERT_NE(reader.section("zebra"), nullptr);
+    EXPECT_EQ(*reader.section("zebra"),
+              (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(reader.section("absent"), nullptr);
+}
+
+TEST(CkptContainer, RejectsTamperedBytes)
+{
+    CkptWriter writer;
+    writer.add_section("data", {10, 20, 30, 40});
+    std::vector<std::uint8_t> good = writer.encode();
+
+    {  // truncation anywhere in the tail
+        for (std::size_t cut = 1; cut <= 6; ++cut) {
+            std::vector<std::uint8_t> bad(good.begin(),
+                                          good.end() - static_cast<long>(cut));
+            CkptReader reader;
+            EXPECT_EQ(reader.parse(bad), CkptStatus::kTruncated);
+        }
+    }
+    {  // payload flip -> CRC mismatch
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() - 6] ^= 0x01;  // inside payload, before the CRC
+        CkptReader reader;
+        EXPECT_EQ(reader.parse(bad), CkptStatus::kCrcMismatch);
+    }
+    {  // magic flip
+        std::vector<std::uint8_t> bad = good;
+        bad[0] ^= 0xFF;
+        CkptReader reader;
+        EXPECT_EQ(reader.parse(bad), CkptStatus::kBadMagic);
+    }
+    {  // unknown version (u32 at offset 8)
+        std::vector<std::uint8_t> bad = good;
+        bad[8] ^= 0x02;
+        CkptReader reader;
+        EXPECT_EQ(reader.parse(bad), CkptStatus::kBadVersion);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Subsystem round trips
+// ---------------------------------------------------------------------
+
+TEST(SubsystemCkpt, CircuitBreakerRoundTrip)
+{
+    CircuitBreakerParams params;
+    params.failure_threshold = 2;
+    params.open_periods = 3;
+    CircuitBreaker a(params);
+    a.record_failure();
+    a.record_failure();  // trips open
+    a.tick();
+    a.record_success();
+
+    Serializer s;
+    a.ckpt_save(s);
+    CircuitBreaker b(params);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+
+    EXPECT_EQ(a.state(), b.state());
+    EXPECT_EQ(a.stats().opens, b.stats().opens);
+    EXPECT_EQ(a.stats().reopens, b.stats().reopens);
+    EXPECT_EQ(a.stats().closes, b.stats().closes);
+    // Behavioral equality from here on.
+    for (int i = 0; i < 12; ++i) {
+        EXPECT_EQ(a.allow(), b.allow());
+        EXPECT_EQ(a.trial_budget(), b.trial_budget());
+        a.tick();
+        b.tick();
+        EXPECT_EQ(a.state(), b.state());
+    }
+}
+
+TEST(SubsystemCkpt, FaultInjectorRoundTrip)
+{
+    FaultConfig config;
+    config.enabled = true;
+    config.donor_failure_prob = 0.3;
+    config.zswap_corruption_prob = 0.4;
+    config.agent_crash_prob = 0.1;
+    config.schedule.push_back({5 * kMinute, {FaultKind::kRemoteDegrade,
+                                             1, 2 * kMinute}});
+
+    FaultInjector a(config, 42);
+    SimTime now = 0;
+    for (int i = 0; i < 10; ++i, now += kMinute)
+        a.step(now, now + kMinute);
+
+    Serializer s;
+    a.ckpt_save(s);
+    FaultInjector b(config, 42);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+
+    for (int i = 0; i < 30; ++i, now += kMinute) {
+        std::vector<FaultEvent> ea = a.step(now, now + kMinute);
+        std::vector<FaultEvent> eb = b.step(now, now + kMinute);
+        ASSERT_EQ(ea.size(), eb.size());
+        for (std::size_t k = 0; k < ea.size(); ++k) {
+            EXPECT_EQ(ea[k].kind, eb[k].kind);
+            EXPECT_EQ(ea[k].magnitude, eb[k].magnitude);
+            EXPECT_EQ(ea[k].duration, eb[k].duration);
+        }
+        EXPECT_EQ(a.target_rng().next_u64(), b.target_rng().next_u64());
+    }
+    EXPECT_EQ(a.stats().injected_total, b.stats().injected_total);
+}
+
+TEST(SubsystemCkpt, ThresholdControllerRoundTrip)
+{
+    SloConfig slo;
+    slo.enable_delay = 2 * kMinute;
+    slo.history_window = 10;
+    ThresholdController a(slo, 0);
+    Rng rng(3);
+    SimTime now = kMinute;
+    auto feed = [&](ThresholdController &c) {
+        AgeHistogram delta;
+        delta.add(static_cast<AgeBucket>(rng.next_below(8)),
+                  rng.next_below(50));
+        return c.update(now, delta, 1000, 1.0);
+    };
+    for (int i = 0; i < 7; ++i, now += kMinute) {
+        feed(a);
+        rng = Rng(3 + static_cast<std::uint64_t>(i));  // deterministic refill
+    }
+
+    Serializer s;
+    a.ckpt_save(s);
+    ThresholdController b(slo, 123);  // wrong anchor: must be overwritten
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+
+    EXPECT_EQ(a.current_threshold(), b.current_threshold());
+    EXPECT_EQ(a.job_start(), b.job_start());
+    for (int i = 0; i < 10; ++i, now += kMinute) {
+        Rng ra(77 + static_cast<std::uint64_t>(i));
+        AgeHistogram delta;
+        delta.add(static_cast<AgeBucket>(ra.next_below(8)),
+                  ra.next_below(50));
+        EXPECT_EQ(a.update(now, delta, 1000, 1.0),
+                  b.update(now, delta, 1000, 1.0));
+    }
+}
+
+TEST(SubsystemCkpt, MemcgRoundTripDigestEqual)
+{
+    Memcg a(7, 500, 42, ContentMix::typical(), 31);
+    a.mutable_cold_hist().add(0, 300);
+    a.mutable_cold_hist().add(5, 200);
+    a.stats().zswap_promotions = 17;
+    a.stats().app_cycles = 1.5e9;
+
+    Serializer s;
+    a.ckpt_save(s);
+    // Restore into the cheapest structurally valid cgroup, the way
+    // Job::ckpt_restore does.
+    Memcg b(0, 1, 0, ContentMix::typical(), 0);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+    EXPECT_EQ(a.state_digest(), b.state_digest());
+    EXPECT_EQ(b.id(), 7u);
+    EXPECT_EQ(b.num_pages(), 500u);
+    EXPECT_EQ(b.stats().zswap_promotions, 17u);
+}
+
+TEST(SubsystemCkpt, TraceLogRoundTripBitExact)
+{
+    TraceLog a;
+    for (int i = 0; i < 5; ++i) {
+        TraceEntry e;
+        e.job = static_cast<JobId>(100 + i);
+        e.timestamp = i * 5 * kMinute;
+        e.wss_pages = 1000u + static_cast<std::uint64_t>(i);
+        e.promo_delta.add(3, 7);
+        e.cold_hist.add(1, 9);
+        e.sli.app_cycles_delta = 0.1 + static_cast<double>(i) / 3.0;
+        e.sli.compress_cycles_delta = 1e9 / 7.0;
+        a.append(e);
+    }
+
+    Serializer s;
+    a.ckpt_save(s);
+    TraceLog b;
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+    ASSERT_EQ(a.entries().size(), b.entries().size());
+    for (std::size_t i = 0; i < a.entries().size(); ++i)
+        EXPECT_EQ(a.entries()[i], b.entries()[i]);
+}
+
+TEST(SubsystemCkpt, MetricRegistryRoundTrip)
+{
+    MetricRegistry a;
+    a.counter("x.count").inc(41);
+    a.gauge("x.level").set(2.5);
+    a.histogram("x.hist", {1.0, 2.0, 4.0}).observe(1.5);
+    a.histogram("x.hist", {1.0, 2.0, 4.0}).observe(9.0);
+
+    Serializer s;
+    a.ckpt_save(s);
+    // The restored registry starts with only a subset registered:
+    // load must set the existing slot and lazily create the rest.
+    MetricRegistry b;
+    b.counter("x.count").inc(5);  // stale value: must be overwritten
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+
+    MetricsSnapshot sa = a.snapshot();
+    MetricsSnapshot sb = b.snapshot();
+    EXPECT_EQ(sa.counters, sb.counters);
+    EXPECT_EQ(sa.gauges, sb.gauges);
+    ASSERT_EQ(sb.histograms.count("x.hist"), 1u);
+    EXPECT_EQ(sa.histograms.at("x.hist").counts,
+              sb.histograms.at("x.hist").counts);
+
+    // Histogram bounds disagreement is a typed rejection, not an
+    // assert: registry with conflicting bounds already registered.
+    MetricRegistry c;
+    c.histogram("x.hist", {10.0, 20.0});
+    Deserializer d2(s.bytes());
+    EXPECT_FALSE(c.ckpt_load(d2));
+}
+
+TEST(SubsystemCkpt, GpBanditRoundTripSuggestsIdentically)
+{
+    BanditConfig config;
+    config.candidates = 32;
+    config.local_candidates = 8;
+    GpBandit a(config, 0.5, 9);
+    Rng rng(4);
+    for (int i = 0; i < 6; ++i) {
+        Vector x = {rng.next_double(), rng.next_double()};
+        a.add_observation(x, rng.next_double(), rng.next_double());
+    }
+    a.suggest();  // advance the candidate RNG off its seed state
+
+    Serializer s;
+    a.ckpt_save(s);
+    GpBandit b(config, 0.5, 9);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+
+    ASSERT_EQ(a.observations().size(), b.observations().size());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(a.suggest(), b.suggest());
+}
+
+TEST(SubsystemCkpt, JobRoundTripDigestEqual)
+{
+    FleetMix mix = typical_fleet_mix();
+    MachineConfig config;
+    config.dram_pages = 16 * 1024;
+    Machine machine(0, config, 11);
+    for (std::size_t i = 0; i < 3; ++i) {
+        machine.add_job(std::make_unique<Job>(
+            static_cast<JobId>(i + 1),
+            mix.profiles[i % mix.profiles.size()], 100 + i, 0));
+    }
+    SimTime now = 0;
+    for (int i = 0; i < 25; ++i, now += config.control_period)
+        machine.step(now);
+
+    // Round-trip each job through the restore path used by
+    // Machine::ckpt_load.
+    for (const auto &job : machine.jobs()) {
+        Serializer s;
+        job->ckpt_save(s);
+        Deserializer d(s.bytes());
+        std::unique_ptr<Job> copy = Job::ckpt_restore(d);
+        ASSERT_NE(copy, nullptr);
+        ASSERT_TRUE(d.at_end());
+        EXPECT_EQ(copy->id(), job->id());
+        EXPECT_EQ(copy->memcg().state_digest(),
+                  job->memcg().state_digest());
+    }
+}
+
+TEST(SubsystemCkpt, MachineRoundTripTrajectoryEqual)
+{
+    FleetMix mix = typical_fleet_mix();
+    MachineConfig config;
+    config.dram_pages = 16 * 1024;
+    config.nvm.capacity_pages = 1 << 18;  // exercise the NVM tier
+    config.tier_breaker_enabled = true;
+    config.slo_breaker_enabled = true;
+    Machine a(0, config, 11);
+    for (std::size_t i = 0; i < 3; ++i) {
+        a.add_job(std::make_unique<Job>(
+            static_cast<JobId>(i + 1),
+            mix.profiles[i % mix.profiles.size()], 100 + i, 0));
+    }
+    SimTime now = 0;
+    for (int i = 0; i < 25; ++i, now += config.control_period)
+        a.step(now);
+
+    Serializer s;
+    a.ckpt_save(s);
+    Machine b(0, config, 11);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d.at_end());
+    EXPECT_EQ(a.state_digest(), b.state_digest());
+
+    // The restored machine must continue the original's trajectory
+    // bit-identically, including the metrics plane.
+    for (int i = 0; i < 15; ++i, now += config.control_period) {
+        a.step(now);
+        b.step(now);
+        ASSERT_EQ(a.state_digest(), b.state_digest())
+            << "diverged " << i << " steps after restore";
+    }
+    EXPECT_EQ(a.metrics().snapshot().counters,
+              b.metrics().snapshot().counters);
+}
+
+TEST(SubsystemCkpt, ClusterRoundTripTrajectoryEqual)
+{
+    ClusterConfig config;
+    config.num_machines = 3;
+    config.machine.dram_pages = 16 * 1024;
+    config.machine.remote.capacity_pages = 1 << 20;
+    config.machine.tier_breaker_enabled = true;
+    config.machine.fault.enabled = true;
+    config.machine.fault.donor_failure_prob = 0.05;
+    config.machine.fault.zswap_corruption_prob = 0.2;
+    config.mix = typical_fleet_mix();
+    Cluster a(0, config, 5);
+    a.populate(0);
+    SimTime now = 0;
+    for (int i = 0; i < 20; ++i, now += config.machine.control_period)
+        a.step(now);
+
+    Serializer s;
+    a.ckpt_save(s);
+    Cluster b(0, config, 5);
+    Deserializer d(s.bytes());
+    ASSERT_TRUE(b.ckpt_load(d));
+    ASSERT_TRUE(d.at_end());
+    EXPECT_EQ(a.state_digest(), b.state_digest());
+
+    for (int i = 0; i < 15; ++i, now += config.machine.control_period) {
+        a.step(now);
+        b.step(now);
+        ASSERT_EQ(a.state_digest(), b.state_digest())
+            << "diverged " << i << " steps after restore";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-fleet checkpoint/restore
+// ---------------------------------------------------------------------
+
+FleetConfig
+small_fleet_config()
+{
+    FleetConfig config;
+    config.num_clusters = 2;
+    config.seed = 21;
+    config.serial_step = true;  // keep the tests single-threaded
+    config.cluster.num_machines = 3;
+    config.cluster.machine.dram_pages = 16 * 1024;
+    config.cluster.machine.remote.capacity_pages = 1 << 20;
+    config.cluster.machine.tier_breaker_enabled = true;
+    config.cluster.machine.slo_breaker_enabled = true;
+    config.cluster.machine.fault.enabled = true;
+    config.cluster.machine.fault.donor_failure_prob = 0.05;
+    config.cluster.machine.fault.zswap_corruption_prob = 0.2;
+    config.cluster.machine.fault.agent_crash_prob = 0.02;
+    config.cluster.mix = typical_fleet_mix();
+    return config;
+}
+
+/** RAII temp checkpoint path (removed on scope exit). */
+struct TempCkpt
+{
+    explicit TempCkpt(const char *name) : path(name) {}
+    ~TempCkpt() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+TEST(FleetCkpt, RestoreAtKReproducesUninterruptedTrajectory)
+{
+    TempCkpt ckpt("fleet_ckpt_traj.ckpt");
+    FleetConfig config = small_fleet_config();
+
+    FarMemorySystem reference(config);
+    reference.populate();
+    for (int i = 0; i < 6; ++i)
+        reference.step();
+    ASSERT_EQ(reference.checkpoint(ckpt.path), CkptStatus::kOk);
+
+    // Cold start: a fresh fleet object, as after a process kill.
+    FarMemorySystem resumed(config);
+    ASSERT_EQ(resumed.restore(ckpt.path), CkptStatus::kOk);
+    EXPECT_EQ(resumed.now(), reference.now());
+    EXPECT_EQ(resumed.state_digest(), reference.state_digest());
+    EXPECT_EQ(resumed.num_jobs(), reference.num_jobs());
+
+    for (int i = 0; i < 12; ++i) {
+        reference.step();
+        resumed.step();
+        ASSERT_EQ(resumed.state_digest(), reference.state_digest())
+            << "diverged " << i << " steps after restore";
+    }
+    // The merged telemetry databases must agree entry for entry.
+    EXPECT_EQ(resumed.merged_trace().entries(),
+              reference.merged_trace().entries());
+}
+
+TEST(FleetCkpt, RestoreIntoPopulatedFleetReplacesState)
+{
+    TempCkpt ckpt("fleet_ckpt_replace.ckpt");
+    FleetConfig config = small_fleet_config();
+
+    FarMemorySystem a(config);
+    a.populate();
+    for (int i = 0; i < 4; ++i)
+        a.step();
+    ASSERT_EQ(a.checkpoint(ckpt.path), CkptStatus::kOk);
+    std::uint64_t digest_at_ckpt = a.state_digest();
+
+    // Let the original drift past the checkpoint, then roll it back.
+    for (int i = 0; i < 5; ++i)
+        a.step();
+    ASSERT_NE(a.state_digest(), digest_at_ckpt);
+    ASSERT_EQ(a.restore(ckpt.path), CkptStatus::kOk);
+    EXPECT_EQ(a.state_digest(), digest_at_ckpt);
+}
+
+/** Read a whole file into bytes. */
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+/** Write bytes to a file. */
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FleetCkpt, RejectionsLeaveLiveFleetUntouched)
+{
+    TempCkpt good("fleet_ckpt_good.ckpt");
+    TempCkpt bad("fleet_ckpt_bad.ckpt");
+    FleetConfig config = small_fleet_config();
+
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    for (int i = 0; i < 4; ++i)
+        fleet.step();
+    ASSERT_EQ(fleet.checkpoint(good.path), CkptStatus::kOk);
+    for (int i = 0; i < 3; ++i)
+        fleet.step();
+    const std::uint64_t live_digest = fleet.state_digest();
+    const SimTime live_now = fleet.now();
+    std::vector<std::uint8_t> bytes = slurp(good.path);
+    ASSERT_GT(bytes.size(), 64u);
+
+    auto expect_rejected = [&](CkptStatus want) {
+        EXPECT_EQ(fleet.restore(bad.path), want);
+        EXPECT_EQ(fleet.state_digest(), live_digest)
+            << "a rejected restore mutated the live fleet";
+        EXPECT_EQ(fleet.now(), live_now);
+    };
+
+    {  // missing file
+        std::remove(bad.path.c_str());
+        expect_rejected(CkptStatus::kIoError);
+    }
+    {  // truncation
+        std::vector<std::uint8_t> t(bytes.begin(), bytes.end() - 9);
+        spit(bad.path, t);
+        expect_rejected(CkptStatus::kTruncated);
+    }
+    {  // CRC flip (corrupt the final section's payload tail)
+        std::vector<std::uint8_t> t = bytes;
+        t[t.size() - 6] ^= 0x40;
+        spit(bad.path, t);
+        expect_rejected(CkptStatus::kCrcMismatch);
+    }
+    {  // not a checkpoint
+        std::vector<std::uint8_t> t = bytes;
+        t[3] ^= 0xFF;
+        spit(bad.path, t);
+        expect_rejected(CkptStatus::kBadMagic);
+    }
+    {  // version from a different lineage
+        std::vector<std::uint8_t> t = bytes;
+        t[8] ^= 0x04;
+        spit(bad.path, t);
+        expect_rejected(CkptStatus::kBadVersion);
+    }
+    {  // CRC-valid but semantically corrupt section payload
+        CkptReader reader;
+        ASSERT_EQ(reader.read_file(good.path), CkptStatus::kOk);
+        CkptWriter writer;
+        for (const CkptSection &section : reader.sections()) {
+            if (section.name == "cluster.0000")
+                writer.add_section(section.name, {0xDE, 0xAD, 0xBE});
+            else
+                writer.add_section(section.name, section.payload);
+        }
+        ASSERT_EQ(writer.write_file(bad.path), CkptStatus::kOk);
+        expect_rejected(CkptStatus::kCorruptPayload);
+    }
+}
+
+TEST(FleetCkpt, ConfigMismatchIsRejected)
+{
+    TempCkpt ckpt("fleet_ckpt_config.ckpt");
+    FleetConfig config = small_fleet_config();
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    fleet.step();
+    ASSERT_EQ(fleet.checkpoint(ckpt.path), CkptStatus::kOk);
+
+    // Any trajectory-relevant config difference must be refused --
+    // seed, topology, tunables, and fault plane alike.
+    auto refuses = [&](FleetConfig other) {
+        FarMemorySystem victim(other);
+        std::uint64_t before = victim.state_digest();
+        EXPECT_EQ(victim.restore(ckpt.path),
+                  CkptStatus::kConfigMismatch);
+        EXPECT_EQ(victim.state_digest(), before);
+    };
+    {
+        FleetConfig other = config;
+        other.seed = config.seed + 1;
+        refuses(other);
+    }
+    {
+        FleetConfig other = config;
+        other.cluster.num_machines += 1;
+        refuses(other);
+    }
+    {
+        FleetConfig other = config;
+        other.cluster.machine.slo.percentile_k = 95.0;
+        refuses(other);
+    }
+    {
+        FleetConfig other = config;
+        other.cluster.machine.fault.donor_failure_prob = 0.0;
+        refuses(other);
+    }
+    // serial_step is the one deliberate exclusion: serial and
+    // parallel stepping are digest-identical, so a checkpoint from
+    // one must restore into the other.
+    {
+        FleetConfig other = config;
+        other.serial_step = false;
+        FarMemorySystem victim(other);
+        EXPECT_EQ(victim.restore(ckpt.path), CkptStatus::kOk);
+        EXPECT_EQ(victim.state_digest(), fleet.state_digest());
+    }
+}
+
+}  // namespace
+}  // namespace sdfm

@@ -543,6 +543,57 @@ TEST(SloBreaker, DisablesZswapAfterConsecutiveBreaches)
     EXPECT_EQ(cg.reclaim_threshold(), config.static_threshold);
 }
 
+TEST(SloBreaker, CrashRestartResetsConsecutiveBreachCount)
+{
+    NodeAgentConfig config;
+    config.policy = FarMemoryPolicy::kStatic;
+    config.static_threshold = 4;
+    config.slo.enable_delay = 0;
+    config.slo_breaker_enabled = true;
+    config.slo_breaker.failure_threshold = 3;
+    config.slo_breaker.open_periods = 4;
+    NodeAgent agent(config);
+
+    Memcg cg(1, 1000, 42, ContentMix::typical(), 0);
+    cg.mutable_cold_hist().add(0, 1000);  // WSS = 1000 pages
+    agent.register_job(cg);
+    std::vector<Memcg *> jobs = {&cg};
+
+    // Two breach periods: one short of the threshold of three.
+    SimTime now = kMinute;
+    for (int round = 0; round < 2; ++round, now += kMinute) {
+        cg.stats().zswap_promotions += 100;  // 10% of WSS per minute
+        agent.control(now, jobs, 1.0);
+    }
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 0u);
+
+    // An agent crash loses the in-memory breach count: the restarted
+    // agent starts every job's breaker from a clean closed state.
+    agent.crash_restart(now, jobs);
+    const CircuitBreaker *breaker = agent.slo_breaker_of(1);
+    ASSERT_NE(breaker, nullptr);
+    EXPECT_EQ(breaker->state(), BreakerState::kClosed);
+    EXPECT_EQ(breaker->stats().opens, 0u);
+
+    // Two more breaches after the restart: four consecutive breaches
+    // spanned the crash, which would have tripped a surviving counter
+    // -- the reset means the breaker must still be closed.
+    for (int round = 0; round < 2; ++round, now += kMinute) {
+        cg.stats().zswap_promotions += 100;
+        agent.control(now, jobs, 1.0);
+    }
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 0u);
+    EXPECT_EQ(agent.slo_breaker_of(1)->state(), BreakerState::kClosed);
+
+    // A third post-crash breach completes a fresh run of three and
+    // trips normally, proving the reset didn't disable the breaker.
+    cg.stats().zswap_promotions += 100;
+    agent.control(now, jobs, 1.0);
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 1u);
+    EXPECT_EQ(agent.slo_breaker_of(1)->state(), BreakerState::kOpen);
+    EXPECT_FALSE(cg.zswap_enabled());
+}
+
 // ---------------------------------------------------------------------
 // Cluster-level donor failure (the previously dormant fail_donor path)
 // ---------------------------------------------------------------------

@@ -1,0 +1,208 @@
+// Probe: kill/resume soak for the checkpoint/restore path.
+//
+// Two fleets run from one config. The reference fleet runs the full
+// horizon uninterrupted, recording state_digest() after every step.
+// The victim fleet runs the same horizon under Bernoulli fault
+// injection while the harness checkpoints it at seeded random
+// intervals and "crashes" it at seeded random points: the whole
+// FarMemorySystem object is destroyed, a fresh fleet is built from
+// the config, and the last checkpoint is restored into it -- exactly
+// a process kill plus a cold-start resume. After every step (and
+// immediately after every resume) the victim's digest must equal the
+// reference digest for the same simulated step; any disagreement
+// means restore lost or invented trajectory state.
+//
+// Exits 0 only if every digest matched AND at least --min-crashes
+// kill/resume cycles actually happened.
+//
+// Usage: soak_probe [--minutes N] [--clusters N] [--seed S]
+//                   [--min-crashes N] [--ckpt PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/far_memory_system.h"
+#include "util/rng.h"
+
+using namespace sdfm;
+
+namespace {
+
+FleetConfig
+soak_config(std::uint32_t num_clusters, std::uint64_t seed)
+{
+    // Small remote-tier fleet with the full fault plane lit up, so
+    // checkpoints cover tiers, breakers, and injector streams -- the
+    // states most likely to be forgotten by a serialization path.
+    FleetConfig config;
+    config.seed = seed;
+    config.num_clusters = num_clusters;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.num_machines = 4;
+    config.cluster.machine.dram_pages = 16 * 1024;
+    config.cluster.machine.remote.capacity_pages = 1ull << 20;
+    config.cluster.machine.tier_breaker_enabled = true;
+    config.cluster.machine.slo_breaker_enabled = true;
+
+    FaultConfig &fault = config.cluster.machine.fault;
+    fault.enabled = true;
+    fault.donor_failure_prob = 0.05;
+    fault.zswap_corruption_prob = 0.2;
+    fault.corruption_batch = 4;
+    fault.remote_degrade_prob = 0.05;
+    fault.agent_crash_prob = 0.01;
+    return config;
+}
+
+std::uint64_t
+steps_done(const FarMemorySystem &system, const FleetConfig &config)
+{
+    return static_cast<std::uint64_t>(
+        (system.now() - config.start_time) /
+        config.cluster.machine.control_period);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t minutes = 45;
+    std::uint32_t num_clusters = 2;
+    std::uint64_t seed = 1;
+    std::uint64_t min_crashes = 3;
+    const char *ckpt_path = "soak_probe.ckpt";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+            minutes = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--clusters") == 0 &&
+                   i + 1 < argc) {
+            num_clusters =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--min-crashes") == 0 &&
+                   i + 1 < argc) {
+            min_crashes =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--ckpt") == 0 && i + 1 < argc) {
+            ckpt_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--minutes N] [--clusters N] "
+                         "[--seed S] [--min-crashes N] [--ckpt PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    FleetConfig config = soak_config(num_clusters, seed);
+
+    // Reference trajectory: digest after populate() (index 0) and
+    // after each of the N steps (indices 1..N).
+    std::vector<std::uint64_t> reference;
+    reference.reserve(minutes + 1);
+    {
+        FarMemorySystem ref(config);
+        ref.populate();
+        reference.push_back(ref.state_digest());
+        for (std::uint64_t i = 0; i < minutes; ++i) {
+            ref.step();
+            reference.push_back(ref.state_digest());
+        }
+    }
+
+    // The harness's own randomness is a separate stream: it decides
+    // *when* to checkpoint and crash, and must not perturb the fleet.
+    Rng harness(seed ^ 0x50A4B07EULL);
+    auto next_ckpt_gap = [&] { return 3 + harness.next_below(6); };
+    auto next_crash_gap = [&] { return 8 + harness.next_below(8); };
+
+    auto victim = std::make_unique<FarMemorySystem>(config);
+    victim->populate();
+
+    std::uint64_t checkpoints = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t replayed_steps = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t high_water_step = 0;
+    bool have_ckpt = false;
+    std::uint64_t until_ckpt = next_ckpt_gap();
+    std::uint64_t until_crash = next_crash_gap();
+
+    auto check = [&](const char *what) {
+        std::uint64_t step = steps_done(*victim, config);
+        if (victim->state_digest() != reference.at(step)) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "DIGEST MISMATCH %s at step %llu\n", what,
+                         static_cast<unsigned long long>(step));
+        }
+    };
+
+    check("after populate");
+    while (steps_done(*victim, config) < minutes) {
+        victim->step();
+        std::uint64_t step = steps_done(*victim, config);
+        if (step <= high_water_step)
+            ++replayed_steps;
+        else
+            high_water_step = step;
+        check("after step");
+
+        if (--until_ckpt == 0) {
+            until_ckpt = next_ckpt_gap();
+            CkptStatus status = victim->checkpoint(ckpt_path);
+            if (status != CkptStatus::kOk) {
+                std::fprintf(stderr, "checkpoint failed: %s\n",
+                             to_string(status));
+                return 1;
+            }
+            ++checkpoints;
+            have_ckpt = true;
+        }
+
+        if (have_ckpt && --until_crash == 0) {
+            until_crash = next_crash_gap();
+            // Kill: drop the whole fleet. Resume: cold-build a fresh
+            // one from the config and restore the last checkpoint.
+            victim.reset();
+            victim = std::make_unique<FarMemorySystem>(config);
+            CkptStatus status = victim->restore(ckpt_path);
+            if (status != CkptStatus::kOk) {
+                std::fprintf(stderr, "restore failed: %s\n",
+                             to_string(status));
+                return 1;
+            }
+            ++crashes;
+            check("after resume");
+        }
+    }
+
+    std::remove(ckpt_path);
+
+    std::printf("soak: %llu steps (+%llu replayed after resume), "
+                "%llu checkpoints, %llu kill/resume cycles, "
+                "%llu digest mismatches (seed %llu)\n",
+                static_cast<unsigned long long>(minutes),
+                static_cast<unsigned long long>(replayed_steps),
+                static_cast<unsigned long long>(checkpoints),
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(seed));
+    if (mismatches != 0) {
+        std::printf("FAIL: restore diverged from the reference run\n");
+        return 1;
+    }
+    if (crashes < min_crashes) {
+        std::printf("FAIL: only %llu kill/resume cycles (need %llu); "
+                    "raise --minutes\n",
+                    static_cast<unsigned long long>(crashes),
+                    static_cast<unsigned long long>(min_crashes));
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}
