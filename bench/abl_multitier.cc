@@ -37,13 +37,54 @@ struct Outcome
     double stall_cycles_pct = 0.0;   ///< all fault stalls / app CPU
 };
 
-Outcome
-run_config(std::uint64_t nvm_capacity_pages, std::uint64_t seed)
+MachineConfig
+base_config()
 {
     MachineConfig config;
     config.dram_pages = 192ull * kMiB / kPageSize;
     config.compression = CompressionMode::kModeled;
+    return config;
+}
+
+MachineConfig
+legacy_nvm_config(std::uint64_t nvm_capacity_pages)
+{
+    MachineConfig config = base_config();
     config.nvm.capacity_pages = nvm_capacity_pages;
+    return config;
+}
+
+/**
+ * The paper's full future-work shape as an explicit TierStack: a
+ * small sub-us NVM tier preferred for the moderately cold band, big
+ * single-digit-us remote memory behind it absorbing NVM overflow and
+ * the deep cold, zswap as the catch-all. Stack order is routing
+ * priority (deepest matching band consulted first), so NVM is listed
+ * last: it wins its band while it has space, and rejected pages fall
+ * through to the remote tier's unbounded band instead of straight to
+ * zswap.
+ */
+MachineConfig
+three_tier_config(std::uint64_t nvm_pages, std::uint64_t remote_pages)
+{
+    MachineConfig config = base_config();
+    TierConfig remote;
+    remote.kind = TierKind::kRemote;
+    remote.remote.capacity_pages = remote_pages;
+    remote.band_lo = 1.0;
+    remote.band_hi = 0.0;
+    TierConfig nvm;
+    nvm.kind = TierKind::kNvm;
+    nvm.nvm.capacity_pages = nvm_pages;
+    nvm.band_lo = 1.0;
+    nvm.band_hi = 2.0;
+    config.tiers = {remote, nvm};
+    return config;
+}
+
+Outcome
+run_config(const MachineConfig &config, std::uint64_t seed)
+{
     Machine machine(0, config, seed);
 
     FleetMix mix = typical_fleet_mix();
@@ -66,11 +107,14 @@ run_config(std::uint64_t nvm_capacity_pages, std::uint64_t seed)
     outcome.coverage = machine.cold_memory_coverage();
     std::uint64_t far = machine.far_memory_pages();
     outcome.nvm_share =
-        far > 0 ? static_cast<double>(machine.nvm_stored_pages()) /
+        far > 0 ? static_cast<double>(machine.tier_stored_pages()) /
                       static_cast<double>(far)
                 : 0.0;
-    if (machine.nvm_tier() != nullptr)
-        outcome.nvm_utilization = machine.nvm_tier()->utilization();
+    std::size_t ni = machine.tiers().find(TierKind::kNvm);
+    if (ni < machine.tiers().size())
+        outcome.nvm_utilization = machine.tiers().tier(ni).utilization();
+    else if (machine.tiers().deep_size() > 0)
+        outcome.nvm_utilization = machine.tiers().tier(1).utilization();
 
     double app = 0.0, stalls = 0.0, latency_sum = 0.0;
     std::uint64_t promotions = 0;
@@ -100,26 +144,30 @@ main()
                  "future work (Section 8): sub-us tier-1 + single-us "
                  "tier-2, managed together");
 
-    TablePrinter table({"config", "coverage", "NVM share", "NVM util",
-                        "mean promo latency", "decompress cycles",
-                        "fault stalls (% CPU)"});
+    TablePrinter table({"config", "coverage", "deep-tier share",
+                        "NVM util", "mean promo latency",
+                        "decompress cycles", "fault stalls (% CPU)"});
     struct Case
     {
-        std::uint64_t nvm_pages;
+        MachineConfig config;
         const char *label;
     };
     const Case cases[] = {
-        {0, "zswap only (paper)"},
-        {2048, "+ NVM 8 MiB"},
-        {8192, "+ NVM 32 MiB"},
-        {32768, "+ NVM 128 MiB (overprovisioned)"},
+        {legacy_nvm_config(0), "zswap only (paper)"},
+        {legacy_nvm_config(2048), "+ NVM 8 MiB"},
+        {legacy_nvm_config(8192), "+ NVM 32 MiB"},
+        {legacy_nvm_config(32768), "+ NVM 128 MiB (overprovisioned)"},
+        {three_tier_config(2048, 65536),
+         "3-tier: NVM 8 MiB + remote 256 MiB"},
     };
     for (const Case &c : cases) {
-        Outcome outcome = run_config(c.nvm_pages, 41);
+        Outcome outcome = run_config(c.config, 41);
+        bool has_deep =
+            c.config.nvm.capacity_pages > 0 || !c.config.tiers.empty();
         table.add_row(
             {c.label, fmt_percent(outcome.coverage),
              fmt_percent(outcome.nvm_share),
-             c.nvm_pages == 0 ? "-" : fmt_percent(outcome.nvm_utilization),
+             has_deep ? fmt_percent(outcome.nvm_utilization) : "-",
              fmt_double(outcome.mean_promo_latency_us, 2) + " us",
              fmt_double(outcome.decompress_cycles / 1e6, 1) + "M",
              fmt_double(outcome.stall_cycles_pct, 4) + "%"});
@@ -129,6 +177,11 @@ main()
     std::cout << "\nexpected: promotion latency and decompression CPU "
                  "fall as the NVM tier grows; the overprovisioned row "
                  "strands capacity (low utilization) -- the risk that "
-                 "motivated software-defined flexibility.\n";
+                 "motivated software-defined flexibility. The 3-tier "
+                 "row keeps a small fully-used NVM device and spills "
+                 "to remote memory instead of stranding: same "
+                 "coverage, no stranded capacity, but promotions from "
+                 "the remote tier pay single-digit-us reads plus "
+                 "retry stalls.\n";
     return 0;
 }

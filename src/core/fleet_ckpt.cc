@@ -70,6 +70,28 @@ save_fault_config(Serializer &s, const FaultConfig &f)
 }
 
 void
+save_nvm_params(Serializer &s, const NvmTierParams &p)
+{
+    s.put_u64(p.capacity_pages);
+    s.put_double(p.read_latency_us);
+    s.put_double(p.write_latency_us);
+    s.put_double(p.jitter_sigma);
+    s.put_double(p.cost_per_byte_vs_dram);
+}
+
+void
+save_remote_params(Serializer &s, const RemoteTierParams &p)
+{
+    s.put_u64(p.capacity_pages);
+    s.put_u32(p.num_donors);
+    s.put_double(p.read_latency_us);
+    s.put_double(p.jitter_sigma);
+    s.put_double(p.crypto_cycles_per_page);
+    s.put_u32(p.max_read_retries);
+    s.put_double(p.retry_backoff_base_us);
+}
+
+void
 save_machine_config(Serializer &s, const MachineConfig &m)
 {
     s.put_u64(m.dram_pages);
@@ -86,18 +108,8 @@ save_machine_config(Serializer &s, const MachineConfig &m)
     s.put_u32(m.kstaled.scan_stride);
     s.put_double(m.kreclaimd.cycles_per_page);
     s.put_double(m.kreclaimd.split_cycles);
-    s.put_u64(m.nvm.capacity_pages);
-    s.put_double(m.nvm.read_latency_us);
-    s.put_double(m.nvm.write_latency_us);
-    s.put_double(m.nvm.jitter_sigma);
-    s.put_double(m.nvm.cost_per_byte_vs_dram);
-    s.put_u64(m.remote.capacity_pages);
-    s.put_u32(m.remote.num_donors);
-    s.put_double(m.remote.read_latency_us);
-    s.put_double(m.remote.jitter_sigma);
-    s.put_double(m.remote.crypto_cycles_per_page);
-    s.put_u32(m.remote.max_read_retries);
-    s.put_double(m.remote.retry_backoff_base_us);
+    save_nvm_params(s, m.nvm);
+    save_remote_params(s, m.remote);
     s.put_double(m.remote_donor_failures_per_hour);
     s.put_double(m.nvm_deep_threshold_factor);
     save_fault_config(s, m.fault);
@@ -105,6 +117,19 @@ save_machine_config(Serializer &s, const MachineConfig &m)
     save_breaker_params(s, m.tier_breaker);
     s.put_bool(m.slo_breaker_enabled);
     save_breaker_params(s, m.slo_breaker);
+    // Explicit tier stack (empty for legacy configurations; the count
+    // keeps old and new fingerprints from colliding).
+    s.put_u64(m.tiers.size());
+    for (const TierConfig &t : m.tiers) {
+        s.put_u8(static_cast<std::uint8_t>(t.kind));
+        s.put_string(t.label);
+        save_nvm_params(s, t.nvm);
+        save_remote_params(s, t.remote);
+        s.put_double(t.band_lo);
+        s.put_double(t.band_hi);
+        s.put_bool(t.breaker_enabled);
+        save_breaker_params(s, t.breaker);
+    }
 }
 
 void

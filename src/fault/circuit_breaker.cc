@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "util/invariant.h"
 #include "util/logging.h"
@@ -182,7 +181,7 @@ CircuitBreaker::trial_budget() const
 {
     switch (state_) {
       case BreakerState::kClosed:
-        return std::numeric_limits<std::uint64_t>::max();
+        return kUnlimitedBudget;
       case BreakerState::kHalfOpen:
         return params_.half_open_trials;
       case BreakerState::kOpen:

@@ -37,6 +37,13 @@ enum class BreakerState : std::uint8_t
 /** Human-readable state name (for tables and logs). */
 const char *breaker_state_name(BreakerState state);
 
+/**
+ * The "no cap" value for store budgets and trial allowances: a closed
+ * breaker grants it, and demotion planning treats it as infinite
+ * (never decremented, never exhausted).
+ */
+inline constexpr std::uint64_t kUnlimitedBudget = ~0ULL;
+
 /** Breaker tunables. */
 struct CircuitBreakerParams
 {
@@ -101,8 +108,8 @@ class CircuitBreaker : public Checkpointable
 
     /**
      * How many operations the caller should attempt this period:
-     * unlimited when closed, params.half_open_trials when half-open,
-     * zero when open.
+     * kUnlimitedBudget when closed, params.half_open_trials when
+     * half-open, zero when open.
      */
     std::uint64_t trial_budget() const;
 

@@ -1,15 +1,18 @@
 /**
  * @file
- * Interface for a second far-memory tier beyond zswap: a hardware
- * device (NVM) or remote machines' memory. Section 2.1 of the paper
- * surveys both; Section 8 anticipates running them alongside zswap.
+ * Interface every far-memory tier implements -- zswap itself and the
+ * deeper tiers beyond it: a hardware device (NVM) or remote machines'
+ * memory. Section 2.1 of the paper surveys the alternatives;
+ * Section 8 anticipates running them alongside zswap, and the
+ * TierStack (tier_stack.h) arranges any number of them in order.
  *
- * Pages in a second tier are uncompressed but out of local DRAM;
- * access promotes them back at the tier's latency. Unlike zswap, a
- * second tier can reject stores (fixed capacity) and -- for remote
- * memory -- can LOSE pages when a donor machine fails, which is the
- * failure-domain expansion that kept remote memory out of the
- * paper's production deployment.
+ * Pages in a deep tier are uncompressed but out of local DRAM; access
+ * promotes them back at the tier's latency. Unlike zswap, a deep tier
+ * can reject stores (fixed capacity) and -- for remote memory -- can
+ * LOSE pages when a donor machine fails, which is the failure-domain
+ * expansion that kept remote memory out of the paper's production
+ * deployment. The capability flags below let routing and fault logic
+ * ask about those behaviours without knowing the concrete type.
  */
 
 #ifndef SDFM_MEM_FAR_TIER_H
@@ -23,11 +26,48 @@
 
 namespace sdfm {
 
-/** Second-tier interface. */
+/** Concrete tier families (for config parsing and fault targeting). */
+enum class TierKind : std::uint8_t
+{
+    kZswap,   ///< compressed, elastic capacity, CPU-priced
+    kNvm,     ///< hardware device, fixed capacity, latency-priced
+    kRemote,  ///< donor machines, fixed capacity, can lose pages
+};
+
+/** Human-readable kind name (for tables and logs). */
+const char *tier_kind_name(TierKind kind);
+
+/** Far-memory tier interface. */
 class FarTier : public Checkpointable
 {
   public:
     virtual ~FarTier() = default;
+
+    /** Which concrete family this tier belongs to. */
+    virtual TierKind kind() const = 0;
+
+    /**
+     * Capability: store() can fail for page-content reasons and marks
+     * the page kPageIncompressible when it does (zswap). Routing skips
+     * already-marked pages for such tiers instead of retrying.
+     */
+    virtual bool rejects_incompressible() const { return false; }
+
+    /**
+     * Capability: stored pages can be lost wholesale (remote donor
+     * failure) rather than merely evicted -- the failure-domain
+     * expansion of Section 2.1.
+     */
+    virtual bool can_lose_pages() const { return false; }
+
+    /**
+     * Position of this tier in its owning TierStack (0 = the elastic
+     * base tier). Set by TierStack::add_tier; a standalone tier
+     * defaults to 1 so single-tier test rigs work unchanged. The
+     * index keys per-page tier residency in each Memcg.
+     */
+    std::uint8_t stack_index() const { return stack_index_; }
+    void set_stack_index(std::uint8_t index) { stack_index_ = index; }
 
     /**
      * Second phase of restore for tiers whose state references jobs:
@@ -66,7 +106,7 @@ class FarTier : public Checkpointable
     virtual std::uint64_t used_pages() const = 0;
     virtual std::uint64_t capacity_pages() const = 0;
 
-    /** Device/pool utilization in [0, 1]. */
+    /** Device/pool utilization in [0, 1]; 0 for elastic tiers. */
     double
     utilization() const
     {
@@ -76,6 +116,9 @@ class FarTier : public Checkpointable
         return static_cast<double>(used_pages()) /
                static_cast<double>(capacity);
     }
+
+  private:
+    std::uint8_t stack_index_ = 1;
 };
 
 }  // namespace sdfm

@@ -9,7 +9,7 @@ namespace {
 
 /** Flags that disqualify a page from demotion to any tier. */
 constexpr std::uint8_t kNotDemotable =
-    kPageInZswap | kPageInNvm | kPageUnevictable | kPageAccessed;
+    kPageInZswap | kPageInFarTier | kPageUnevictable | kPageAccessed;
 
 /** Eligible for demotion to any tier (compressibility aside). */
 bool
@@ -39,7 +39,7 @@ Kreclaimd::bind_metrics(MetricRegistry *registry)
         m_direct_passes_ = nullptr;
         m_pages_walked_ = nullptr;
         m_pages_stored_ = nullptr;
-        m_pages_to_nvm_ = nullptr;
+        m_pages_to_tier_ = nullptr;
         m_pages_rejected_ = nullptr;
         m_huge_splits_ = nullptr;
         m_pass_cycles_ = nullptr;
@@ -49,7 +49,9 @@ Kreclaimd::bind_metrics(MetricRegistry *registry)
     m_direct_passes_ = &registry->counter("kreclaimd.direct_passes");
     m_pages_walked_ = &registry->counter("kreclaimd.pages_walked");
     m_pages_stored_ = &registry->counter("kreclaimd.pages_stored");
-    m_pages_to_nvm_ = &registry->counter("kreclaimd.pages_to_nvm");
+    // Historical name: "nvm" meant "the (only) deep tier" before the
+    // stack generalization. Kept so dashboards and baselines compare.
+    m_pages_to_tier_ = &registry->counter("kreclaimd.pages_to_nvm");
     m_pages_rejected_ = &registry->counter("kreclaimd.pages_rejected");
     m_huge_splits_ = &registry->counter("kreclaimd.huge_splits");
     m_pass_cycles_ = &registry->histogram(
@@ -64,20 +66,18 @@ Kreclaimd::record_pass(const ReclaimResult &result, bool direct) const
     (direct ? m_direct_passes_ : m_passes_)->inc();
     m_pages_walked_->inc(result.pages_walked);
     m_pages_stored_->inc(result.pages_stored);
-    m_pages_to_nvm_->inc(result.pages_to_nvm);
+    m_pages_to_tier_->inc(result.pages_to_tier);
     m_pages_rejected_->inc(result.pages_rejected);
     m_huge_splits_->inc(result.huge_splits);
     m_pass_cycles_->observe(result.walk_cycles);
 }
 
 ReclaimResult
-Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
-                        AgeBucket deep_threshold,
-                        std::uint64_t tier_store_budget) const
+Kreclaimd::reclaim_cold(Memcg &cg, DemotionPlan &plan) const
 {
     ReclaimResult result;
     AgeBucket threshold = cg.reclaim_threshold();
-    if (!cg.zswap_enabled() || threshold == 0)
+    if (!cg.zswap_enabled() || threshold == 0 || plan.empty())
         return result;
 
     // Cold huge regions must be split before their pages can go to
@@ -97,6 +97,31 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
         }
     }
 
+    // Resolve the plan's threshold-relative bands against this job's
+    // live threshold T: [band_lo * T, band_hi * T), truncated to age
+    // buckets and saturated at the 8-bit age ceiling. The scratch
+    // vector lives in the plan so repeated per-job passes do not
+    // allocate.
+    TierStack &stack = *plan.stack;
+    SDFM_ASSERT(stack.size() <= 32);  // attempted-tier bitmask width
+    plan.resolved.clear();
+    double t = static_cast<double>(threshold);
+    for (const DemotionRoute &route : plan.routes) {
+        DemotionPlan::ResolvedRoute rr;
+        rr.tier_index = route.tier_index;
+        double lo = t * route.band_lo;
+        AgeBucket lo_bucket =
+            lo > 255.0 ? 255 : static_cast<AgeBucket>(lo);
+        rr.lo = std::max(lo_bucket, threshold);
+        rr.bounded = route.band_hi != 0.0;
+        rr.hi = 0;
+        if (rr.bounded) {
+            double hi = t * route.band_hi;
+            rr.hi = hi > 255.0 ? 255 : static_cast<AgeBucket>(hi);
+        }
+        plan.resolved.push_back(rr);
+    }
+
     std::uint32_t n = cg.num_pages();
     const bool has_huge = cg.has_huge_regions();
     for (PageId p = 0; p < n; ++p) {
@@ -106,28 +131,57 @@ Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap, FarTier *tier,
         ++result.pages_walked;
         if (!demotable(meta) || meta.age < threshold)
             continue;
-        // Moderately-cold pages (the likeliest to be promoted) go to
-        // the fast hardware tier when one is configured; deep-cold
-        // and overflow pages go to zswap.
-        if (tier != nullptr && deep_threshold > threshold &&
-            meta.age < deep_threshold &&
-            result.pages_to_nvm < tier_store_budget &&
-            tier->store(cg, p)) {
-            ++result.pages_stored;
-            ++result.pages_to_nvm;
-            continue;
+        // First matching route wins (deepest tier first). A tier that
+        // is full falls through to the next route; a tier that
+        // rejects for content (zswap) ends the page's pass, since the
+        // page is now marked incompressible.
+        std::uint32_t attempted = 0;
+        for (const DemotionPlan::ResolvedRoute &rr : plan.resolved) {
+            if (meta.age < rr.lo || (rr.bounded && meta.age >= rr.hi))
+                continue;
+            std::uint32_t bit = 1u << rr.tier_index;
+            if ((attempted & bit) != 0)
+                continue;
+            if (plan.budgets[rr.tier_index] == 0)
+                continue;
+            FarTier &tier = stack.tier(rr.tier_index);
+            if (tier.rejects_incompressible() &&
+                meta.test(kPageIncompressible)) {
+                continue;  // it would reject the page again
+            }
+            attempted |= bit;
+            if (tier.store(cg, p)) {
+                ++result.pages_stored;
+                ++plan.stored[rr.tier_index];
+                if (rr.tier_index != 0) {
+                    ++result.pages_to_tier;
+                    if (plan.budgets[rr.tier_index] != kUnlimitedBudget)
+                        --plan.budgets[rr.tier_index];
+                }
+                break;
+            }
+            if (tier.rejects_incompressible()) {
+                ++result.pages_rejected;
+                break;  // marked incompressible; retry after a write
+            }
         }
-        if (meta.test(kPageIncompressible))
-            continue;  // zswap would reject it again
-        if (zswap.store(cg, p) == Zswap::StoreResult::kStored)
-            ++result.pages_stored;
-        else
-            ++result.pages_rejected;
     }
     result.walk_cycles +=
         params_.cycles_per_page * static_cast<double>(result.pages_walked);
     record_pass(result, /*direct=*/false);
     return result;
+}
+
+ReclaimResult
+Kreclaimd::reclaim_cold(Memcg &cg, Zswap &zswap) const
+{
+    TierStack stack;
+    TierSpec base;
+    base.label = "zswap";
+    stack.set_base(base, &zswap);
+    DemotionPlan plan;
+    BandRoutingPolicy().plan(stack, plan);
+    return reclaim_cold(cg, plan);
 }
 
 ReclaimResult
@@ -160,7 +214,7 @@ Kreclaimd::direct_reclaim(Memcg &cg, Zswap &zswap,
             break;
         if (cg.resident_pages() <= cg.soft_limit_pages())
             break;  // never reclaim below the protected working set
-        if (zswap.store(cg, p) == Zswap::StoreResult::kStored)
+        if (zswap.store(cg, p))
             ++result.pages_stored;
         else
             ++result.pages_rejected;

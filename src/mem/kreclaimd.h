@@ -5,10 +5,12 @@
  * the reactive-zswap baseline (Section 3.2).
  *
  * Proactive mode compares each page's age against the job's
- * agent-chosen cold-age threshold and moves everything older into
- * zswap. Only LRU-eligible pages are considered: unevictable
- * (mlocked) and incompressible-marked pages are skipped, as are
- * pages touched since the last scan.
+ * agent-chosen cold-age threshold and demotes everything older into
+ * the far-memory stack, following a DemotionPlan computed once per
+ * control period by the machine's routing policy (see tier_stack.h).
+ * Only LRU-eligible pages are considered: unevictable (mlocked) pages
+ * are skipped, as are pages touched since the last scan;
+ * incompressible-marked pages are skipped by compressing tiers only.
  */
 
 #ifndef SDFM_MEM_KRECLAIMD_H
@@ -17,7 +19,7 @@
 #include <cstdint>
 
 #include "mem/memcg.h"
-#include "mem/far_tier.h"
+#include "mem/tier_stack.h"
 #include "mem/zswap.h"
 #include "telemetry/registry.h"
 
@@ -26,8 +28,8 @@ namespace sdfm {
 /** Result of one reclaim pass over a job. */
 struct ReclaimResult
 {
-    std::uint64_t pages_stored = 0;    ///< total demoted (zswap + NVM)
-    std::uint64_t pages_to_nvm = 0;    ///< demoted to the NVM tier
+    std::uint64_t pages_stored = 0;    ///< total demoted (all tiers)
+    std::uint64_t pages_to_tier = 0;   ///< demoted to deep tiers (>= 1)
     std::uint64_t pages_rejected = 0;  ///< incompressible rejections
     std::uint64_t pages_walked = 0;
     std::uint64_t huge_splits = 0;     ///< cold huge regions split
@@ -51,33 +53,38 @@ class Kreclaimd
     explicit Kreclaimd(const KreclaimdParams &params = KreclaimdParams{});
 
     /**
-     * Proactive pass: move every eligible page with
-     * age >= cg.reclaim_threshold() into far memory. A threshold of 0
-     * means reclaim is disabled for the job. No-op when the job's
-     * zswap is disabled.
+     * Proactive pass: demote every eligible page with
+     * age >= cg.reclaim_threshold() into far memory, routed by
+     * @p plan. A threshold of 0 means reclaim is disabled for the
+     * job; a no-op when the job's zswap is disabled or the plan is
+     * empty.
      *
-     * Two-tier routing (the paper's future-work configuration): when
-     * @p nvm is non-null and @p deep_threshold > 0, pages with
-     * threshold <= age < deep_threshold go to the fast NVM tier
-     * (space permitting; incompressible pages are welcome there since
-     * no compression is involved), and deeper-cold pages go to zswap.
-     *
-     * @p tier_store_budget caps how many pages this pass may route to
-     * @p tier -- the half-open circuit breaker's trial allowance.
-     * Unlimited by default; 0 routes everything to zswap (an open
-     * breaker). Pages past the budget fall through to the zswap path.
+     * Per page, the plan's routes are consulted in order (deepest
+     * tier first): the first route whose resolved age band contains
+     * the page and whose tier has budget left gets a store attempt.
+     * A capacity rejection (tier full) falls through to the next
+     * route; a content rejection (zswap marking the page
+     * incompressible) ends the page's pass. The plan's budgets and
+     * per-tier store counts are mutated in place, so one plan shared
+     * across jobs enforces machine-wide breaker budgets -- exactly
+     * the half-open trial-trickle semantics.
      */
-    ReclaimResult reclaim_cold(
-        Memcg &cg, Zswap &zswap, FarTier *tier = nullptr,
-        AgeBucket deep_threshold = 0,
-        std::uint64_t tier_store_budget = ~0ULL) const;
+    ReclaimResult reclaim_cold(Memcg &cg, DemotionPlan &plan) const;
+
+    /**
+     * Single-tier convenience: demote straight to @p zswap with no
+     * deep tiers (unit tests and zswap-only rigs). Builds a
+     * throwaway one-entry plan around the store.
+     */
+    ReclaimResult reclaim_cold(Memcg &cg, Zswap &zswap) const;
 
     /**
      * Direct reclaim (the reactive path): compress the job's oldest
      * pages -- regardless of any threshold -- until @p target_pages
      * have been freed or the job's resident set reaches its soft
      * limit. Used on machine memory pressure; the caller charges the
-     * faulting job for the stall.
+     * faulting job for the stall. Always targets zswap: the reactive
+     * path predates the stack and wants the elastic tier.
      *
      * @return Result; pages_stored may be less than target_pages.
      */
@@ -102,7 +109,7 @@ class Kreclaimd
     Counter *m_direct_passes_ = nullptr;
     Counter *m_pages_walked_ = nullptr;
     Counter *m_pages_stored_ = nullptr;
-    Counter *m_pages_to_nvm_ = nullptr;
+    Counter *m_pages_to_tier_ = nullptr;
     Counter *m_pages_rejected_ = nullptr;
     Counter *m_huge_splits_ = nullptr;
     Histogram *m_pass_cycles_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/far_tier.h"
+#include "mem/tier_stack.h"
 #include "mem/zswap.h"
 #include "util/digest.h"
 #include "util/invariant.h"
@@ -37,7 +38,7 @@ Memcg::map_huge_region(PageId first)
     SDFM_ASSERT(!region_huge_[region]);
     for (PageId p = first; p < first + kHugeRegionPages; ++p) {
         SDFM_ASSERT(!pages_[p].test(kPageInZswap) &&
-                    !pages_[p].test(kPageInNvm));
+                    !pages_[p].test(kPageInFarTier));
     }
     region_huge_[region] = true;
     ++huge_count_;
@@ -60,15 +61,30 @@ Memcg::content_seed_of(PageId p) const
 }
 
 bool
-Memcg::touch_far(PageId p, bool is_write, Zswap &zswap, FarTier *tier)
+Memcg::touch_far(PageId p, bool is_write, TierStack &tiers)
 {
     PageMeta &meta = page(p);
     if (meta.test(kPageInZswap)) {
-        zswap.load(*this, p);
+        tiers.zswap().load(*this, p);
     } else {
-        SDFM_ASSERT(tier != nullptr);
-        tier->load(*this, p);
+        std::uint8_t index = tier_of(p);
+        SDFM_ASSERT(index < tiers.size());
+        tiers.tier(index).load(*this, p);
     }
+    meta.set(kPageAccessed);
+    if (is_write) {
+        meta.set(kPageDirty);
+        ++meta.version;  // contents changed; seed rotates
+    }
+    return true;
+}
+
+bool
+Memcg::touch_far_zswap(PageId p, bool is_write, Zswap &zswap)
+{
+    PageMeta &meta = page(p);
+    SDFM_ASSERT(meta.test(kPageInZswap));
+    zswap.load(*this, p);
     meta.set(kPageAccessed);
     if (is_write) {
         meta.set(kPageDirty);
@@ -147,25 +163,41 @@ Memcg::note_loaded_from_zswap(PageId p)
 }
 
 void
-Memcg::note_stored_in_nvm(PageId p)
+Memcg::note_stored_in_tier(PageId p, std::uint8_t tier_index)
 {
+    SDFM_ASSERT(tier_index >= 1);
     PageMeta &meta = page(p);
-    SDFM_ASSERT(!meta.test(kPageInNvm) && !meta.test(kPageInZswap));
-    meta.set(kPageInNvm);
+    SDFM_ASSERT(!meta.test(kPageInFarTier) && !meta.test(kPageInZswap));
+    meta.set(kPageInFarTier);
     SDFM_ASSERT(resident_pages_ > 0);
     --resident_pages_;
-    ++nvm_pages_;
+    ++tier_pages_;
+    if (tier_index != 1 && page_tier_.empty()) {
+        // First store beyond index 1: materialize the per-page index.
+        // Every page already flagged lives at index 1 (the implicit
+        // value while the array was absent), including p itself, whose
+        // true index is written below.
+        page_tier_.assign(pages_.size(), 0);
+        for (PageId q = 0; q < num_pages(); ++q) {
+            if (pages_[q].test(kPageInFarTier))
+                page_tier_[q] = 1;
+        }
+    }
+    if (!page_tier_.empty())
+        page_tier_[p] = tier_index;
 }
 
 void
-Memcg::note_loaded_from_nvm(PageId p)
+Memcg::note_loaded_from_tier(PageId p)
 {
     PageMeta &meta = page(p);
-    SDFM_ASSERT(meta.test(kPageInNvm));
-    meta.clear(kPageInNvm);
-    SDFM_ASSERT(nvm_pages_ > 0);
-    --nvm_pages_;
+    SDFM_ASSERT(meta.test(kPageInFarTier));
+    meta.clear(kPageInFarTier);
+    SDFM_ASSERT(tier_pages_ > 0);
+    --tier_pages_;
     ++resident_pages_;
+    if (!page_tier_.empty())
+        page_tier_[p] = 0;
 }
 
 void
@@ -174,13 +206,16 @@ Memcg::check_invariants() const
     if constexpr (!kInvariantsEnabled)
         return;
 
+    SDFM_INVARIANT(page_tier_.empty() ||
+                       page_tier_.size() == pages_.size(),
+                   "the per-page tier index covers the address space");
     std::uint64_t in_zswap = 0;
-    std::uint64_t in_nvm = 0;
+    std::uint64_t in_tier = 0;
     for (PageId p = 0; p < num_pages(); ++p) {
         const PageMeta &meta = pages_[p];
         if (meta.test(kPageInZswap)) {
             ++in_zswap;
-            SDFM_INVARIANT(!meta.test(kPageInNvm),
+            SDFM_INVARIANT(!meta.test(kPageInFarTier),
                            "a page lives in at most one far tier");
             SDFM_INVARIANT(!meta.test(kPageUnevictable),
                            "unevictable pages never reach far memory");
@@ -192,26 +227,31 @@ Memcg::check_invariants() const
         } else {
             SDFM_INVARIANT(zswap_handle(p) == 0,
                            "only zswap-resident pages carry handles");
-            if (meta.test(kPageInNvm)) {
-                ++in_nvm;
+            if (meta.test(kPageInFarTier)) {
+                ++in_tier;
                 SDFM_INVARIANT(!meta.test(kPageUnevictable),
                                "unevictable pages never reach far "
                                "memory");
+                SDFM_INVARIANT(tier_of(p) >= 1,
+                               "deep-tier residency is at index >= 1");
+            } else {
+                SDFM_INVARIANT(page_tier_.empty() || page_tier_[p] == 0,
+                               "the tier index is zeroed on promotion");
             }
         }
         if (region_huge_.size() > region_of(p) &&
             region_huge_[region_of(p)]) {
             SDFM_INVARIANT(!meta.test(kPageInZswap) &&
-                               !meta.test(kPageInNvm),
+                               !meta.test(kPageInFarTier),
                            "huge-mapped pages stay resident until the "
                            "region is split");
         }
     }
     SDFM_INVARIANT(in_zswap == zswap_pages_,
                    "zswap residency counter matches page flags");
-    SDFM_INVARIANT(in_nvm == nvm_pages_,
-                   "NVM residency counter matches page flags");
-    SDFM_INVARIANT(resident_pages_ + zswap_pages_ + nvm_pages_ ==
+    SDFM_INVARIANT(in_tier == tier_pages_,
+                   "deep-tier residency counter matches page flags");
+    SDFM_INVARIANT(resident_pages_ + zswap_pages_ + tier_pages_ ==
                        num_pages(),
                    "every page is resident or in exactly one far tier");
     SDFM_INVARIANT(zswap_handles_.size() == zswap_pages_,
@@ -239,7 +279,7 @@ Memcg::state_digest() const
     d.mix(static_cast<std::uint64_t>(start_time_));
     d.mix(resident_pages_);
     d.mix(zswap_pages_);
-    d.mix(nvm_pages_);
+    d.mix(tier_pages_);
     d.mix(reclaim_threshold_);
     d.mix(static_cast<std::uint64_t>(zswap_enabled_) << 2 |
           static_cast<std::uint64_t>(best_effort_) << 1 |
@@ -251,6 +291,17 @@ Memcg::state_digest() const
               static_cast<std::uint64_t>(meta.flags) << 24 |
               static_cast<std::uint64_t>(meta.version) << 8 |
               static_cast<std::uint64_t>(meta.content));
+    }
+    // Per-page deep-tier indices, only once a page has lived beyond
+    // stack index 1 (the array is lazily allocated, so legacy two-tier
+    // trajectories mix nothing here and their digests are unchanged).
+    if (!page_tier_.empty()) {
+        for (PageId p = 0; p < num_pages(); ++p) {
+            if (pages_[p].test(kPageInFarTier) && page_tier_[p] > 1) {
+                d.mix(static_cast<std::uint64_t>(p) << 8 |
+                      page_tier_[p]);
+            }
+        }
     }
     for (std::size_t b = 0; b < kAgeBuckets; ++b) {
         d.mix(cold_hist_.at(static_cast<AgeBucket>(b)));
@@ -298,7 +349,7 @@ Memcg::ckpt_save(Serializer &s) const
     s.put_age_histogram(promo_hist_);
     s.put_u64(resident_pages_);
     s.put_u64(zswap_pages_);
-    s.put_u64(nvm_pages_);
+    s.put_u64(tier_pages_);
     s.put_u8(reclaim_threshold_);
     s.put_bool(zswap_enabled_);
     s.put_bool(best_effort_);
@@ -306,6 +357,22 @@ Memcg::ckpt_save(Serializer &s) const
     s.put_u64(region_huge_.size());
     for (std::size_t r = 0; r < region_huge_.size(); ++r)
         s.put_bool(region_huge_[r]);
+
+    // Deep-tier indices beyond the implicit 1, as sorted (page, index)
+    // pairs. Flagged pages absent from the list restore at index 1,
+    // so single-deep-tier checkpoints carry an empty list.
+    std::vector<std::pair<PageId, std::uint8_t>> deep;
+    if (!page_tier_.empty()) {
+        for (PageId p = 0; p < num_pages(); ++p) {
+            if (pages_[p].test(kPageInFarTier) && page_tier_[p] > 1)
+                deep.emplace_back(p, page_tier_[p]);
+        }
+    }
+    s.put_u64(deep.size());
+    for (const auto &[p, index] : deep) {
+        s.put_u32(p);
+        s.put_u8(index);
+    }
 
     ckpt_save_memcg_stats(s, stats_);
 }
@@ -362,7 +429,7 @@ Memcg::ckpt_load(Deserializer &d)
         return false;
     pages_.assign(num, PageMeta{});
     std::uint64_t flagged_zswap = 0;
-    std::uint64_t flagged_nvm = 0;
+    std::uint64_t flagged_tier = 0;
     for (PageMeta &meta : pages_) {
         meta.age = d.get_u8();
         meta.flags = d.get_u8();
@@ -373,8 +440,8 @@ Memcg::ckpt_load(Deserializer &d)
         meta.content = static_cast<ContentClass>(content);
         if (meta.test(kPageInZswap))
             ++flagged_zswap;
-        if (meta.test(kPageInNvm))
-            ++flagged_nvm;
+        if (meta.test(kPageInFarTier))
+            ++flagged_tier;
     }
 
     zswap_handles_.clear();
@@ -397,7 +464,7 @@ Memcg::ckpt_load(Deserializer &d)
     d.get_age_histogram(promo_hist_);
     resident_pages_ = d.get_u64();
     zswap_pages_ = d.get_u64();
-    nvm_pages_ = d.get_u64();
+    tier_pages_ = d.get_u64();
     reclaim_threshold_ = d.get_u8();
     zswap_enabled_ = d.get_bool();
     best_effort_ = d.get_bool();
@@ -415,28 +482,81 @@ Memcg::ckpt_load(Deserializer &d)
             ++huge_count_;
     }
 
+    // Deep-tier indices beyond the implicit 1: an empty list leaves
+    // the lazy array unallocated, exactly the pre-save state of a
+    // single-deep-tier config.
+    page_tier_.clear();
+    std::size_t num_deep = d.get_size(flagged_tier, 5);
+    if (!d.ok())
+        return false;
+    PageId prev_deep = 0;
+    for (std::size_t i = 0; i < num_deep; ++i) {
+        PageId p = d.get_u32();
+        std::uint8_t index = d.get_u8();
+        if (!d.ok() || p >= num || index < 2 ||
+            (i > 0 && p <= prev_deep)) {
+            return false;
+        }
+        if (!pages_[p].test(kPageInFarTier))
+            return false;
+        if (page_tier_.empty()) {
+            page_tier_.assign(num, 0);
+            for (PageId q = 0; q < num; ++q) {
+                if (pages_[q].test(kPageInFarTier))
+                    page_tier_[q] = 1;
+            }
+        }
+        page_tier_[p] = index;
+        prev_deep = p;
+    }
+
     if (!ckpt_load_memcg_stats(d, stats_))
         return false;
 
     // Residency counters must reconcile with the restored page flags
     // and the handle map must cover exactly the zswap-flagged pages.
-    if (zswap_pages_ != flagged_zswap || nvm_pages_ != flagged_nvm ||
+    if (zswap_pages_ != flagged_zswap || tier_pages_ != flagged_tier ||
         zswap_handles_.size() != flagged_zswap ||
-        resident_pages_ + zswap_pages_ + nvm_pages_ != num) {
+        resident_pages_ + zswap_pages_ + tier_pages_ != num) {
         return false;
     }
     return true;
 }
 
 std::vector<PageId>
-Memcg::nvm_page_ids() const
+Memcg::tier_page_ids() const
 {
     std::vector<PageId> ids;
     for (PageId p = 0; p < num_pages(); ++p) {
-        if (pages_[p].test(kPageInNvm))
+        if (pages_[p].test(kPageInFarTier))
             ids.push_back(p);
     }
     return ids;
+}
+
+std::vector<PageId>
+Memcg::tier_page_ids(std::uint8_t tier_index) const
+{
+    std::vector<PageId> ids;
+    for (PageId p = 0; p < num_pages(); ++p) {
+        if (pages_[p].test(kPageInFarTier) && tier_of(p) == tier_index)
+            ids.push_back(p);
+    }
+    return ids;
+}
+
+bool
+Memcg::add_tier_page_counts(std::vector<std::uint64_t> &counts) const
+{
+    for (PageId p = 0; p < num_pages(); ++p) {
+        if (!pages_[p].test(kPageInFarTier))
+            continue;
+        std::uint8_t index = tier_of(p);
+        if (index >= counts.size())
+            return false;
+        counts[index] += 1;
+    }
+    return true;
 }
 
 }  // namespace sdfm

@@ -25,6 +25,7 @@ namespace sdfm {
 
 class Zswap;
 class FarTier;
+class TierStack;
 
 /** Cumulative per-job far-memory counters. */
 struct MemcgStats
@@ -42,8 +43,11 @@ struct MemcgStats
                                        ///< re-faulted from backing store
     double refault_stall_cycles = 0.0; ///< stalls from those re-faults
 
-    // Hardware (NVM) far-memory tier counters (future-work two-tier
-    // configuration; zero when the tier is disabled).
+    // Deep-tier (NVM/remote) counters, aggregated across every tier
+    // below zswap; zero when no deep tier is configured. The nvm_
+    // prefix is historical -- these fields predate the N-tier stack
+    // and their names are baked into checkpoint payloads and the
+    // agent's SLI snapshots.
     std::uint64_t nvm_stores = 0;
     std::uint64_t nvm_promotions = 0;
     double nvm_read_latency_us_sum = 0.0;
@@ -106,18 +110,37 @@ class Memcg : public Checkpointable
 
     /**
      * Application access to a page. Sets the accessed (and on write,
-     * dirty) bit; a page resident in far memory (zswap, or the NVM
-     * tier when configured) is promoted first -- the far-memory
-     * fault path.
+     * dirty) bit; a page resident in far memory (zswap or any deep
+     * tier of the stack) is promoted first -- the far-memory fault
+     * path.
      *
      * @return true iff the access promoted a page out of far memory.
      */
     bool
-    touch(PageId p, bool is_write, Zswap &zswap, FarTier *tier = nullptr)
+    touch(PageId p, bool is_write, TierStack &tiers)
     {
         PageMeta &meta = page(p);
-        if (meta.flags & (kPageInZswap | kPageInNvm))
-            return touch_far(p, is_write, zswap, tier);
+        if (meta.flags & (kPageInZswap | kPageInFarTier))
+            return touch_far(p, is_write, tiers);
+        meta.set(kPageAccessed);
+        if (is_write) {
+            meta.set(kPageDirty);
+            ++meta.version;  // contents changed; seed rotates
+        }
+        return false;
+    }
+
+    /**
+     * Zswap-only convenience overload for rigs without a TierStack
+     * (unit tests, direct reclaim). The page must not live in a deep
+     * tier.
+     */
+    bool
+    touch(PageId p, bool is_write, Zswap &zswap)
+    {
+        PageMeta &meta = page(p);
+        if (meta.flags & (kPageInZswap | kPageInFarTier))
+            return touch_far_zswap(p, is_write, zswap);
         meta.set(kPageAccessed);
         if (is_write) {
             meta.set(kPageDirty);
@@ -179,15 +202,45 @@ class Memcg : public Checkpointable
     /** Pages currently stored compressed in zswap. */
     std::uint64_t zswap_pages() const { return zswap_pages_; }
 
-    /** Pages currently stored in the NVM tier. */
-    std::uint64_t nvm_pages() const { return nvm_pages_; }
+    /** Pages currently stored in deep tiers (every stack index >= 1). */
+    std::uint64_t tier_pages() const { return tier_pages_; }
 
-    /** Adjust NVM residency counters (called by NvmTier). */
-    void note_stored_in_nvm(PageId p);
-    void note_loaded_from_nvm(PageId p);
+    /**
+     * Adjust deep-tier residency counters (called by the tier on
+     * store/load). @p tier_index is the storing tier's position in
+     * its TierStack (>= 1); the per-page index array is allocated
+     * lazily, only once a tier deeper than index 1 stores a page, so
+     * single-deep-tier configs pay nothing for it.
+     */
+    void note_stored_in_tier(PageId p, std::uint8_t tier_index);
+    void note_loaded_from_tier(PageId p);
 
-    /** Pages currently in this memcg's NVM tier (for teardown). */
-    std::vector<PageId> nvm_page_ids() const;
+    /**
+     * Stack index of the deep tier holding page @p p. Only meaningful
+     * while the page's kPageInFarTier flag is set.
+     */
+    std::uint8_t
+    tier_of(PageId p) const
+    {
+        SDFM_ASSERT(page(p).test(kPageInFarTier));
+        return page_tier_.empty() ? std::uint8_t{1} : page_tier_[p];
+    }
+
+    /** Pages currently in any deep tier (for teardown). */
+    std::vector<PageId> tier_page_ids() const;
+
+    /** Pages currently in the deep tier at @p tier_index. */
+    std::vector<PageId> tier_page_ids(std::uint8_t tier_index) const;
+
+    /**
+     * Accumulate this cgroup's deep-tier residency into @p counts,
+     * indexed by stack position. For machine-level cross-checks
+     * against each tier's own used_pages().
+     *
+     * @return false when a page's tier index is out of @p counts's
+     *         range (a corrupt restore or a stack mismatch).
+     */
+    bool add_tier_page_counts(std::vector<std::uint64_t> &counts) const;
 
     /**
      * Cold-age histogram: pages by current age, rebuilt by each
@@ -286,8 +339,11 @@ class Memcg : public Checkpointable
     bool ckpt_load(Deserializer &d) override;
 
   private:
-    /** Out-of-line slow path of touch(): promote from zswap/NVM. */
-    bool touch_far(PageId p, bool is_write, Zswap &zswap, FarTier *tier);
+    /** Out-of-line slow path of touch(): promote from the stack. */
+    bool touch_far(PageId p, bool is_write, TierStack &tiers);
+
+    /** Slow path of the zswap-only overload (asserts no deep tier). */
+    bool touch_far_zswap(PageId p, bool is_write, Zswap &zswap);
 
     JobId id_;
     std::uint64_t content_seed_;
@@ -298,7 +354,14 @@ class Memcg : public Checkpointable
     AgeHistogram promo_hist_;
     std::uint64_t resident_pages_ = 0;
     std::uint64_t zswap_pages_ = 0;
-    std::uint64_t nvm_pages_ = 0;
+    std::uint64_t tier_pages_ = 0;
+    /**
+     * Per-page deep-tier stack index; empty until some page is stored
+     * at index >= 2 (the common single-deep-tier case never allocates
+     * it). When allocated: 0 for pages not in a deep tier, else the
+     * holding tier's stack index.
+     */
+    std::vector<std::uint8_t> page_tier_;
     AgeBucket reclaim_threshold_ = 0;
     bool zswap_enabled_ = false;
     bool best_effort_ = false;

@@ -21,14 +21,14 @@ bool
 NvmTier::store(Memcg &cg, PageId p)
 {
     PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInNvm));
+    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInFarTier));
     SDFM_ASSERT(!meta.test(kPageUnevictable));
     if (!has_space()) {
         ++stats_.rejected_full;
         return false;
     }
     ++used_pages_;
-    cg.note_stored_in_nvm(p);
+    cg.note_stored_in_tier(p, stack_index());
     ++stats_.stores;
     ++cg.stats().nvm_stores;
     return true;
@@ -37,10 +37,10 @@ NvmTier::store(Memcg &cg, PageId p)
 void
 NvmTier::load(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
-    cg.note_loaded_from_nvm(p);
+    cg.note_loaded_from_tier(p);
     double latency = params_.read_latency_us * latency_multiplier_ *
                      rng_.next_lognormal(0.0, params_.jitter_sigma);
     if (pending_media_errors_ > 0) {
@@ -80,16 +80,16 @@ NvmTier::lose_capacity(double frac)
 void
 NvmTier::drop(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
-    cg.note_loaded_from_nvm(p);
+    cg.note_loaded_from_tier(p);
 }
 
 void
 NvmTier::drop_all(Memcg &cg)
 {
-    for (PageId p : cg.nvm_page_ids())
+    for (PageId p : cg.tier_page_ids(stack_index()))
         drop(cg, p);
 }
 

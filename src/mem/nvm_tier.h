@@ -78,6 +78,8 @@ class NvmTier : public FarTier
   public:
     NvmTier(const NvmTierParams &params, std::uint64_t rng_seed);
 
+    TierKind kind() const override { return TierKind::kNvm; }
+
     /** True iff the tier exists and has a free page slot. */
     bool has_space() const override;
 

@@ -42,8 +42,12 @@ enum PageFlag : std::uint8_t
     /** The page currently lives compressed in zswap. */
     kPageInZswap = 1 << 4,
 
-    /** The page currently lives in the hardware NVM tier. */
-    kPageInNvm = 1 << 5,
+    /**
+     * The page currently lives in a deep far-memory tier (NVM or
+     * remote memory; any TierStack index >= 1). Which tier exactly is
+     * tracked per page by the owning Memcg.
+     */
+    kPageInFarTier = 1 << 5,
 };
 
 /**

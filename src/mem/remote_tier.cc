@@ -33,7 +33,7 @@ bool
 RemoteTier::store(Memcg &cg, PageId p)
 {
     PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInNvm));
+    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInFarTier));
     SDFM_ASSERT(!meta.test(kPageUnevictable));
     if (!has_space()) {
         ++stats_.rejected_full;
@@ -45,7 +45,7 @@ RemoteTier::store(Memcg &cg, PageId p)
         placements_.emplace(key(cg, p), Placement{&cg, p, donor});
     SDFM_ASSERT(inserted);
     ++used_pages_;
-    cg.note_stored_in_nvm(p);
+    cg.note_stored_in_tier(p, stack_index());
     ++stats_.stores;
     ++cg.stats().nvm_stores;
     // Pages leaving the machine must be encrypted (Section 2.1).
@@ -57,12 +57,12 @@ RemoteTier::store(Memcg &cg, PageId p)
 void
 RemoteTier::load(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
     std::size_t erased = placements_.erase(key(cg, p));
     SDFM_ASSERT(erased == 1);
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
-    cg.note_loaded_from_nvm(p);
+    cg.note_loaded_from_tier(p);
 
     double latency = params_.read_latency_us *
                      rng_.next_lognormal(0.0, params_.jitter_sigma);
@@ -100,18 +100,18 @@ RemoteTier::load(Memcg &cg, PageId p)
 void
 RemoteTier::drop(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInNvm));
+    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
     std::size_t erased = placements_.erase(key(cg, p));
     SDFM_ASSERT(erased == 1);
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
-    cg.note_loaded_from_nvm(p);
+    cg.note_loaded_from_tier(p);
 }
 
 void
 RemoteTier::drop_all(Memcg &cg)
 {
-    for (PageId p : cg.nvm_page_ids())
+    for (PageId p : cg.tier_page_ids(stack_index()))
         drop(cg, p);
 }
 
@@ -139,7 +139,7 @@ RemoteTier::fail_donor(std::uint32_t donor)
         ++stats_.pages_lost;
         // The page's data is gone; the owning job is about to be
         // killed, so just restore the residency accounting.
-        placement.cg->note_loaded_from_nvm(placement.page);
+        placement.cg->note_loaded_from_tier(placement.page);
     }
     return {affected.begin(), affected.end()};
 }
@@ -243,7 +243,8 @@ RemoteTier::ckpt_resolve(const std::map<JobId, Memcg *> &jobs)
             return false;
         Memcg *cg = it->second;
         if (pending.page >= cg->num_pages() ||
-            !cg->page(pending.page).test(kPageInNvm)) {
+            !cg->page(pending.page).test(kPageInFarTier) ||
+            cg->tier_of(pending.page) != stack_index()) {
             return false;
         }
         auto [pos, inserted] = placements_.emplace(

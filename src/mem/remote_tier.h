@@ -78,6 +78,11 @@ class RemoteTier : public FarTier
   public:
     RemoteTier(const RemoteTierParams &params, std::uint64_t rng_seed);
 
+    TierKind kind() const override { return TierKind::kRemote; }
+
+    /** Donor failures lose hosted pages wholesale (Section 2.1). */
+    bool can_lose_pages() const override { return true; }
+
     bool has_space() const override;
     bool store(Memcg &cg, PageId p) override;
     void load(Memcg &cg, PageId p) override;

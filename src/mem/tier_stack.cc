@@ -1,0 +1,196 @@
+#include "mem/tier_stack.h"
+
+#include "util/invariant.h"
+#include "util/logging.h"
+
+namespace sdfm {
+
+const char *
+tier_kind_name(TierKind kind)
+{
+    switch (kind) {
+      case TierKind::kZswap:
+        return "zswap";
+      case TierKind::kNvm:
+        return "nvm";
+      case TierKind::kRemote:
+        return "remote";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Labels feed metric names, so they are restricted to [a-z0-9_]. */
+bool
+valid_label(const std::string &label)
+{
+    if (label.empty())
+        return false;
+    for (char c : label) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+void
+TierStack::set_base(const TierSpec &spec, std::unique_ptr<Zswap> zswap)
+{
+    Zswap *raw = zswap.get();
+    SDFM_ASSERT(entries_.empty());
+    SDFM_ASSERT(raw != nullptr);
+    SDFM_ASSERT(valid_label(spec.label));
+    entries_.emplace_back(spec, raw, std::move(zswap));
+    zswap_ = raw;
+    raw->set_stack_index(0);
+}
+
+void
+TierStack::set_base(const TierSpec &spec, Zswap *zswap)
+{
+    SDFM_ASSERT(entries_.empty());
+    SDFM_ASSERT(zswap != nullptr);
+    SDFM_ASSERT(valid_label(spec.label));
+    entries_.emplace_back(spec, zswap, nullptr);
+    zswap_ = zswap;
+    zswap->set_stack_index(0);
+}
+
+std::size_t
+TierStack::add_tier(const TierSpec &spec, std::unique_ptr<FarTier> tier)
+{
+    FarTier *raw = tier.get();
+    SDFM_ASSERT(!entries_.empty());  // set_base() comes first
+    SDFM_ASSERT(raw != nullptr);
+    SDFM_ASSERT(raw->kind() != TierKind::kZswap);
+    SDFM_ASSERT(valid_label(spec.label));
+    std::size_t index = entries_.size();
+    SDFM_ASSERT(index < 256);  // Memcg tracks tier indices in a u8
+    entries_.emplace_back(spec, raw, std::move(tier));
+    raw->set_stack_index(static_cast<std::uint8_t>(index));
+    return index;
+}
+
+std::size_t
+TierStack::add_tier(const TierSpec &spec, FarTier *tier)
+{
+    SDFM_ASSERT(!entries_.empty());
+    SDFM_ASSERT(tier != nullptr);
+    SDFM_ASSERT(tier->kind() != TierKind::kZswap);
+    SDFM_ASSERT(valid_label(spec.label));
+    std::size_t index = entries_.size();
+    SDFM_ASSERT(index < 256);
+    entries_.emplace_back(spec, tier, nullptr);
+    tier->set_stack_index(static_cast<std::uint8_t>(index));
+    return index;
+}
+
+TierStack::Entry &
+TierStack::entry(std::size_t index)
+{
+    SDFM_ASSERT(index < entries_.size());
+    return entries_[index];
+}
+
+const TierStack::Entry &
+TierStack::entry(std::size_t index) const
+{
+    SDFM_ASSERT(index < entries_.size());
+    return entries_[index];
+}
+
+Zswap &
+TierStack::zswap()
+{
+    SDFM_ASSERT(zswap_ != nullptr);
+    return *zswap_;
+}
+
+const Zswap &
+TierStack::zswap() const
+{
+    SDFM_ASSERT(zswap_ != nullptr);
+    return *zswap_;
+}
+
+std::size_t
+TierStack::find(TierKind kind) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].tier->kind() == kind)
+            return i;
+    }
+    return entries_.size();
+}
+
+std::uint64_t
+TierStack::deep_used_pages() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+        total += entries_[i].tier->used_pages();
+    return total;
+}
+
+void
+TierStack::check_invariants() const
+{
+    if constexpr (!kInvariantsEnabled)
+        return;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        SDFM_INVARIANT(e.tier != nullptr, "every entry holds a tier");
+        SDFM_INVARIANT(e.tier->stack_index() == i,
+                       "each tier knows its stack position");
+        SDFM_INVARIANT((i == 0) ==
+                           (e.tier->kind() == TierKind::kZswap),
+                       "zswap is the base tier and only the base");
+        for (std::size_t j = 0; j < i; ++j) {
+            SDFM_INVARIANT(entries_[j].spec.label != e.spec.label,
+                           "tier labels are unique within a stack");
+        }
+        e.breaker.check_invariants();
+    }
+    SDFM_INVARIANT(entries_.empty() || zswap_ == entries_[0].tier,
+                   "the cached base pointer matches entry 0");
+}
+
+void
+BandRoutingPolicy::plan(TierStack &stack, DemotionPlan &out) const
+{
+    out.clear();
+    if (stack.size() == 0)
+        return;
+    out.stack = &stack;
+    out.budgets.assign(stack.size(), kUnlimitedBudget);
+    out.stored.assign(stack.size(), 0);
+    for (std::size_t i = 0; i < stack.size(); ++i)
+        out.budgets[i] = stack.entry(i).store_budget();
+
+    // Deep tiers claim their bands deepest-first, so a page whose age
+    // sits in several (misconfigured, overlapping) bands goes as deep
+    // as possible. An open breaker hands the band to the next
+    // shallower allowed tier; handing it all the way to zswap is a
+    // no-op because the catch-all below already covers every age.
+    for (std::size_t i = stack.size(); i-- > 1;) {
+        const TierStack::Entry &e = stack.entry(i);
+        std::size_t dest = i;
+        while (dest > 0 && !stack.entry(dest).allowed())
+            --dest;
+        if (dest == 0)
+            continue;
+        out.routes.push_back(
+            {dest, e.spec.band_lo, e.spec.band_hi});
+    }
+
+    // The catch-all: everything at or past the job's threshold that no
+    // deep tier took goes to zswap.
+    out.routes.push_back({0, 1.0, 0.0});
+}
+
+}  // namespace sdfm

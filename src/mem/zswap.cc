@@ -61,7 +61,7 @@ Zswap::update_arena_metrics()
     m_stored_pages_->set(static_cast<double>(arena_.live_objects()));
 }
 
-Zswap::StoreResult
+bool
 Zswap::store(Memcg &cg, PageId p)
 {
     PageMeta &meta = cg.page(p);
@@ -103,7 +103,7 @@ Zswap::store(Memcg &cg, PageId p)
             m_payload_bytes_->observe(
                 static_cast<double>(result.compressed_size));
         }
-        return StoreResult::kRejected;
+        return false;
     }
 
     ZsHandle handle =
@@ -122,7 +122,7 @@ Zswap::store(Memcg &cg, PageId p)
             static_cast<double>(result.compressed_size));
         update_arena_metrics();
     }
-    return StoreResult::kStored;
+    return true;
 }
 
 void

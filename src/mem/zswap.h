@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "compression/compressor.h"
+#include "mem/far_tier.h"
 #include "mem/memcg.h"
 #include "telemetry/registry.h"
 #include "util/rng.h"
@@ -45,8 +46,13 @@ struct ZswapStats
  */
 inline constexpr double kZswapRefaultLatencyUs = 80.0;
 
-/** Per-machine zswap instance. */
-class Zswap : public Checkpointable
+/**
+ * Per-machine zswap instance. A FarTier like the deep tiers, but with
+ * elastic capacity (the arena grows in DRAM) and content-dependent
+ * rejection: a store can fail because the page does not compress, in
+ * which case the page is marked kPageIncompressible.
+ */
+class Zswap : public FarTier
 {
   public:
     /**
@@ -62,21 +68,25 @@ class Zswap : public Checkpointable
     Zswap(Compressor *compressor, std::uint64_t rng_seed = 1,
           bool verify_roundtrip = false);
 
-    /** Result of attempting to store one page. */
-    enum class StoreResult
-    {
-        kStored,     ///< compressed and kept
-        kRejected,   ///< payload too large; page marked incompressible
-    };
+    // -- FarTier interface -------------------------------------------
+
+    TierKind kind() const override { return TierKind::kZswap; }
+
+    /** Rejections mark the page; routing must not retry it here. */
+    bool rejects_incompressible() const override { return true; }
+
+    /** The arena grows in DRAM, so a slot always exists. */
+    bool has_space() const override { return true; }
 
     /**
      * Compress page @p p of @p cg into the arena. The page must be
-     * resident, evictable, and not already in zswap. On rejection the
-     * page is marked kPageIncompressible. CPU cycles are charged to
-     * the job either way (the paper's "opportunity cost of wasted
+     * resident, evictable, and not already in zswap. Returns false on
+     * rejection (payload larger than kMaxZswapPayload), in which case
+     * the page is marked kPageIncompressible. CPU cycles are charged
+     * to the job either way (the paper's "opportunity cost of wasted
      * cycles" on incompressible data).
      */
-    StoreResult store(Memcg &cg, PageId p);
+    bool store(Memcg &cg, PageId p) override;
 
     /**
      * Promote (decompress) page @p p back to DRAM. The page must be
@@ -89,7 +99,7 @@ class Zswap : public Checkpointable
      * counted as poisoned, the page re-faults from backing store at
      * kZswapRefaultLatencyUs, and the caller proceeds as if promoted.
      */
-    void load(Memcg &cg, PageId p);
+    void load(Memcg &cg, PageId p) override;
 
     /**
      * Fault plane: corrupt one randomly chosen stored entry (its
@@ -102,10 +112,14 @@ class Zswap : public Checkpointable
      * Drop a stored page without decompressing (job teardown or data
      * invalidation). No CPU charge.
      */
-    void drop(Memcg &cg, PageId p);
+    void drop(Memcg &cg, PageId p) override;
 
     /** Release every stored page of a job (teardown). */
-    void drop_all(Memcg &cg);
+    void drop_all(Memcg &cg) override;
+
+    /** Pages stored (the elastic arena has no fixed capacity). */
+    std::uint64_t used_pages() const override { return stored_pages(); }
+    std::uint64_t capacity_pages() const override { return 0; }
 
     /** Node-agent-triggered arena compaction; returns bytes freed. */
     std::uint64_t compact()

@@ -23,21 +23,97 @@ Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
       // The injector mixes the machine seed internally rather than
       // drawing from rng_, so enabling faults never shifts the
       // simulation's other random streams.
-      fault_(config.fault, seed), tier_breaker_(config.tier_breaker)
+      fault_(config.fault, seed)
 {
-    zswap_ = std::make_unique<Zswap>(compressor_.get(), rng_.next_u64(),
-                                     config_.verify_zswap_roundtrip);
+    // The zswap seed is always the first draw and tier seeds follow
+    // in stack order, so a given machine seed produces the same
+    // streams whether the stack came from the legacy fields or an
+    // equivalent explicit `tiers` vector.
+    auto zswap = std::make_unique<Zswap>(compressor_.get(),
+                                         rng_.next_u64(),
+                                         config_.verify_zswap_roundtrip);
+    zswap_ = zswap.get();
     zswap_->bind_metrics(metrics_.get());
     kstaled_.bind_metrics(metrics_.get());
     kreclaimd_.bind_metrics(metrics_.get());
     agent_.bind_metrics(metrics_.get());
-    SDFM_ASSERT(config_.nvm.capacity_pages == 0 ||
-                config_.remote.capacity_pages == 0);
-    if (config_.nvm.capacity_pages > 0)
-        tier_ = std::make_unique<NvmTier>(config_.nvm, rng_.next_u64());
-    else if (config_.remote.capacity_pages > 0)
-        tier_ = std::make_unique<RemoteTier>(config_.remote,
-                                             rng_.next_u64());
+
+    TierSpec base;
+    base.label = "zswap";
+    tiers_.set_base(base, std::move(zswap));
+    routing_ = std::make_unique<BandRoutingPolicy>();
+
+    // Resolve the deep tiers: an explicit stack wins; otherwise the
+    // legacy single-tier fields derive an equivalent one.
+    std::vector<TierConfig> deep = config_.tiers;
+    if (deep.empty()) {
+        SDFM_ASSERT(config_.nvm.capacity_pages == 0 ||
+                    config_.remote.capacity_pages == 0);
+        if (config_.nvm.capacity_pages > 0 ||
+            config_.remote.capacity_pages > 0) {
+            TierConfig tc;
+            if (config_.nvm.capacity_pages > 0) {
+                tc.kind = TierKind::kNvm;
+                tc.nvm = config_.nvm;
+            } else {
+                tc.kind = TierKind::kRemote;
+                tc.remote = config_.remote;
+            }
+            tc.band_lo = 1.0;
+            tc.band_hi = config_.nvm_deep_threshold_factor;
+            tc.breaker_enabled = config_.tier_breaker_enabled;
+            tc.breaker = config_.tier_breaker;
+            deep.push_back(tc);
+        }
+    } else {
+        SDFM_ASSERT(config_.nvm.capacity_pages == 0 &&
+                    config_.remote.capacity_pages == 0);
+    }
+
+    for (const TierConfig &tc : deep) {
+        TierSpec spec;
+        spec.label =
+            tc.label.empty() ? tier_kind_name(tc.kind) : tc.label;
+        spec.band_lo = tc.band_lo;
+        spec.band_hi = tc.band_hi;
+        spec.breaker_enabled = tc.breaker_enabled;
+        spec.breaker = tc.breaker;
+        std::unique_ptr<FarTier> tier;
+        switch (tc.kind) {
+          case TierKind::kNvm:
+            tier = std::make_unique<NvmTier>(tc.nvm, rng_.next_u64());
+            break;
+          case TierKind::kRemote:
+            tier = std::make_unique<RemoteTier>(tc.remote,
+                                                rng_.next_u64());
+            break;
+          case TierKind::kZswap:
+            SDFM_ASSERT(!"zswap is always the stack base");
+            break;
+        }
+        tiers_.add_tier(spec, std::move(tier));
+    }
+    tiers_.check_invariants();
+
+    // tier.<label>.* metrics exist only for explicit stacks, keeping
+    // the legacy configurations' metric surface unchanged.
+    if (!config_.tiers.empty()) {
+        for (std::size_t i = 1; i < tiers_.size(); ++i) {
+            const TierSpec &spec = tiers_.entry(i).spec;
+            std::string prefix = "tier." + spec.label + ".";
+            TierMetricSet set;
+            set.demotions = &metrics_->counter(prefix + "demotions");
+            set.stored_pages =
+                &metrics_->gauge(prefix + "stored_pages");
+            set.utilization =
+                &metrics_->gauge(prefix + "utilization");
+            if (spec.breaker_enabled) {
+                set.breaker_state =
+                    &metrics_->gauge(prefix + "breaker_state");
+            }
+            tier_metrics_.push_back(set);
+        }
+    }
 }
 
 bool
@@ -64,8 +140,8 @@ Machine::remove_job(JobId id)
                            });
     SDFM_ASSERT(it != jobs_.end());
     zswap_->drop_all((*it)->memcg());
-    if (tier_)
-        tier_->drop_all((*it)->memcg());
+    for (std::size_t i = 1; i < tiers_.size(); ++i)
+        tiers_.tier(i).drop_all((*it)->memcg());
     agent_.unregister_job(id);
     jobs_.erase(it);
 }
@@ -99,8 +175,7 @@ Machine::step(SimTime now)
     // 1. Applications run; far-memory faults promote pages.
     for (auto &job : jobs_) {
         JobStepStats stats =
-            job->run_step(now, config_.control_period, *zswap_,
-                          tier_.get());
+            job->run_step(now, config_.control_period, tiers_);
         result.accesses += stats.accesses;
         result.promotions += stats.promotions;
     }
@@ -132,41 +207,31 @@ Machine::step(SimTime now)
                    static_cast<double>(config_.control_period) /
                        static_cast<double>(kMinute));
 
-    // 4. Proactive reclaim (two-tier routing when NVM is present).
-    // The tier circuit breaker gates the second-tier route: open
-    // sends everything to zswap, half-open grants a machine-wide
-    // trial budget that trickles stores back onto the tier.
+    // 4. Proactive reclaim. The routing policy turns the stack's age
+    // bands and breaker states into one machine-wide demotion plan;
+    // budgets are shared across jobs so a half-open breaker's trial
+    // trickle is machine-global, as before.
     if (config_.policy == FarMemoryPolicy::kProactive ||
         config_.policy == FarMemoryPolicy::kStatic) {
-        FarTier *route = tier_.get();
-        std::uint64_t tier_budget = ~0ULL;
-        if (config_.tier_breaker_enabled && tier_ != nullptr) {
-            route = tier_breaker_.allow() ? tier_.get() : nullptr;
-            tier_budget = tier_breaker_.trial_budget();
-        }
+        routing_->plan(tiers_, plan_);
         for (auto &job : jobs_) {
-            AgeBucket deep = 0;
-            if (route != nullptr) {
-                double t = static_cast<double>(
-                    job->memcg().reclaim_threshold());
-                double d = t * config_.nvm_deep_threshold_factor;
-                deep = d > 255.0 ? 255
-                                 : static_cast<AgeBucket>(d);
-            }
-            ReclaimResult reclaim = kreclaimd_.reclaim_cold(
-                job->memcg(), *zswap_, route, deep, tier_budget);
+            ReclaimResult reclaim =
+                kreclaimd_.reclaim_cold(job->memcg(), plan_);
             counters_.kreclaimd_cycles += reclaim.walk_cycles;
-            tier_budget -=
-                std::min<std::uint64_t>(tier_budget,
-                                        reclaim.pages_to_nvm);
         }
+        for (std::size_t i = 0; i < tier_metrics_.size(); ++i)
+            tier_metrics_[i].demotions->inc(plan_.stored[i + 1]);
     }
 
     // Remote-tier donor failures: pages hosted by a failed donor are
     // lost; the owning jobs are killed and rescheduled elsewhere
-    // (Section 2.1's failure-domain expansion).
+    // (Section 2.1's failure-domain expansion). The RNG is drawn only
+    // when a remote tier exists, matching the legacy stream.
     if (config_.remote_donor_failures_per_hour > 0.0) {
-        if (RemoteTier *remote = remote_tier()) {
+        std::size_t ri = tiers_.find(TierKind::kRemote);
+        if (ri < tiers_.size()) {
+            RemoteTier *remote =
+                static_cast<RemoteTier *>(&tiers_.tier(ri));
             double prob = config_.remote_donor_failures_per_hour *
                           static_cast<double>(config_.control_period) /
                           static_cast<double>(kHour);
@@ -205,6 +270,12 @@ Machine::step(SimTime now)
         .set(static_cast<double>(cold_pages_min_threshold()));
     metrics_->gauge("machine.far_memory_pages")
         .set(static_cast<double>(far_memory_pages()));
+    for (std::size_t i = 0; i < tier_metrics_.size(); ++i) {
+        const FarTier &tier = tiers_.tier(i + 1);
+        tier_metrics_[i].stored_pages->set(
+            static_cast<double>(tier.used_pages()));
+        tier_metrics_[i].utilization->set(tier.utilization());
+    }
 
     check_invariants();
     return result;
@@ -217,22 +288,23 @@ Machine::check_invariants() const
         return;
 
     std::uint64_t zswap_pages = 0;
-    std::uint64_t nvm_pages = 0;
+    std::vector<std::uint64_t> tier_counts(tiers_.size(), 0);
+    bool tiers_in_range = true;
     for (const auto &job : jobs_) {
         const Memcg &cg = job->memcg();
         cg.check_invariants();
         zswap_pages += cg.zswap_pages();
-        nvm_pages += cg.nvm_pages();
+        tiers_in_range &= cg.add_tier_page_counts(tier_counts);
     }
     zswap_->check_invariants();
+    tiers_.check_invariants();
     SDFM_INVARIANT(zswap_pages == zswap_->stored_pages(),
                    "per-job zswap residency sums to the store's count");
-    if (tier_ != nullptr) {
-        SDFM_INVARIANT(nvm_pages == tier_->used_pages(),
+    SDFM_INVARIANT(tiers_in_range,
+                   "every tier-resident page names a configured tier");
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        SDFM_INVARIANT(tier_counts[i] == tiers_.tier(i).used_pages(),
                        "per-job tier residency sums to tier occupancy");
-    } else {
-        SDFM_INVARIANT(nvm_pages == 0,
-                       "no tier-resident pages without a second tier");
     }
     // handle_pressure() evicts until the machine fits (or is empty),
     // so a completed step always leaves the capacity respected.
@@ -263,9 +335,19 @@ Machine::state_digest() const
     d.mix(zswap_->stats().rejects);
     d.mix(zswap_->stats().promotions);
     d.mix(zswap_->stats().poisoned_entries);
-    d.mix(tier_ != nullptr ? tier_->used_pages() : 0);
-    d.mix(static_cast<std::uint64_t>(
-        static_cast<std::uint8_t>(tier_breaker_.state())));
+    // Legacy layout: one (occupancy, breaker-state) pair -- zeros
+    // when no deep tier exists. Deeper stacks append one pair per
+    // tier, in stack order.
+    if (tiers_.deep_size() == 0) {
+        d.mix(std::uint64_t{0});
+        d.mix(std::uint64_t{0});
+    } else {
+        for (std::size_t i = 1; i < tiers_.size(); ++i) {
+            d.mix(tiers_.tier(i).used_pages());
+            d.mix(static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                tiers_.entry(i).breaker.state())));
+        }
+    }
     d.mix(counters_.accesses);
     d.mix(counters_.promotions);
     d.mix(counters_.direct_reclaims);
@@ -356,9 +438,10 @@ Machine::kill_victims(const std::vector<JobId> &victims,
 std::vector<JobId>
 Machine::fail_donor(std::uint32_t donor)
 {
-    RemoteTier *remote = remote_tier();
-    if (remote == nullptr)
+    std::size_t ri = tiers_.find(TierKind::kRemote);
+    if (ri >= tiers_.size())
         return {};
+    RemoteTier *remote = static_cast<RemoteTier *>(&tiers_.tier(ri));
     std::vector<JobId> victims = remote->fail_donor(donor);
     for (JobId victim : victims) {
         remove_job(victim);
@@ -375,25 +458,27 @@ Machine::crash_agent(SimTime now)
 }
 
 std::uint64_t
-Machine::spill_tier_overflow(std::uint64_t overflow)
+Machine::spill_tier_overflow(std::size_t tier_index,
+                             std::uint64_t overflow)
 {
+    FarTier &tier = tiers_.tier(tier_index);
+    std::uint8_t index = static_cast<std::uint8_t>(tier_index);
     std::uint64_t spilled = 0;
     for (auto &job : jobs_) {
         if (overflow == 0)
             break;
         Memcg &cg = job->memcg();
-        for (PageId p : cg.nvm_page_ids()) {
+        for (PageId p : cg.tier_page_ids(index)) {
             if (overflow == 0)
                 break;
-            tier_->drop(cg, p);
+            tier.drop(cg, p);
             --overflow;
             const PageMeta &meta = cg.page(p);
             // Re-home in zswap where possible; pages zswap cannot
             // take (incompressible, mlocked) stay resident and the
             // pressure path deals with any resulting OOM.
             if (!meta.test(kPageIncompressible) &&
-                !meta.test(kPageUnevictable) &&
-                zswap_->store(cg, p) == Zswap::StoreResult::kStored) {
+                !meta.test(kPageUnevictable) && zswap_->store(cg, p)) {
                 ++spilled;
             }
         }
@@ -407,15 +492,22 @@ Machine::apply_faults(SimTime now, SimTime period_end,
 {
     // Expire elapsed degradation windows first so a fresh event can
     // re-arm them below.
-    if (remote_degraded_until_ != 0 && now >= remote_degraded_until_) {
-        if (RemoteTier *remote = remote_tier())
-            remote->set_transient_read_failure(0.0);
-        remote_degraded_until_ = 0;
-    }
-    if (nvm_degraded_until_ != 0 && now >= nvm_degraded_until_) {
-        if (NvmTier *nvm = hw_tier())
-            nvm->set_latency_multiplier(1.0);
-        nvm_degraded_until_ = 0;
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        TierStack::Entry &e = tiers_.entry(i);
+        if (e.degraded_until == 0 || now < e.degraded_until)
+            continue;
+        switch (e.tier->kind()) {
+          case TierKind::kRemote:
+            static_cast<RemoteTier *>(e.tier)
+                ->set_transient_read_failure(0.0);
+            break;
+          case TierKind::kNvm:
+            static_cast<NvmTier *>(e.tier)->set_latency_multiplier(1.0);
+            break;
+          case TierKind::kZswap:
+            break;
+        }
+        e.degraded_until = 0;
     }
 
     if (!fault_.enabled())
@@ -426,12 +518,17 @@ Machine::apply_faults(SimTime now, SimTime period_end,
     result->faults_injected += events.size();
     metrics_->counter("fault.injected").inc(events.size());
 
+    // Each event targets the shallowest tier of the matching kind --
+    // the legacy single-tier behaviour; deeper duplicates are only
+    // reachable through targeted chaos APIs.
     for (const FaultEvent &event : events) {
         switch (event.kind) {
           case FaultKind::kDonorFailure: {
-            RemoteTier *remote = remote_tier();
-            if (remote == nullptr)
+            std::size_t ri = tiers_.find(TierKind::kRemote);
+            if (ri >= tiers_.size())
                 break;
+            RemoteTier *remote =
+                static_cast<RemoteTier *>(&tiers_.tier(ri));
             std::uint32_t donor = static_cast<std::uint32_t>(
                 fault_.target_rng().next_below(
                     remote->params().num_donors));
@@ -453,34 +550,47 @@ Machine::apply_faults(SimTime now, SimTime period_end,
             break;
           }
           case FaultKind::kRemoteDegrade: {
-            if (RemoteTier *remote = remote_tier()) {
-                remote->set_transient_read_failure(
-                    config_.fault.remote_read_failure_prob);
-                remote_degraded_until_ = period_end + event.duration;
+            std::size_t ri = tiers_.find(TierKind::kRemote);
+            if (ri < tiers_.size()) {
+                static_cast<RemoteTier *>(&tiers_.tier(ri))
+                    ->set_transient_read_failure(
+                        config_.fault.remote_read_failure_prob);
+                tiers_.entry(ri).degraded_until =
+                    period_end + event.duration;
             }
             break;
           }
           case FaultKind::kNvmLatencySpike: {
-            if (NvmTier *nvm = hw_tier()) {
-                nvm->set_latency_multiplier(
-                    config_.fault.nvm_latency_multiplier);
-                nvm_degraded_until_ = period_end + event.duration;
+            std::size_t ni = tiers_.find(TierKind::kNvm);
+            if (ni < tiers_.size()) {
+                static_cast<NvmTier *>(&tiers_.tier(ni))
+                    ->set_latency_multiplier(
+                        config_.fault.nvm_latency_multiplier);
+                tiers_.entry(ni).degraded_until =
+                    period_end + event.duration;
             }
             break;
           }
           case FaultKind::kNvmMediaErrors: {
-            if (NvmTier *nvm = hw_tier())
-                nvm->inject_media_errors(event.magnitude);
+            std::size_t ni = tiers_.find(TierKind::kNvm);
+            if (ni < tiers_.size()) {
+                static_cast<NvmTier *>(&tiers_.tier(ni))
+                    ->inject_media_errors(event.magnitude);
+            }
             break;
           }
           case FaultKind::kNvmCapacityLoss: {
-            if (NvmTier *nvm = hw_tier()) {
+            std::size_t ni = tiers_.find(TierKind::kNvm);
+            if (ni < tiers_.size()) {
+                NvmTier *nvm =
+                    static_cast<NvmTier *>(&tiers_.tier(ni));
                 std::uint64_t cap_before = nvm->capacity_pages();
                 std::uint64_t overflow = nvm->lose_capacity(
                     config_.fault.capacity_loss_frac);
                 metrics_->counter("fault.nvm_capacity_lost_pages")
                     .inc(cap_before - nvm->capacity_pages());
-                std::uint64_t spilled = spill_tier_overflow(overflow);
+                std::uint64_t spilled =
+                    spill_tier_overflow(ni, overflow);
                 metrics_->counter("fault.nvm_spillover_pages")
                     .inc(spilled);
             }
@@ -498,42 +608,53 @@ void
 Machine::update_fault_plane(MachineStepResult *result)
 {
     (void)result;
-    std::uint64_t fail_delta = 0;
-    if (RemoteTier *remote = remote_tier()) {
-        const RemoteTierStats &s = remote->stats();
-        fail_delta += s.read_failures - seen_read_failures_;
-        if (s.read_retries != seen_read_retries_) {
-            metrics_->counter("fault.remote_read_retries")
-                .inc(s.read_retries - seen_read_retries_);
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        TierStack::Entry &e = tiers_.entry(i);
+        std::uint64_t fail_delta = 0;
+        if (e.tier->kind() == TierKind::kRemote) {
+            const RemoteTierStats &s =
+                static_cast<RemoteTier *>(e.tier)->stats();
+            fail_delta += s.read_failures - e.seen_read_failures;
+            if (s.read_retries != e.seen_read_retries) {
+                metrics_->counter("fault.remote_read_retries")
+                    .inc(s.read_retries - e.seen_read_retries);
+            }
+            if (s.reads_exhausted != e.seen_reads_exhausted) {
+                metrics_->counter("fault.remote_reads_exhausted")
+                    .inc(s.reads_exhausted - e.seen_reads_exhausted);
+            }
+            e.seen_read_failures = s.read_failures;
+            e.seen_read_retries = s.read_retries;
+            e.seen_reads_exhausted = s.reads_exhausted;
+        } else if (e.tier->kind() == TierKind::kNvm) {
+            const NvmTierStats &s =
+                static_cast<NvmTier *>(e.tier)->stats();
+            fail_delta += s.media_errors - e.seen_media_errors;
+            if (s.media_errors != e.seen_media_errors) {
+                metrics_->counter("fault.nvm_media_errors")
+                    .inc(s.media_errors - e.seen_media_errors);
+            }
+            e.seen_media_errors = s.media_errors;
         }
-        if (s.reads_exhausted != seen_reads_exhausted_) {
-            metrics_->counter("fault.remote_reads_exhausted")
-                .inc(s.reads_exhausted - seen_reads_exhausted_);
-        }
-        seen_read_failures_ = s.read_failures;
-        seen_read_retries_ = s.read_retries;
-        seen_reads_exhausted_ = s.reads_exhausted;
-    }
-    if (NvmTier *nvm = hw_tier()) {
-        const NvmTierStats &s = nvm->stats();
-        fail_delta += s.media_errors - seen_media_errors_;
-        if (s.media_errors != seen_media_errors_) {
-            metrics_->counter("fault.nvm_media_errors")
-                .inc(s.media_errors - seen_media_errors_);
-        }
-        seen_media_errors_ = s.media_errors;
-    }
-    if (config_.tier_breaker_enabled && tier_ != nullptr) {
+        if (!e.spec.breaker_enabled)
+            continue;
         if (fail_delta > 0) {
-            if (tier_breaker_.record_failure())
+            if (e.breaker.record_failure())
                 metrics_->counter("fault.tier_breaker_opens").inc();
         } else {
-            tier_breaker_.record_success();
+            e.breaker.record_success();
         }
-        tier_breaker_.tick();
-        metrics_->gauge("fault.tier_breaker_state")
-            .set(static_cast<double>(
-                static_cast<std::uint8_t>(tier_breaker_.state())));
+        e.breaker.tick();
+        double state = static_cast<double>(
+            static_cast<std::uint8_t>(e.breaker.state()));
+        // Historical gauge name for the first deep tier; explicit
+        // stacks additionally get per-label breaker gauges.
+        if (i == 1)
+            metrics_->gauge("fault.tier_breaker_state").set(state);
+        if (!tier_metrics_.empty() &&
+            tier_metrics_[i - 1].breaker_state != nullptr) {
+            tier_metrics_[i - 1].breaker_state->set(state);
+        }
     }
 }
 
@@ -554,22 +675,25 @@ Machine::ckpt_save(Serializer &s) const
     s.put_u64(steps_);
 
     fault_.ckpt_save(s);
-    tier_breaker_.ckpt_save(s);
-    s.put_i64(remote_degraded_until_);
-    s.put_i64(nvm_degraded_until_);
-    s.put_u64(seen_read_failures_);
-    s.put_u64(seen_read_retries_);
-    s.put_u64(seen_reads_exhausted_);
-    s.put_u64(seen_media_errors_);
+    // One fault-plane section per deep tier, in stack order.
+    s.put_u64(tiers_.deep_size());
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        const TierStack::Entry &e = tiers_.entry(i);
+        e.breaker.ckpt_save(s);
+        s.put_i64(e.degraded_until);
+        s.put_u64(e.seen_read_failures);
+        s.put_u64(e.seen_read_retries);
+        s.put_u64(e.seen_reads_exhausted);
+        s.put_u64(e.seen_media_errors);
+    }
 
     s.put_u64(jobs_.size());
     for (const auto &job : jobs_)
         job->ckpt_save(s);
 
     zswap_->ckpt_save(s);
-    s.put_bool(tier_ != nullptr);
-    if (tier_ != nullptr)
-        tier_->ckpt_save(s);
+    for (std::size_t i = 1; i < tiers_.size(); ++i)
+        tiers_.tier(i).ckpt_save(s);
     agent_.ckpt_save(s);
     // Registry last: on restore, agent_.ckpt_load() re-registers the
     // controller metrics, which must exist before the checkpointed
@@ -595,14 +719,21 @@ Machine::ckpt_load(Deserializer &d)
     last_telemetry_ = d.get_i64();
     steps_ = d.get_u64();
 
-    if (!fault_.ckpt_load(d) || !tier_breaker_.ckpt_load(d))
+    if (!fault_.ckpt_load(d))
         return false;
-    remote_degraded_until_ = d.get_i64();
-    nvm_degraded_until_ = d.get_i64();
-    seen_read_failures_ = d.get_u64();
-    seen_read_retries_ = d.get_u64();
-    seen_reads_exhausted_ = d.get_u64();
-    seen_media_errors_ = d.get_u64();
+    std::uint64_t deep = d.get_u64();
+    if (!d.ok() || deep != tiers_.deep_size())
+        return false;
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        TierStack::Entry &e = tiers_.entry(i);
+        if (!e.breaker.ckpt_load(d))
+            return false;
+        e.degraded_until = d.get_i64();
+        e.seen_read_failures = d.get_u64();
+        e.seen_read_retries = d.get_u64();
+        e.seen_reads_exhausted = d.get_u64();
+        e.seen_media_errors = d.get_u64();
+    }
 
     jobs_.clear();
     std::size_t num_jobs = d.get_size(d.remaining() / 64, 64);
@@ -621,12 +752,11 @@ Machine::ckpt_load(Deserializer &d)
 
     if (!zswap_->ckpt_load(d))
         return false;
-    bool has_tier = d.get_bool();
-    if (!d.ok() || has_tier != (tier_ != nullptr))
-        return false;
-    if (tier_ != nullptr &&
-        (!tier_->ckpt_load(d) || !tier_->ckpt_resolve(cgs)))
-        return false;
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        FarTier &tier = tiers_.tier(i);
+        if (!tier.ckpt_load(d) || !tier.ckpt_resolve(cgs))
+            return false;
+    }
     if (!agent_.ckpt_load(d))
         return false;
 
@@ -637,17 +767,20 @@ Machine::ckpt_load(Deserializer &d)
     if (agent_.managed_jobs() != jobs_.size())
         return false;
     std::uint64_t zswap_pages = 0;
-    std::uint64_t tier_pages = 0;
+    std::vector<std::uint64_t> tier_counts(tiers_.size(), 0);
     for (const auto &job : jobs_) {
         if (agent_.slo_breaker_of(job->id()) == nullptr)
             return false;
         zswap_pages += job->memcg().zswap_pages();
-        tier_pages += job->memcg().nvm_pages();
+        if (!job->memcg().add_tier_page_counts(tier_counts))
+            return false;
     }
     if (zswap_pages != zswap_->stored_pages())
         return false;
-    if (tier_pages != (tier_ != nullptr ? tier_->used_pages() : 0))
-        return false;
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        if (tier_counts[i] != tiers_.tier(i).used_pages())
+            return false;
+    }
     if (!jobs_.empty() && used_pages() > config_.dram_pages)
         return false;
 

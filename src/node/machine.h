@@ -26,8 +26,7 @@
 #include "fault/fault_injector.h"
 #include "mem/kreclaimd.h"
 #include "mem/kstaled.h"
-#include "mem/nvm_tier.h"
-#include "mem/remote_tier.h"
+#include "mem/tier_stack.h"
 #include "mem/zswap.h"
 #include "node/node_agent.h"
 #include "node/policy.h"
@@ -98,6 +97,17 @@ struct MachineConfig
      * threshold).
      */
     double nvm_deep_threshold_factor = 4.0;
+
+    /**
+     * Explicit N-tier stack below zswap, in routing-priority order
+     * (the machine demotes into the deepest matching band first).
+     * When empty, the legacy nvm/remote fields above derive an
+     * equivalent one- or two-tier stack, preserving historical
+     * trajectories bit for bit. When non-empty, the legacy nvm/remote
+     * fields must be disabled, and each tier exports
+     * tier.<label>.* metrics.
+     */
+    std::vector<TierConfig> tiers;
 
     // -- fault plane (all off by default; the default configuration
     // -- leaves simulation trajectories bit-identical) ---------------
@@ -184,16 +194,16 @@ class Machine
         return zswap_->stored_pages();
     }
 
-    /** Pages stored in the second tier (0 when disabled). */
-    std::uint64_t nvm_stored_pages() const
+    /** Pages stored in tiers below zswap (0 when none configured). */
+    std::uint64_t tier_stored_pages() const
     {
-        return tier_ ? tier_->used_pages() : 0;
+        return tiers_.deep_used_pages();
     }
 
     /** Pages stored in any far-memory tier. */
     std::uint64_t far_memory_pages() const
     {
-        return zswap_stored_pages() + nvm_stored_pages();
+        return zswap_stored_pages() + tier_stored_pages();
     }
 
     /**
@@ -205,13 +215,16 @@ class Machine
     const std::vector<std::unique_ptr<Job>> &jobs() const { return jobs_; }
     Job *find_job(JobId id);
     Zswap &zswap() { return *zswap_; }
-    FarTier *nvm_tier() { return tier_.get(); }
-    FarTier *second_tier() { return tier_.get(); }
-    RemoteTier *remote_tier()
-    {
-        return dynamic_cast<RemoteTier *>(tier_.get());
-    }
-    NvmTier *hw_tier() { return dynamic_cast<NvmTier *>(tier_.get()); }
+
+    /**
+     * The machine's full memory-tier stack: zswap at index 0, deeper
+     * tiers behind it in routing order. Replaces the old
+     * dynamic_cast-based per-kind accessors; callers that need a
+     * concrete tier look it up by kind via TierStack::find().
+     */
+    TierStack &tiers() { return tiers_; }
+    const TierStack &tiers() const { return tiers_; }
+
     NodeAgent &agent() { return agent_; }
     const MachineCounters &counters() const { return counters_; }
     const MachineConfig &config() const { return config_; }
@@ -219,7 +232,12 @@ class Machine
     // -- fault plane -------------------------------------------------
 
     const FaultInjector &fault_injector() const { return fault_; }
-    const CircuitBreaker &tier_breaker() const { return tier_breaker_; }
+
+    /** The first deep tier's breaker (asserts a deep tier exists). */
+    const CircuitBreaker &tier_breaker() const
+    {
+        return tiers_.entry(1).breaker;
+    }
 
     /**
      * Fail one specific remote-tier donor right now: its pages are
@@ -295,11 +313,12 @@ class Machine
                       MachineStepResult *result);
 
     /**
-     * Move up to @p overflow pages out of the second tier (capacity
-     * loss) into zswap; pages zswap cannot take stay resident.
-     * Returns pages actually re-homed in zswap.
+     * Move up to @p overflow pages out of the tier at @p tier_index
+     * (capacity loss) into zswap; pages zswap cannot take stay
+     * resident. Returns pages actually re-homed in zswap.
      */
-    std::uint64_t spill_tier_overflow(std::uint64_t overflow);
+    std::uint64_t spill_tier_overflow(std::size_t tier_index,
+                                      std::uint64_t overflow);
 
     /** Feed tier health into the breaker and push fault.* metrics. */
     void update_fault_plane(MachineStepResult *result);
@@ -311,8 +330,14 @@ class Machine
      *  any future move of the Machine object. */
     std::unique_ptr<MetricRegistry> metrics_;
     std::unique_ptr<Compressor> compressor_;
-    std::unique_ptr<Zswap> zswap_;
-    std::unique_ptr<FarTier> tier_;
+    /** zswap at index 0, deeper tiers behind it. Owns the tiers. */
+    TierStack tiers_;
+    /** Cached tiers_.zswap() -- the hot path in step(). */
+    Zswap *zswap_ = nullptr;
+    /** Maps age bands to tiers each step; pluggable. */
+    std::unique_ptr<RoutingPolicy> routing_;
+    /** Scratch demotion plan, reused across steps (no allocation). */
+    DemotionPlan plan_;
     Kstaled kstaled_;
     Kreclaimd kreclaimd_;
     NodeAgent agent_;
@@ -326,15 +351,22 @@ class Machine
 
     // -- fault plane -------------------------------------------------
     FaultInjector fault_;
-    CircuitBreaker tier_breaker_;
-    SimTime remote_degraded_until_ = 0;  ///< 0 = healthy
-    SimTime nvm_degraded_until_ = 0;     ///< 0 = healthy
-    // Last-seen tier fault counters, for per-step metric deltas and
-    // the breaker's failure signal.
-    std::uint64_t seen_read_failures_ = 0;
-    std::uint64_t seen_read_retries_ = 0;
-    std::uint64_t seen_reads_exhausted_ = 0;
-    std::uint64_t seen_media_errors_ = 0;
+    // Per-tier breakers, degradation windows, and last-seen fault
+    // counters live on the TierStack entries.
+
+    /**
+     * Cached tier.<label>.* metric handles, one per deep tier, bound
+     * only when config_.tiers is explicitly non-empty so legacy
+     * configurations keep their historical metric surface.
+     */
+    struct TierMetricSet
+    {
+        Counter *demotions = nullptr;
+        Gauge *stored_pages = nullptr;
+        Gauge *utilization = nullptr;
+        Gauge *breaker_state = nullptr;  ///< null unless breaker on
+    };
+    std::vector<TierMetricSet> tier_metrics_;
 };
 
 }  // namespace sdfm

@@ -1,5 +1,7 @@
 #include "workload/job.h"
 
+#include "mem/tier_stack.h"
+
 namespace sdfm {
 
 Job::Job(JobId id, const JobProfile &profile, std::uint64_t seed,
@@ -65,11 +67,24 @@ Job::ckpt_restore(Deserializer &d)
 }
 
 JobStepStats
-Job::run_step(SimTime now, SimTime dt, Zswap &zswap, FarTier *tier)
+Job::run_step(SimTime now, SimTime dt, TierStack &tiers)
 {
     JobStepStats stats;
     stats.accesses = pattern_->step(now, dt, [&](PageId p, bool is_write) {
-        if (memcg_->touch(p, is_write, zswap, tier))
+        if (memcg_->touch(p, is_write, tiers))
+            ++stats.promotions;
+    });
+    memcg_->stats().app_cycles +=
+        profile_.cycles_per_access * static_cast<double>(stats.accesses);
+    return stats;
+}
+
+JobStepStats
+Job::run_step(SimTime now, SimTime dt, Zswap &zswap)
+{
+    JobStepStats stats;
+    stats.accesses = pattern_->step(now, dt, [&](PageId p, bool is_write) {
+        if (memcg_->touch(p, is_write, zswap))
             ++stats.promotions;
     });
     memcg_->stats().app_cycles +=

@@ -20,6 +20,8 @@
 
 namespace sdfm {
 
+class TierStack;
+
 /** Counters from one simulation step of one job. */
 struct JobStepStats
 {
@@ -61,11 +63,14 @@ class Job
 
     /**
      * Run one simulation step: generate accesses in [now, now+dt),
-     * apply them to the memcg (promoting far-memory pages on fault),
-     * and charge application CPU.
+     * apply them to the memcg (promoting far-memory pages on fault
+     * from whichever tier of @p tiers holds them), and charge
+     * application CPU.
      */
-    JobStepStats run_step(SimTime now, SimTime dt, Zswap &zswap,
-                          FarTier *tier = nullptr);
+    JobStepStats run_step(SimTime now, SimTime dt, TierStack &tiers);
+
+    /** Zswap-only overload for rigs without a TierStack. */
+    JobStepStats run_step(SimTime now, SimTime dt, Zswap &zswap);
 
     Memcg &memcg() { return *memcg_; }
     const Memcg &memcg() const { return *memcg_; }

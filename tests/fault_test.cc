@@ -218,7 +218,7 @@ TEST(ZswapCorruption, ChecksumCatchesCorruptionAndRefaults)
     ZswapRig rig(32);
     std::uint64_t stored = 0;
     for (PageId p = 0; p < 32; ++p) {
-        if (rig.zswap.store(rig.cg, p) == Zswap::StoreResult::kStored)
+        if (rig.zswap.store(rig.cg, p))
             ++stored;
     }
     ASSERT_GT(stored, 0u);
@@ -403,8 +403,10 @@ TEST(FaultMachine, RemoteDegradeDrivesRetriesAndTierBreaker)
     for (SimTime now = 0; now < 2 * kHour; now += kMinute)
         machine.step(now);
 
-    RemoteTier *remote = machine.remote_tier();
-    ASSERT_NE(remote, nullptr);
+    std::size_t ri = machine.tiers().find(TierKind::kRemote);
+    ASSERT_LT(ri, machine.tiers().size());
+    RemoteTier *remote =
+        static_cast<RemoteTier *>(&machine.tiers().tier(ri));
     // The degrade window produced failed reads, bounded retries, and
     // exhausted reads that still completed.
     EXPECT_GT(remote->stats().read_retries, 0u);
@@ -441,8 +443,9 @@ TEST(FaultMachine, NvmCapacityLossSpillsToZswap)
     MetricsSnapshot snap = machine.metrics().snapshot();
     EXPECT_GT(snap.counter_or_zero("fault.nvm_capacity_lost_pages"), 0u);
     EXPECT_GT(snap.counter_or_zero("fault.nvm_spillover_pages"), 0u);
-    NvmTier *nvm = machine.hw_tier();
-    ASSERT_NE(nvm, nullptr);
+    std::size_t ni = machine.tiers().find(TierKind::kNvm);
+    ASSERT_LT(ni, machine.tiers().size());
+    NvmTier *nvm = static_cast<NvmTier *>(&machine.tiers().tier(ni));
     EXPECT_LT(nvm->capacity_pages(), 8192u);
     // The spilled pages are in zswap, not lost.
     EXPECT_GT(machine.zswap_stored_pages(), 0u);
@@ -625,8 +628,11 @@ TEST(FaultCluster, InjectedDonorFailureKillsAndReschedules)
     bool found = false;
     for (std::uint32_t m = 0;
          m < cluster.machines().size() && !found; ++m) {
-        RemoteTier *remote = cluster.machines()[m]->remote_tier();
-        ASSERT_NE(remote, nullptr);
+        TierStack &tiers = cluster.machines()[m]->tiers();
+        std::size_t ri = tiers.find(TierKind::kRemote);
+        ASSERT_LT(ri, tiers.size());
+        RemoteTier *remote =
+            static_cast<RemoteTier *>(&tiers.tier(ri));
         for (std::uint32_t d = 0; d < remote->params().num_donors; ++d) {
             if (remote->donor_pages(d) > 0) {
                 machine_index = m;

@@ -130,7 +130,7 @@ TEST(InvariantDeathTest, ArenaByteAccountingCorruptionDies)
     auto compressor = make_compressor(CompressionMode::kModeled);
     Zswap zswap(compressor.get(), 1);
     Memcg cg(1, 64, 42, compressible_mix(), 0);
-    ASSERT_EQ(zswap.store(cg, 0), Zswap::StoreResult::kStored);
+    ASSERT_TRUE(zswap.store(cg, 0));
     zswap.check_invariants();
     zswap.debug_arena().debug_corrupt_stored_bytes(1);
     EXPECT_DEATH(zswap.check_invariants(), "invariant violated");

@@ -260,15 +260,46 @@ TEST(LintMetricNameTest, IgnoresNonMemberCallsAndVariables)
     EXPECT_TRUE(findings.empty());
 }
 
+// ------------------------------------------------------------ dynamic-cast
+
+TEST(LintDynamicCastTest, FlagsDynamicCast)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "NvmTier *n = dynamic_cast<NvmTier *>(tier);\n");
+    EXPECT_EQ(count_rule(findings, "dynamic-cast"), 1u);
+}
+
+TEST(LintDynamicCastTest, IgnoresCommentsAndStrings)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "// the old dynamic_cast accessors are gone\n"
+        "const char *s = \"dynamic_cast\";\n"
+        "int my_dynamic_cast_count = 0;\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintDynamicCastTest, SuppressibleWithJustification)
+{
+    auto findings = lint_one(
+        "src/x.cc",
+        "// sdfm-lint: allow(dynamic-cast) -- test double probes type\n"
+        "NvmTier *n = dynamic_cast<NvmTier *>(tier);\n");
+    EXPECT_TRUE(findings.empty());
+}
+
 // ------------------------------------------------------------ machinery
 
 TEST(LintEngineTest, RuleNamesMatchImplementedRules)
 {
     auto names = rule_names();
-    EXPECT_EQ(names.size(), 5u);
+    EXPECT_EQ(names.size(), 6u);
     EXPECT_NE(std::find(names.begin(), names.end(), "wallclock"),
               names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "unordered-iter"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "dynamic-cast"),
               names.end());
 }
 

@@ -259,7 +259,7 @@ TEST(KstaledStride, CpuScalesDownWithStride)
 TEST(ZswapTest, StoreAndLoadRoundTrip)
 {
     Rig rig(10);
-    EXPECT_EQ(rig.zswap.store(rig.cg, 0), Zswap::StoreResult::kStored);
+    EXPECT_TRUE(rig.zswap.store(rig.cg, 0));
     EXPECT_TRUE(rig.cg.page(0).test(kPageInZswap));
     EXPECT_EQ(rig.cg.resident_pages(), 9u);
     EXPECT_EQ(rig.cg.zswap_pages(), 1u);
@@ -286,7 +286,7 @@ TEST(ZswapTest, TouchPromotesStoredPage)
 TEST(ZswapTest, IncompressiblePageRejectedAndMarked)
 {
     Rig rig(10, incompressible_mix());
-    EXPECT_EQ(rig.zswap.store(rig.cg, 0), Zswap::StoreResult::kRejected);
+    EXPECT_FALSE(rig.zswap.store(rig.cg, 0));
     EXPECT_TRUE(rig.cg.page(0).test(kPageIncompressible));
     EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
     EXPECT_EQ(rig.cg.resident_pages(), 10u);
@@ -332,7 +332,7 @@ TEST(ZswapTest, CompressedBytesTracked)
 TEST(ZswapTest, RealCompressorEndToEnd)
 {
     Rig rig(10, compressible_mix(), CompressionMode::kReal);
-    EXPECT_EQ(rig.zswap.store(rig.cg, 0), Zswap::StoreResult::kStored);
+    EXPECT_TRUE(rig.zswap.store(rig.cg, 0));
     rig.zswap.load(rig.cg, 0);
     EXPECT_EQ(rig.cg.stats().zswap_promotions, 1u);
 }
@@ -343,7 +343,7 @@ TEST(ZswapVerify, RoundTripVerifiedWithRealBackend)
     Zswap zswap(&compressor, 1, /*verify_roundtrip=*/true);
     Memcg cg(1, 50, 42, compressible_mix(), 0);
     for (PageId p = 0; p < 50; ++p)
-        ASSERT_EQ(zswap.store(cg, p), Zswap::StoreResult::kStored);
+        ASSERT_TRUE(zswap.store(cg, p));
     for (PageId p = 0; p < 50; ++p)
         zswap.load(cg, p);
     EXPECT_EQ(zswap.stats().verified_roundtrips, 50u);
@@ -383,7 +383,7 @@ TEST(ZswapVerify, ModeledBackendDisablesGracefully)
     ModeledCompressor compressor;
     Zswap zswap(&compressor, 1, /*verify_roundtrip=*/true);
     Memcg cg(1, 10, 42, compressible_mix(), 0);
-    EXPECT_EQ(zswap.store(cg, 0), Zswap::StoreResult::kStored);
+    EXPECT_TRUE(zswap.store(cg, 0));
     zswap.load(cg, 0);  // must not crash
     EXPECT_EQ(zswap.stats().verified_roundtrips, 0u);
 }

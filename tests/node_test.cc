@@ -482,14 +482,14 @@ TEST_P(MachineInvariants, HoldUnderRandomConfigs)
         for (const auto &job : machine.jobs()) {
             const Memcg &cg = job->memcg();
             job_zswap += cg.zswap_pages();
-            job_nvm += cg.nvm_pages();
+            job_nvm += cg.tier_pages();
             job_resident += cg.resident_pages();
-            ASSERT_EQ(cg.zswap_pages() + cg.nvm_pages() +
+            ASSERT_EQ(cg.zswap_pages() + cg.tier_pages() +
                           cg.resident_pages(),
                       cg.num_pages());
         }
         ASSERT_EQ(job_zswap, machine.zswap_stored_pages());
-        ASSERT_EQ(job_nvm, machine.nvm_stored_pages());
+        ASSERT_EQ(job_nvm, machine.tier_stored_pages());
         ASSERT_EQ(job_resident, machine.resident_pages());
         // The arena never claims more stored than pool bytes.
         ASSERT_GE(machine.zswap().pool_bytes(),

@@ -10,6 +10,7 @@
 #include "mem/kstaled.h"
 #include "mem/memcg.h"
 #include "mem/nvm_tier.h"
+#include "mem/tier_stack.h"
 #include "mem/zswap.h"
 #include "node/machine.h"
 #include "workload/job.h"
@@ -35,25 +36,45 @@ struct Rig
     {
     }
 
+    /**
+     * Wire zswap + nvm into a stack with the given nvm age band
+     * (multiples of the job threshold) and compute the demotion plan.
+     */
+    DemotionPlan &route_nvm(double band_lo, double band_hi)
+    {
+        TierSpec base;
+        base.label = "zswap";
+        stack.set_base(base, &zswap);
+        TierSpec spec;
+        spec.label = "nvm";
+        spec.band_lo = band_lo;
+        spec.band_hi = band_hi;
+        stack.add_tier(spec, &nvm);
+        BandRoutingPolicy().plan(stack, plan);
+        return plan;
+    }
+
     std::unique_ptr<Compressor> compressor;
     Zswap zswap;
     NvmTier nvm;
     Memcg cg;
     Kstaled kstaled;
     Kreclaimd kreclaimd;
+    TierStack stack;
+    DemotionPlan plan;
 };
 
 TEST(NvmTier, StoreLoadRoundTrip)
 {
     Rig rig(10, 100);
     ASSERT_TRUE(rig.nvm.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageInNvm));
+    EXPECT_TRUE(rig.cg.page(0).test(kPageInFarTier));
     EXPECT_EQ(rig.cg.resident_pages(), 9u);
-    EXPECT_EQ(rig.cg.nvm_pages(), 1u);
+    EXPECT_EQ(rig.cg.tier_pages(), 1u);
     EXPECT_EQ(rig.nvm.used_pages(), 1u);
 
     rig.nvm.load(rig.cg, 0);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInNvm));
+    EXPECT_FALSE(rig.cg.page(0).test(kPageInFarTier));
     EXPECT_EQ(rig.cg.resident_pages(), 10u);
     EXPECT_EQ(rig.cg.stats().nvm_promotions, 1u);
     EXPECT_GT(rig.cg.stats().nvm_read_latency_us_sum, 0.0);
@@ -74,10 +95,11 @@ TEST(NvmTier, FixedCapacityRejects)
 TEST(NvmTier, TouchPromotesFromNvm)
 {
     Rig rig(10, 100);
+    rig.route_nvm(1.0, 10.0);
     rig.nvm.store(rig.cg, 3);
-    bool promoted = rig.cg.touch(3, false, rig.zswap, &rig.nvm);
+    bool promoted = rig.cg.touch(3, false, rig.stack);
     EXPECT_TRUE(promoted);
-    EXPECT_FALSE(rig.cg.page(3).test(kPageInNvm));
+    EXPECT_FALSE(rig.cg.page(3).test(kPageInFarTier));
 }
 
 TEST(NvmTier, DropAllReleasesCapacity)
@@ -88,7 +110,7 @@ TEST(NvmTier, DropAllReleasesCapacity)
     EXPECT_EQ(rig.nvm.used_pages(), 10u);
     rig.nvm.drop_all(rig.cg);
     EXPECT_EQ(rig.nvm.used_pages(), 0u);
-    EXPECT_EQ(rig.cg.nvm_pages(), 0u);
+    EXPECT_EQ(rig.cg.tier_pages(), 0u);
 }
 
 TEST(NvmTier, AcceptsIncompressiblePages)
@@ -110,14 +132,13 @@ TEST(TwoTierRouting, ModeratelyColdToNvmDeepColdToZswap)
     rig.cg.set_zswap_enabled(true);
     rig.cg.set_reclaim_threshold(1);
     ReclaimResult result =
-        rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap, &rig.nvm,
-                                   /*deep_threshold=*/10);
+        rig.kreclaimd.reclaim_cold(rig.cg, rig.route_nvm(1.0, 10.0));
     EXPECT_EQ(result.pages_stored, 10u);
-    EXPECT_EQ(result.pages_to_nvm, 5u);  // the age-1 pages
+    EXPECT_EQ(result.pages_to_tier, 5u);  // the age-1 pages
     for (PageId p = 0; p < 5; ++p)
         EXPECT_TRUE(rig.cg.page(p).test(kPageInZswap)) << p;
     for (PageId p = 5; p < 10; ++p)
-        EXPECT_TRUE(rig.cg.page(p).test(kPageInNvm)) << p;
+        EXPECT_TRUE(rig.cg.page(p).test(kPageInFarTier)) << p;
 }
 
 TEST(TwoTierRouting, NvmOverflowFallsBackToZswap)
@@ -127,23 +148,22 @@ TEST(TwoTierRouting, NvmOverflowFallsBackToZswap)
     rig.cg.set_zswap_enabled(true);
     rig.cg.set_reclaim_threshold(1);
     ReclaimResult result =
-        rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap, &rig.nvm,
-                                   /*deep_threshold=*/10);
-    EXPECT_EQ(result.pages_to_nvm, 3u);
+        rig.kreclaimd.reclaim_cold(rig.cg, rig.route_nvm(1.0, 10.0));
+    EXPECT_EQ(result.pages_to_tier, 3u);
     EXPECT_EQ(result.pages_stored, 10u);  // overflow went to zswap
     EXPECT_EQ(rig.cg.zswap_pages(), 7u);
 }
 
-TEST(TwoTierRouting, DisabledWithoutDeepThreshold)
+TEST(TwoTierRouting, EmptyBandDisablesTier)
 {
     Rig rig(10, 100);
     rig.kstaled.scan(rig.cg);
     rig.cg.set_zswap_enabled(true);
     rig.cg.set_reclaim_threshold(1);
+    // [T, T) is empty: every cold page goes to the zswap catch-all.
     ReclaimResult result =
-        rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap, &rig.nvm,
-                                   /*deep_threshold=*/0);
-    EXPECT_EQ(result.pages_to_nvm, 0u);
+        rig.kreclaimd.reclaim_cold(rig.cg, rig.route_nvm(1.0, 1.0));
+    EXPECT_EQ(result.pages_to_tier, 0u);
     EXPECT_EQ(rig.cg.zswap_pages(), 10u);
 }
 
@@ -154,17 +174,19 @@ TEST(TwoTierMachine, EndToEnd)
     config.compression = CompressionMode::kModeled;
     config.nvm.capacity_pages = 512;  // small: force overflow into zswap
     Machine machine(0, config, 3);
-    ASSERT_NE(machine.nvm_tier(), nullptr);
+    ASSERT_LT(machine.tiers().find(TierKind::kNvm),
+              machine.tiers().size());
     machine.add_job(std::make_unique<Job>(1, profile_by_name("kv_cache"),
                                           7, 0));
     machine.add_job(std::make_unique<Job>(2, profile_by_name("logs"),
                                           8, 0));
     for (SimTime now = 0; now < 2 * kHour; now += kMinute)
         machine.step(now);
-    EXPECT_GT(machine.nvm_stored_pages(), 0u);
+    EXPECT_GT(machine.tier_stored_pages(), 0u);
     EXPECT_GT(machine.zswap_stored_pages(), 0u);
     EXPECT_EQ(machine.far_memory_pages(),
-              machine.nvm_stored_pages() + machine.zswap_stored_pages());
+              machine.tier_stored_pages() +
+                  machine.zswap_stored_pages());
     EXPECT_GT(machine.cold_memory_coverage(), 0.05);
     // NVM promotions happened and were fast (sub-2us means).
     std::uint64_t nvm_promotions = 0;
@@ -180,15 +202,15 @@ TEST(TwoTierMachine, EndToEnd)
     // Teardown releases NVM capacity.
     machine.remove_job(1);
     machine.remove_job(2);
-    EXPECT_EQ(machine.nvm_stored_pages(), 0u);
+    EXPECT_EQ(machine.tier_stored_pages(), 0u);
 }
 
 TEST(TwoTierMachine, DisabledByDefault)
 {
     MachineConfig config;
     Machine machine(0, config, 3);
-    EXPECT_EQ(machine.nvm_tier(), nullptr);
-    EXPECT_EQ(machine.nvm_stored_pages(), 0u);
+    EXPECT_EQ(machine.tiers().deep_size(), 0u);
+    EXPECT_EQ(machine.tier_stored_pages(), 0u);
 }
 
 }  // namespace

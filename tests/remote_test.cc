@@ -44,13 +44,13 @@ TEST(RemoteTier, StoreLoadRoundTrip)
 {
     Rig rig(10, small_remote(100));
     ASSERT_TRUE(rig.remote.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageInNvm));
+    EXPECT_TRUE(rig.cg.page(0).test(kPageInFarTier));
     EXPECT_EQ(rig.remote.used_pages(), 1u);
     // Encryption cycles charged on the way out.
     EXPECT_GT(rig.cg.stats().compress_cycles, 0.0);
 
     rig.remote.load(rig.cg, 0);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInNvm));
+    EXPECT_FALSE(rig.cg.page(0).test(kPageInFarTier));
     EXPECT_EQ(rig.remote.used_pages(), 0u);
     EXPECT_EQ(rig.cg.stats().nvm_promotions, 1u);
     // Decryption cycles charged on the way back.
@@ -139,7 +139,8 @@ TEST(RemoteMachine, DonorFailureKillsAndReports)
     config.remote.capacity_pages = 1 << 20;
     config.remote_donor_failures_per_hour = 60.0;  // every minute-ish
     Machine machine(0, config, 3);
-    ASSERT_NE(machine.remote_tier(), nullptr);
+    ASSERT_LT(machine.tiers().find(TierKind::kRemote),
+              machine.tiers().size());
     machine.add_job(std::make_unique<Job>(1, profile_by_name("logs"), 7,
                                           0));
     machine.add_job(std::make_unique<Job>(2, profile_by_name("kv_cache"),

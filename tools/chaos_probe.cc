@@ -10,8 +10,13 @@
 // fault-free fleet.
 //
 // Usage: chaos_probe [--minutes N] [--clusters N] [--seed S]
-//                    [--donor-fph F] [--corrupt P] [--degrade P]
-//                    [--agent-crash P]
+//                    [--tiers 1|2|3] [--donor-fph F] [--corrupt P]
+//                    [--degrade P] [--agent-crash P]
+//
+// --tiers picks the memory stack: 1 = zswap only, 2 = the legacy
+// remote tier (default; bit-identical to the pre-flag probe), 3 = an
+// explicit NVM + remote TierStack so the fault plane fires against
+// every depth at once.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +33,7 @@ main(int argc, char **argv)
     SimTime minutes = 60;
     std::uint32_t num_clusters = 2;
     std::uint64_t seed = 1;
+    int tiers = 2;
     double donor_fph = 6.0;     // donor failures per machine-hour
     double corrupt_prob = 0.2;  // zswap corruption events per step
     double degrade_prob = 0.05; // remote degradation windows per step
@@ -41,6 +47,12 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--tiers") == 0 && i + 1 < argc) {
+            tiers = std::atoi(argv[++i]);
+            if (tiers < 1 || tiers > 3) {
+                std::fprintf(stderr, "--tiers must be 1, 2, or 3\n");
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--donor-fph") == 0 &&
                    i + 1 < argc) {
             donor_fph = std::atof(argv[++i]);
@@ -56,8 +68,9 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
-                         "[--seed S] [--donor-fph F] [--corrupt P] "
-                         "[--degrade P] [--agent-crash P]\n",
+                         "[--seed S] [--tiers 1|2|3] [--donor-fph F] "
+                         "[--corrupt P] [--degrade P] "
+                         "[--agent-crash P]\n",
                          argv[0]);
             return 1;
         }
@@ -73,9 +86,29 @@ main(int argc, char **argv)
     config.cluster.mix = typical_fleet_mix();
     config.cluster.num_machines = 4;
     config.cluster.machine.dram_pages = 16 * 1024;
-    config.cluster.machine.remote.capacity_pages = 1ull << 20;
-    config.cluster.machine.tier_breaker_enabled = true;
     config.cluster.machine.slo_breaker_enabled = true;
+    if (tiers == 1) {
+        // zswap only: donor/remote faults become no-ops by design.
+    } else if (tiers == 2) {
+        config.cluster.machine.remote.capacity_pages = 1ull << 20;
+        config.cluster.machine.tier_breaker_enabled = true;
+    } else {
+        // Explicit three-tier stack: NVM takes the moderately cold
+        // band, remote memory everything colder, zswap the rejects.
+        TierConfig nvm;
+        nvm.kind = TierKind::kNvm;
+        nvm.nvm.capacity_pages = 1ull << 16;
+        nvm.band_lo = 1.0;
+        nvm.band_hi = 2.0;
+        nvm.breaker_enabled = true;
+        TierConfig remote;
+        remote.kind = TierKind::kRemote;
+        remote.remote.capacity_pages = 1ull << 20;
+        remote.band_lo = 2.0;
+        remote.band_hi = 0.0;
+        remote.breaker_enabled = true;
+        config.cluster.machine.tiers = {nvm, remote};
+    }
 
     FaultConfig &fault = config.cluster.machine.fault;
     fault.enabled = true;

@@ -554,6 +554,26 @@ check_header_hygiene(const FileContext &ctx, Reporter &reporter)
 }
 
 // ---------------------------------------------------------------------
+// Rule: dynamic-cast
+// ---------------------------------------------------------------------
+
+void
+check_dynamic_cast(const FileContext &ctx, Reporter &reporter)
+{
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        for (const Token &t : tokenize(ctx.code_lines[i])) {
+            if (t.text != "dynamic_cast")
+                continue;
+            reporter.report(
+                ctx, "dynamic-cast", static_cast<int>(i + 1),
+                "dynamic_cast probes a runtime type the caller should "
+                "already know; dispatch on FarTier::kind() (or the "
+                "owning registry) and static_cast instead");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: metric-name
 // ---------------------------------------------------------------------
 
@@ -604,7 +624,7 @@ std::vector<std::string>
 rule_names()
 {
     return {"wallclock", "unordered-iter", "float-accounting",
-            "header-hygiene", "metric-name"};
+            "header-hygiene", "metric-name", "dynamic-cast"};
 }
 
 std::vector<Finding>
@@ -638,6 +658,7 @@ lint_sources(const std::vector<Source> &sources)
         check_float_accounting(ctx, reporter);
         check_header_hygiene(ctx, reporter);
         check_metric_name(ctx, reporter);
+        check_dynamic_cast(ctx, reporter);
     }
 
     std::sort(findings.begin(), findings.end(),

@@ -28,6 +28,11 @@
  *   metric-name       Telemetry metric names passed to
  *                     counter()/gauge()/histogram() follow the
  *                     `subsystem.snake_case` convention.
+ *   dynamic-cast      No dynamic_cast: concrete tier types are
+ *                     recovered by dispatching on FarTier::kind()
+ *                     and static_cast, never by probing the runtime
+ *                     type (RTTI hides missing-case bugs and invites
+ *                     nullable accessors).
  *
  * Suppressions: a comment containing `sdfm-lint: allow(rule)` (or a
  * comma-separated rule list) suppresses findings for those rules on

@@ -16,7 +16,12 @@
 // kill/resume cycles actually happened.
 //
 // Usage: soak_probe [--minutes N] [--clusters N] [--seed S]
-//                   [--min-crashes N] [--ckpt PATH]
+//                   [--tiers 1|2|3] [--min-crashes N] [--ckpt PATH]
+//
+// --tiers picks the victim's memory stack: 1 = zswap only, 2 = the
+// legacy remote tier (default; bit-identical to the pre-flag probe),
+// 3 = an explicit NVM + remote TierStack so kill/resume covers the
+// per-tier checkpoint sections at every depth.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +36,7 @@ using namespace sdfm;
 namespace {
 
 FleetConfig
-soak_config(std::uint32_t num_clusters, std::uint64_t seed)
+soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers)
 {
     // Small remote-tier fleet with the full fault plane lit up, so
     // checkpoints cover tiers, breakers, and injector streams -- the
@@ -42,9 +47,25 @@ soak_config(std::uint32_t num_clusters, std::uint64_t seed)
     config.cluster.mix = typical_fleet_mix();
     config.cluster.num_machines = 4;
     config.cluster.machine.dram_pages = 16 * 1024;
-    config.cluster.machine.remote.capacity_pages = 1ull << 20;
-    config.cluster.machine.tier_breaker_enabled = true;
     config.cluster.machine.slo_breaker_enabled = true;
+    if (tiers == 2) {
+        config.cluster.machine.remote.capacity_pages = 1ull << 20;
+        config.cluster.machine.tier_breaker_enabled = true;
+    } else if (tiers == 3) {
+        TierConfig nvm;
+        nvm.kind = TierKind::kNvm;
+        nvm.nvm.capacity_pages = 1ull << 16;
+        nvm.band_lo = 1.0;
+        nvm.band_hi = 2.0;
+        nvm.breaker_enabled = true;
+        TierConfig remote;
+        remote.kind = TierKind::kRemote;
+        remote.remote.capacity_pages = 1ull << 20;
+        remote.band_lo = 2.0;
+        remote.band_hi = 0.0;
+        remote.breaker_enabled = true;
+        config.cluster.machine.tiers = {nvm, remote};
+    }
 
     FaultConfig &fault = config.cluster.machine.fault;
     fault.enabled = true;
@@ -72,6 +93,7 @@ main(int argc, char **argv)
     std::uint64_t minutes = 45;
     std::uint32_t num_clusters = 2;
     std::uint64_t seed = 1;
+    int tiers = 2;
     std::uint64_t min_crashes = 3;
     const char *ckpt_path = "soak_probe.ckpt";
     for (int i = 1; i < argc; ++i) {
@@ -83,6 +105,12 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--tiers") == 0 && i + 1 < argc) {
+            tiers = std::atoi(argv[++i]);
+            if (tiers < 1 || tiers > 3) {
+                std::fprintf(stderr, "--tiers must be 1, 2, or 3\n");
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--min-crashes") == 0 &&
                    i + 1 < argc) {
             min_crashes =
@@ -92,13 +120,14 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
-                         "[--seed S] [--min-crashes N] [--ckpt PATH]\n",
+                         "[--seed S] [--tiers 1|2|3] [--min-crashes N] "
+                         "[--ckpt PATH]\n",
                          argv[0]);
             return 1;
         }
     }
 
-    FleetConfig config = soak_config(num_clusters, seed);
+    FleetConfig config = soak_config(num_clusters, seed, tiers);
 
     // Reference trajectory: digest after populate() (index 0) and
     // after each of the N steps (indices 1..N).
