@@ -15,6 +15,26 @@ Cluster::Cluster(std::uint32_t cluster_id, const ClusterConfig &config,
 {
     SDFM_ASSERT(config_.num_machines > 0);
     SDFM_ASSERT(!config_.mix.profiles.empty());
+    if (config_.pool.enabled) {
+        // The pooled flag rides on the remote-tier config, set before
+        // the machines are built: legacy single-tier configs grow a
+        // lease-backed remote tier; explicit stacks must already
+        // contain a kRemote tier to back the leases.
+        if (config_.machine.tiers.empty()) {
+            SDFM_ASSERT(config_.machine.nvm.capacity_pages == 0);
+            config_.machine.remote.pooled = true;
+        } else {
+            bool found = false;
+            for (TierConfig &tc : config_.machine.tiers) {
+                if (tc.kind == TierKind::kRemote) {
+                    tc.remote.pooled = true;
+                    found = true;
+                    break;
+                }
+            }
+            SDFM_ASSERT(found);
+        }
+    }
     machines_.reserve(config_.num_machines);
     for (std::uint32_t m = 0; m < config_.num_machines; ++m) {
         MachineConfig machine_config = config_.machine;
@@ -25,6 +45,12 @@ Cluster::Cluster(std::uint32_t cluster_id, const ClusterConfig &config,
         machines_.push_back(std::make_unique<Machine>(
             m, machine_config, rng_.next_u64()));
         machines_.back()->set_trace_sink(&trace_log_);
+    }
+    // Broker seed drawn only when pooling is on, after the machine
+    // loop, so pooling-off RNG streams are untouched.
+    if (config_.pool.enabled) {
+        broker_ = std::make_unique<MemoryBroker>(
+            config_.pool, rng_.next_u64(), config_.num_machines);
     }
 }
 
@@ -94,6 +120,20 @@ ClusterStepResult
 Cluster::step(SimTime now)
 {
     ClusterStepResult result;
+
+    // Memory market first: grants and revocations issued this period
+    // are visible to the machines' demotion routing below. Jobs the
+    // broker kills (grace-window expiry) reschedule like OOM
+    // evictions.
+    if (broker_ != nullptr) {
+        BrokerStepResult pool = broker_->step(
+            now, config_.machine.control_period, machines_);
+        result.evicted += pool.killed.size();
+        for (std::size_t i = 0; i < pool.killed.size(); ++i) {
+            if (schedule_new_job(now))
+                ++result.rescheduled;
+        }
+    }
 
     for (auto &machine : machines_) {
         MachineStepResult step = machine->step(now);
@@ -226,6 +266,8 @@ Cluster::telemetry_snapshot() const
     MetricsSnapshot snap;
     for (const auto &machine : machines_)
         snap.merge(machine->metrics().snapshot());
+    if (broker_ != nullptr)
+        snap.merge(broker_->metrics().snapshot());
     snap.gauges["cluster.jobs"] +=
         static_cast<double>(num_jobs());
     return snap;
@@ -259,6 +301,8 @@ Cluster::check_invariants() const
         return;
     for (const auto &machine : machines_)
         machine->check_invariants();
+    if (broker_ != nullptr)
+        broker_->check_invariants(machines_);
 }
 
 void
@@ -308,6 +352,10 @@ Cluster::state_digest() const
     for (const auto &machine : machines_)
         d.mix(machine->state_digest());
     d.mix(trace_log_.entries().size());
+    // Appended only when pooling is on, so pooling-off digests stay
+    // bit-identical to pre-pooling builds.
+    if (broker_ != nullptr)
+        d.mix(broker_->state_digest(machines_));
     return d.value();
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/mem_pool.h"
 #include "node/machine.h"
 #include "telemetry/snapshot.h"
 #include "util/rng.h"
@@ -56,6 +57,16 @@ struct ClusterConfig
     std::vector<double> platform_ghz = {2.0, 2.3, 2.6, 3.0};
 
     PlacementStrategy placement = PlacementStrategy::kWorstFit;
+
+    /**
+     * Cluster memory pooling: when enabled, the cluster owns a
+     * MemoryBroker, every machine's remote tier becomes lease-backed
+     * (the pooled flag is set on the remote tier config before the
+     * machines are built), and the broker steps before the machines
+     * each period. Off by default -- trajectories bit-identical to
+     * pre-pooling builds.
+     */
+    MemPoolParams pool;
 };
 
 /** Per-step cluster result. */
@@ -127,6 +138,10 @@ class Cluster
     /** The cluster's telemetry database. */
     TraceLog &trace_log() { return trace_log_; }
 
+    /** The memory-pooling broker; null unless config.pool.enabled. */
+    MemoryBroker *broker() { return broker_.get(); }
+    const MemoryBroker *broker() const { return broker_.get(); }
+
     /**
      * Cluster-level metrics rollup: every machine registry merged
      * bucket-wise, plus the cluster.jobs gauge. Fleet rollups merge
@@ -187,6 +202,10 @@ class Cluster
     ClusterConfig config_;
     Rng rng_;
     std::vector<std::unique_ptr<Machine>> machines_;
+    /** Memory-pooling broker; null unless config_.pool.enabled.
+     *  Checkpointed via per-cluster "pool.NNNN" fleet sections, not
+     *  the cluster wire (the machine wire stays unchanged). */
+    std::unique_ptr<MemoryBroker> broker_;
     TraceLog trace_log_;
     JobId next_job_id_;
 };

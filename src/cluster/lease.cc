@@ -1,0 +1,114 @@
+#include "cluster/lease.h"
+
+#include "util/digest.h"
+#include "util/invariant.h"
+
+namespace sdfm {
+
+const char *
+lease_state_name(LeaseState state)
+{
+    switch (state) {
+      case LeaseState::kGranted:
+        return "granted";
+      case LeaseState::kActive:
+        return "active";
+      case LeaseState::kRevoking:
+        return "revoking";
+      case LeaseState::kRevoked:
+        return "revoked";
+      case LeaseState::kExpired:
+        return "expired";
+    }
+    return "?";
+}
+
+bool
+lease_transition_legal(LeaseState from, LeaseState to)
+{
+    switch (from) {
+      case LeaseState::kGranted:
+        // Delivery activates; a grant aborted after bounded retries
+        // (or whose donor crashed first) goes straight to revoked.
+        return to == LeaseState::kActive || to == LeaseState::kRevoked;
+      case LeaseState::kActive:
+        // Revocation (donor pressure or natural expiry) opens the
+        // grace window; a donor crash revokes without one.
+        return to == LeaseState::kRevoking || to == LeaseState::kRevoked;
+      case LeaseState::kRevoking:
+        // Drained (or force-killed) within grace: revoked for
+        // pressure revocations, expired for natural expiry.
+        return to == LeaseState::kRevoked || to == LeaseState::kExpired;
+      case LeaseState::kRevoked:
+      case LeaseState::kExpired:
+        return false;  // terminal
+    }
+    return false;
+}
+
+void
+Lease::transition(LeaseState to)
+{
+    SDFM_INVARIANT(lease_transition_legal(state, to),
+                   "lease lifecycle transition is legal");
+    state = to;
+}
+
+void
+Lease::ckpt_save(Serializer &s) const
+{
+    s.put_u32(id);
+    s.put_u32(donor);
+    s.put_u32(borrower);
+    s.put_u64(pages);
+    s.put_u8(static_cast<std::uint8_t>(state));
+    s.put_i64(deadline);
+    s.put_u64(grace_remaining);
+    s.put_bool(expiry);
+    s.put_bool(revoke_pending);
+    s.put_u32(grant_retries);
+    s.put_u64(grant_backoff_remaining);
+}
+
+bool
+Lease::ckpt_load(Deserializer &d)
+{
+    id = d.get_u32();
+    donor = d.get_u32();
+    borrower = d.get_u32();
+    pages = d.get_u64();
+    std::uint8_t raw_state = d.get_u8();
+    deadline = d.get_i64();
+    grace_remaining = d.get_u64();
+    expiry = d.get_bool();
+    revoke_pending = d.get_bool();
+    grant_retries = d.get_u32();
+    grant_backoff_remaining = d.get_u64();
+    if (!d.ok() ||
+        raw_state > static_cast<std::uint8_t>(LeaseState::kExpired) ||
+        pages == 0 || donor == borrower) {
+        return false;
+    }
+    state = static_cast<LeaseState>(raw_state);
+    return true;
+}
+
+std::uint64_t
+Lease::state_digest() const
+{
+    StateDigest d;
+    d.mix(id);
+    d.mix(donor);
+    d.mix(borrower);
+    d.mix(pages);
+    d.mix(static_cast<std::uint64_t>(static_cast<std::uint8_t>(state)));
+    d.mix(static_cast<std::uint64_t>(deadline));
+    d.mix(grace_remaining);
+    d.mix(static_cast<std::uint64_t>(expiry));
+    d.mix(static_cast<std::uint64_t>(revoke_pending));
+    d.mix(grant_retries);
+    d.mix(grant_backoff_remaining);
+    return d.value();
+}
+
+}  // namespace sdfm

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The cluster memory market: a lease-based pooling broker.
+ *
+ * Section 2.1 of the paper rejects remote memory partly because a
+ * donor machine's failure expands every borrower's failure domain.
+ * This module models the mitigation the paper alludes to but does not
+ * build: instead of static donor capacity, borrower machines hold
+ * *revocable leases* granted by a per-cluster MemoryBroker against
+ * specific donors' free DRAM. Donors keep a reserve; when their own
+ * demand grows, the broker revokes leases (newest first) and the
+ * borrower drains pages back to its local tiers within a bounded
+ * grace window. Only an actual donor crash -- or a borrower that
+ * cannot drain in time -- still kills jobs.
+ *
+ * The broker's control plane is failure-modelled end to end: grant
+ * deliveries and revocation messages can be lost (bounded retry with
+ * exponential backoff; redelivery), and the broker itself can stall.
+ * Each machine's view of the control plane feeds a per-machine
+ * circuit breaker; while a machine's breaker is open its lease-backed
+ * remote tier is gated to zero budget and demotions fall through the
+ * existing route table to shallower tiers (NVM/zswap). Everything is
+ * deterministic: the broker steps machines in index order, leases in
+ * id order, and draws faults from its own seeded injector, so serial
+ * and parallel fleet stepping agree digest for digest.
+ */
+
+#ifndef SDFM_CLUSTER_MEM_POOL_H
+#define SDFM_CLUSTER_MEM_POOL_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/lease.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "node/machine.h"
+#include "telemetry/registry.h"
+
+namespace sdfm {
+
+/** Memory-pooling configuration (part of ClusterConfig). */
+struct MemPoolParams
+{
+    /** Master switch; false (the default) leaves the cluster without
+     *  a broker and every trajectory bit-identical to pre-pooling
+     *  builds. */
+    bool enabled = false;
+
+    /** Pages per lease (the market's allocation unit). */
+    std::uint64_t lease_pages = 4096;
+
+    /** Concurrent (non-terminal) leases one borrower may hold. */
+    std::uint32_t max_leases_per_borrower = 4;
+
+    /** Natural lease term, in control periods from delivery. */
+    std::uint64_t lease_term_periods = 60;
+
+    /** Grace periods a borrower gets to drain a revoked lease before
+     *  the broker force-kills the owning jobs. */
+    std::uint64_t grace_periods = 3;
+
+    /** Pages a borrower drains from a revoking lease per period. */
+    std::uint64_t drain_pages_per_period = 2048;
+
+    /** Fraction of DRAM a donor keeps free; dipping below it is the
+     *  donor-pressure signal that triggers revocation. */
+    double donor_reserve_frac = 0.10;
+
+    /** Lost grant deliveries tolerated before the grant is aborted. */
+    std::uint32_t max_grant_retries = 3;
+
+    /** Base of the exponential grant-redelivery backoff, in periods
+     *  (retry k waits base << (k-1)). */
+    std::uint64_t grant_backoff_base = 1;
+
+    /** Per-machine control-plane breaker over broker reachability. */
+    bool breaker_enabled = true;
+    CircuitBreakerParams breaker;
+
+    /** The broker's own fault plane (lease-grant loss, revocation
+     *  loss, broker stalls); per-machine injectors never draw these
+     *  kinds. */
+    FaultConfig fault;
+};
+
+/** Broker lifetime counters. */
+struct MemPoolStats
+{
+    std::uint64_t leases_issued = 0;    ///< matches made (kGranted)
+    std::uint64_t leases_granted = 0;   ///< deliveries (-> kActive)
+    std::uint64_t grants_aborted = 0;   ///< retries exhausted
+    std::uint64_t revocations = 0;      ///< delivered revocations
+    std::uint64_t expiries = 0;         ///< of those, natural expiry
+    std::uint64_t grace_drain_pages = 0;
+    std::uint64_t clean_drains = 0;     ///< leases drained in grace
+    std::uint64_t forced_kills = 0;     ///< jobs killed at grace end
+    std::uint64_t donor_crash_revocations = 0;
+    std::uint64_t breaker_opens = 0;
+};
+
+/** Result of one broker step. */
+struct BrokerStepResult
+{
+    /** Jobs killed by grace-window expiry (the cluster reschedules
+     *  them exactly like OOM evictions). */
+    std::vector<JobId> killed;
+
+    /** The broker was stalled for this whole period. */
+    bool stalled = false;
+};
+
+/**
+ * The per-cluster memory broker. Owned by Cluster and stepped once
+ * per control period *before* the machines, so grants and revocations
+ * issued in step N are visible to demotion routing in step N.
+ */
+class MemoryBroker
+{
+  public:
+    MemoryBroker(const MemPoolParams &params, std::uint64_t seed,
+                 std::uint32_t num_machines);
+
+    /**
+     * One control period of the memory market, in fixed phase order:
+     * prune terminal leases, draw faults, reconcile machine-side
+     * donor crashes, deliver pending grants (bounded retry), initiate
+     * natural-expiry and donor-pressure revocations (newest lease
+     * first), run grace-window drains, match borrowers to donors, and
+     * feed each machine's control-plane health into its breaker.
+     */
+    BrokerStepResult
+    step(SimTime now, SimTime period,
+         std::vector<std::unique_ptr<Machine>> &machines);
+
+    /** The lease table, id-ordered. Terminal leases linger until the
+     *  start of the next step (inspectable post-step). */
+    const std::map<LeaseId, Lease> &leases() const { return leases_; }
+
+    const MemPoolStats &stats() const { return stats_; }
+    const FaultInjector &fault_injector() const { return fault_; }
+    const CircuitBreaker &breaker(std::uint32_t machine) const
+    {
+        return breakers_[machine];
+    }
+
+    /** pool.* metrics; Cluster merges this registry into its
+     *  telemetry rollup. */
+    MetricRegistry &metrics() { return *metrics_; }
+    const MetricRegistry &metrics() const { return *metrics_; }
+
+    /**
+     * Broker consistency check (SDFM_INVARIANT tier): every
+     * non-terminal lease is well-formed (donor != borrower, pages >
+     * 0, in-range machine indices), per-donor outstanding lease pages
+     * equal the donor's donated_pages(), and only revoking leases
+     * have draining slots. A no-op unless the build defines
+     * SDFM_CHECK_INVARIANTS.
+     */
+    void check_invariants(
+        const std::vector<std::unique_ptr<Machine>> &machines) const;
+
+    /** Order-sensitive digest over the full lease table, the breaker
+     *  states, the stall window, and the counters. */
+    std::uint64_t state_digest(
+        const std::vector<std::unique_ptr<Machine>> &machines) const;
+
+    /**
+     * Checkpointable-shaped snapshot: the lease-id allocator, the
+     * stall window, the counters, the fault injector, every
+     * per-machine breaker, the full lease table in id order, and the
+     * pool.* metric registry. Params are not stored (they come from
+     * the config). ckpt_load() parses and validates the table
+     * (well-formed leases, strictly increasing ids below the
+     * allocator); ckpt_resolve() then rebinds the restored table to
+     * the restored machines -- re-deriving each donor's
+     * donated_pages(), cross-checking borrower-side lease slots
+     * against the table, and re-applying breaker gates -- and fails
+     * on any disagreement.
+     */
+    void ckpt_save(Serializer &s) const;
+    bool ckpt_load(Deserializer &d);
+    bool ckpt_resolve(
+        std::vector<std::unique_ptr<Machine>> &machines);
+
+  private:
+    /** Deliver (or lose) one revocation for @p lease. */
+    void attempt_revocation(
+        Lease &lease, bool expiry,
+        std::vector<std::unique_ptr<Machine>> &machines,
+        std::vector<bool> &cp_failure);
+
+    /** Non-terminal leases currently held by @p borrower. */
+    std::uint32_t borrower_lease_count(std::uint32_t borrower) const;
+
+    MemPoolParams params_;
+    std::uint32_t num_machines_;
+    std::map<LeaseId, Lease> leases_;
+    LeaseId next_lease_id_ = 1;
+    SimTime stalled_until_ = 0;
+    /** Lost-delivery budgets for the current step (from this step's
+     *  fault events). */
+    std::uint32_t grant_losses_ = 0;
+    std::uint32_t revocation_losses_ = 0;
+    std::vector<CircuitBreaker> breakers_;
+    FaultInjector fault_;
+    MemPoolStats stats_;
+    std::unique_ptr<MetricRegistry> metrics_;
+
+    // Cached pool.* metric handles.
+    Counter *m_leases_granted_ = nullptr;
+    Counter *m_grants_aborted_ = nullptr;
+    Counter *m_revocations_ = nullptr;
+    Counter *m_grace_drains_ = nullptr;
+    Counter *m_forced_kills_ = nullptr;
+    Counter *m_broker_stalls_ = nullptr;
+    Counter *m_breaker_opens_ = nullptr;
+    Gauge *m_leases_active_ = nullptr;
+    Gauge *m_breaker_state_ = nullptr;
+};
+
+}  // namespace sdfm
+
+#endif  // SDFM_CLUSTER_MEM_POOL_H

@@ -180,6 +180,18 @@ FarMemorySystem::fault_report() const
     report.agent_restarts = snap.counter_or_zero("agent.restarts");
     report.slo_breaker_trips =
         snap.counter_or_zero("agent.slo_breaker_trips");
+    report.pool_leases_granted =
+        snap.counter_or_zero("pool.leases_granted");
+    report.pool_grants_aborted =
+        snap.counter_or_zero("pool.grants_aborted");
+    report.pool_revocations = snap.counter_or_zero("pool.revocations");
+    report.pool_grace_drain_pages =
+        snap.counter_or_zero("pool.grace_drains");
+    report.pool_forced_kills = snap.counter_or_zero("pool.forced_kills");
+    report.pool_broker_stalls =
+        snap.counter_or_zero("pool.broker_stalls");
+    report.pool_breaker_opens =
+        snap.counter_or_zero("pool.broker_breaker_opens");
     return report;
 }
 

@@ -91,6 +91,15 @@ struct FleetFaultReport
     std::uint64_t nvm_spillover_pages = 0;  ///< fault.nvm_spillover_pages
     std::uint64_t agent_restarts = 0;       ///< agent.restarts
     std::uint64_t slo_breaker_trips = 0;    ///< agent.slo_breaker_trips
+
+    // Memory pooling (all zero unless cluster pooling is enabled).
+    std::uint64_t pool_leases_granted = 0;  ///< pool.leases_granted
+    std::uint64_t pool_grants_aborted = 0;  ///< pool.grants_aborted
+    std::uint64_t pool_revocations = 0;     ///< pool.revocations
+    std::uint64_t pool_grace_drain_pages = 0;  ///< pool.grace_drains
+    std::uint64_t pool_forced_kills = 0;    ///< pool.forced_kills
+    std::uint64_t pool_broker_stalls = 0;   ///< pool.broker_stalls
+    std::uint64_t pool_breaker_opens = 0;  ///< pool.broker_breaker_opens
 };
 
 /** The warehouse-scale system. */

@@ -54,12 +54,16 @@ save_fault_config(Serializer &s, const FaultConfig &f)
     s.put_double(f.nvm_media_error_prob);
     s.put_double(f.nvm_capacity_loss_prob);
     s.put_double(f.agent_crash_prob);
+    s.put_double(f.lease_grant_loss_prob);
+    s.put_double(f.revocation_loss_prob);
+    s.put_double(f.broker_stall_prob);
     s.put_u32(f.corruption_batch);
     s.put_i64(f.degrade_duration);
     s.put_double(f.remote_read_failure_prob);
     s.put_double(f.nvm_latency_multiplier);
     s.put_u32(f.media_error_burst);
     s.put_double(f.capacity_loss_frac);
+    s.put_i64(f.broker_stall_duration);
     s.put_u64(f.schedule.size());
     for (const ScheduledFault &sf : f.schedule) {
         s.put_i64(sf.at);
@@ -89,6 +93,7 @@ save_remote_params(Serializer &s, const RemoteTierParams &p)
     s.put_double(p.crypto_cycles_per_page);
     s.put_u32(p.max_read_retries);
     s.put_double(p.retry_backoff_base_us);
+    s.put_bool(p.pooled);
 }
 
 void
@@ -149,6 +154,18 @@ save_cluster_config(Serializer &s, const ClusterConfig &c)
     for (double ghz : c.platform_ghz)
         s.put_double(ghz);
     s.put_u8(static_cast<std::uint8_t>(c.placement));
+    s.put_bool(c.pool.enabled);
+    s.put_u64(c.pool.lease_pages);
+    s.put_u32(c.pool.max_leases_per_borrower);
+    s.put_u64(c.pool.lease_term_periods);
+    s.put_u64(c.pool.grace_periods);
+    s.put_u64(c.pool.drain_pages_per_period);
+    s.put_double(c.pool.donor_reserve_frac);
+    s.put_u32(c.pool.max_grant_retries);
+    s.put_u64(c.pool.grant_backoff_base);
+    s.put_bool(c.pool.breaker_enabled);
+    save_breaker_params(s, c.pool.breaker);
+    save_fault_config(s, c.pool.fault);
 }
 
 void
@@ -168,6 +185,18 @@ cluster_section_name(std::size_t index)
     std::snprintf(buf, sizeof buf, "cluster.%04zu", index);
     return buf;
 }
+
+std::string
+pool_section_name(std::size_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "pool.%04zu", index);
+    return buf;
+}
+
+/** Version of the per-cluster "pool.NNNN" broker section. Bumped
+ *  whenever the broker/lease wire layout changes. */
+constexpr std::uint32_t kPoolSectionVersion = 1;
 
 }  // namespace
 
@@ -190,6 +219,17 @@ FarMemorySystem::checkpoint(const std::string &path) const
         Serializer s;
         clusters_[c]->ckpt_save(s);
         writer.add_section(cluster_section_name(c), s.take());
+    }
+    // Lease state rides in its own versioned per-cluster section so
+    // the cluster/machine wire is unchanged when pooling is off.
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        const MemoryBroker *broker = clusters_[c]->broker();
+        if (broker == nullptr)
+            continue;
+        Serializer s;
+        s.put_u32(kPoolSectionVersion);
+        broker->ckpt_save(s);
+        writer.add_section(pool_section_name(c), s.take());
     }
     return writer.write_file(path);
 }
@@ -235,6 +275,30 @@ FarMemorySystem::restore(const std::string &path)
         Deserializer d(*bytes);
         if (!replica.clusters_[c]->ckpt_load(d) || !d.ok() || !d.at_end())
             return CkptStatus::kCorruptPayload;
+    }
+    for (std::size_t c = 0; c < replica.clusters_.size(); ++c) {
+        MemoryBroker *broker = replica.clusters_[c]->broker();
+        if (broker == nullptr)
+            continue;
+        const std::vector<std::uint8_t> *bytes =
+            reader.section(pool_section_name(c));
+        if (bytes == nullptr)
+            return CkptStatus::kCorruptPayload;
+        Deserializer d(*bytes);
+        std::uint32_t version = d.get_u32();
+        if (!d.ok())
+            return CkptStatus::kCorruptPayload;
+        if (version != kPoolSectionVersion)
+            return CkptStatus::kBadVersion;
+        // A corrupt lease table must never half-apply: ckpt_load
+        // parses and validates, ckpt_resolve cross-checks the table
+        // against the restored machines (donation accounts, lease
+        // slots, breaker gates) -- any disagreement rejects the whole
+        // restore with the replica discarded.
+        if (!broker->ckpt_load(d) || !d.ok() || !d.at_end() ||
+            !broker->ckpt_resolve(replica.clusters_[c]->machines())) {
+            return CkptStatus::kCorruptPayload;
+        }
     }
 
     clusters_ = std::move(replica.clusters_);

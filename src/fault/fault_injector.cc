@@ -24,6 +24,12 @@ fault_kind_name(FaultKind kind)
         return "nvm_capacity_loss";
       case FaultKind::kAgentCrash:
         return "agent_crash";
+      case FaultKind::kLeaseGrantLoss:
+        return "lease_grant_loss";
+      case FaultKind::kRevocationLoss:
+        return "revocation_loss";
+      case FaultKind::kBrokerStall:
+        return "broker_stall";
     }
     return "?";
 }
@@ -67,6 +73,15 @@ FaultInjector::count(FaultKind kind)
       case FaultKind::kAgentCrash:
         ++stats_.agent_crashes;
         break;
+      case FaultKind::kLeaseGrantLoss:
+        ++stats_.lease_grant_losses;
+        break;
+      case FaultKind::kRevocationLoss:
+        ++stats_.revocation_losses;
+        break;
+      case FaultKind::kBrokerStall:
+        ++stats_.broker_stalls;
+        break;
     }
 }
 
@@ -107,6 +122,12 @@ FaultInjector::step(SimTime begin, SimTime end)
          config_.media_error_burst},
         {config_.nvm_capacity_loss_prob, FaultKind::kNvmCapacityLoss, 1},
         {config_.agent_crash_prob, FaultKind::kAgentCrash, 1},
+        // New kinds append after the historical ones, and a zero
+        // probability skips the draw entirely, so configurations that
+        // leave them disabled keep bit-identical schedules.
+        {config_.lease_grant_loss_prob, FaultKind::kLeaseGrantLoss, 1},
+        {config_.revocation_loss_prob, FaultKind::kRevocationLoss, 1},
+        {config_.broker_stall_prob, FaultKind::kBrokerStall, 1},
     };
     for (const Draw &draw : draws) {
         if (draw.prob <= 0.0)
@@ -116,7 +137,9 @@ FaultInjector::step(SimTime begin, SimTime end)
         FaultEvent event;
         event.kind = draw.kind;
         event.magnitude = draw.magnitude;
-        event.duration = config_.degrade_duration;
+        event.duration = draw.kind == FaultKind::kBrokerStall
+                             ? config_.broker_stall_duration
+                             : config_.degrade_duration;
         events.push_back(event);
         count(event.kind);
     }
@@ -136,6 +159,9 @@ FaultInjector::ckpt_save(Serializer &s) const
     s.put_u64(stats_.nvm_media_errors);
     s.put_u64(stats_.nvm_capacity_losses);
     s.put_u64(stats_.agent_crashes);
+    s.put_u64(stats_.lease_grant_losses);
+    s.put_u64(stats_.revocation_losses);
+    s.put_u64(stats_.broker_stalls);
     s.put_u64(next_scheduled_);
 }
 
@@ -152,6 +178,9 @@ FaultInjector::ckpt_load(Deserializer &d)
     stats_.nvm_media_errors = d.get_u64();
     stats_.nvm_capacity_losses = d.get_u64();
     stats_.agent_crashes = d.get_u64();
+    stats_.lease_grant_losses = d.get_u64();
+    stats_.revocation_losses = d.get_u64();
+    stats_.broker_stalls = d.get_u64();
     next_scheduled_ = d.get_u64();
     if (!d.ok() || next_scheduled_ > config_.schedule.size())
         return false;

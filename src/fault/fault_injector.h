@@ -65,10 +65,25 @@ enum class FaultKind : std::uint8_t
      *  pools are lost and every job re-enters the S-second zswap-off
      *  warmup. */
     kAgentCrash,
+
+    /** Memory-pooling control plane: a lease-grant delivery is lost
+     *  in flight; the broker retries with exponential backoff and
+     *  aborts the grant after bounded retries. */
+    kLeaseGrantLoss,
+
+    /** Memory-pooling control plane: a revocation message is lost;
+     *  the borrower keeps the lease one more period and the broker
+     *  redelivers. */
+    kRevocationLoss,
+
+    /** The memory broker stalls: no grants, revocations, or matches
+     *  for the event's duration -- every machine's pool control path
+     *  sees failures and its breaker may open. */
+    kBrokerStall,
 };
 
 /** Number of distinct fault kinds (for iteration and tables). */
-inline constexpr std::size_t kNumFaultKinds = 7;
+inline constexpr std::size_t kNumFaultKinds = 10;
 
 /** Human-readable fault-kind name. */
 const char *fault_kind_name(FaultKind kind);
@@ -114,6 +129,11 @@ struct FaultConfig
     double nvm_media_error_prob = 0.0;
     double nvm_capacity_loss_prob = 0.0;
     double agent_crash_prob = 0.0;
+    // Memory-pooling control-plane kinds (drawn only by the broker's
+    // injector; per-machine injectors leave these at zero).
+    double lease_grant_loss_prob = 0.0;
+    double revocation_loss_prob = 0.0;
+    double broker_stall_prob = 0.0;
 
     /** Entries corrupted per kZswapCorruption event. */
     std::uint32_t corruption_batch = 1;
@@ -134,6 +154,9 @@ struct FaultConfig
     /** Fraction of NVM capacity lost per kNvmCapacityLoss event. */
     double capacity_loss_frac = 0.10;
 
+    /** Stalled-state length for kBrokerStall events. */
+    SimTime broker_stall_duration = 5 * kMinute;
+
     /** Explicit faults pinned to simulated time (sorted internally;
      *  an event fires in the control period covering its time). */
     std::vector<ScheduledFault> schedule;
@@ -150,6 +173,9 @@ struct FaultStats
     std::uint64_t nvm_media_errors = 0;
     std::uint64_t nvm_capacity_losses = 0;
     std::uint64_t agent_crashes = 0;
+    std::uint64_t lease_grant_losses = 0;
+    std::uint64_t revocation_losses = 0;
+    std::uint64_t broker_stalls = 0;
 };
 
 /** One machine's fault injector. */

@@ -1,6 +1,7 @@
 #include "mem/remote_tier.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/logging.h"
 
@@ -26,7 +27,37 @@ RemoteTier::key(const Memcg &cg, PageId p)
 bool
 RemoteTier::has_space() const
 {
+    if (params_.pooled) {
+        // sdfm-lint: allow(unordered-iter) -- ordered std::map, and
+        // the result is an existence check independent of order.
+        for (const auto &[id, slot] : lease_slots_) {
+            if (!slot.draining && slot.used < slot.capacity)
+                return true;
+        }
+        return false;
+    }
     return used_pages_ < params_.capacity_pages;
+}
+
+std::uint32_t
+RemoteTier::pick_store_slot()
+{
+    // First non-draining slot with space at or after the cursor,
+    // wrapping once -- a deterministic round-robin over lease ids.
+    auto usable = [](const LeaseSlot &slot) {
+        return !slot.draining && slot.used < slot.capacity;
+    };
+    for (auto it = lease_slots_.lower_bound(slot_cursor_);
+         it != lease_slots_.end(); ++it) {
+        if (usable(it->second))
+            return it->first;
+    }
+    for (auto it = lease_slots_.begin();
+         it != lease_slots_.lower_bound(slot_cursor_); ++it) {
+        if (usable(it->second))
+            return it->first;
+    }
+    return ~0u;
 }
 
 bool
@@ -35,12 +66,24 @@ RemoteTier::store(Memcg &cg, PageId p)
     PageMeta &meta = cg.page(p);
     SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInFarTier));
     SDFM_ASSERT(!meta.test(kPageUnevictable));
-    if (!has_space()) {
-        ++stats_.rejected_full;
-        return false;
+    std::uint32_t donor;
+    if (params_.pooled) {
+        // The placement's donor field carries the lease id.
+        donor = pick_store_slot();
+        if (donor == ~0u) {
+            ++stats_.rejected_full;
+            return false;
+        }
+        ++lease_slots_[donor].used;
+        slot_cursor_ = donor + 1;
+    } else {
+        if (!has_space()) {
+            ++stats_.rejected_full;
+            return false;
+        }
+        donor = next_donor_;
+        next_donor_ = (next_donor_ + 1) % params_.num_donors;
     }
-    std::uint32_t donor = next_donor_;
-    next_donor_ = (next_donor_ + 1) % params_.num_donors;
     auto [it, inserted] =
         placements_.emplace(key(cg, p), Placement{&cg, p, donor});
     SDFM_ASSERT(inserted);
@@ -58,8 +101,14 @@ void
 RemoteTier::load(Memcg &cg, PageId p)
 {
     SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
-    std::size_t erased = placements_.erase(key(cg, p));
-    SDFM_ASSERT(erased == 1);
+    auto it = placements_.find(key(cg, p));
+    SDFM_ASSERT(it != placements_.end());
+    if (params_.pooled) {
+        auto slot = lease_slots_.find(it->second.donor);
+        SDFM_ASSERT(slot != lease_slots_.end() && slot->second.used > 0);
+        --slot->second.used;
+    }
+    placements_.erase(it);
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
     cg.note_loaded_from_tier(p);
@@ -101,8 +150,14 @@ void
 RemoteTier::drop(Memcg &cg, PageId p)
 {
     SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
-    std::size_t erased = placements_.erase(key(cg, p));
-    SDFM_ASSERT(erased == 1);
+    auto it = placements_.find(key(cg, p));
+    SDFM_ASSERT(it != placements_.end());
+    if (params_.pooled) {
+        auto slot = lease_slots_.find(it->second.donor);
+        SDFM_ASSERT(slot != lease_slots_.end() && slot->second.used > 0);
+        --slot->second.used;
+    }
+    placements_.erase(it);
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
     cg.note_loaded_from_tier(p);
@@ -116,16 +171,15 @@ RemoteTier::drop_all(Memcg &cg)
 }
 
 std::vector<JobId>
-RemoteTier::fail_donor(std::uint32_t donor)
+RemoteTier::fail_placement_group(std::uint32_t group)
 {
-    ++stats_.donor_failures;
     std::set<JobId> affected;
     std::vector<std::uint64_t> lost_keys;
     // sdfm-lint: allow(unordered-iter) -- lost_keys is sorted below
     // and `affected` is an ordered set, so iteration order of the
     // placement map cannot leak into the failure trajectory.
     for (const auto &[k, placement] : placements_) {
-        if (placement.donor != donor)
+        if (placement.donor != group)
             continue;
         lost_keys.push_back(k);
         affected.insert(placement.cg->id());
@@ -145,10 +199,152 @@ RemoteTier::fail_donor(std::uint32_t donor)
 }
 
 std::vector<JobId>
+RemoteTier::fail_donor(std::uint32_t donor)
+{
+    if (params_.pooled) {
+        // Pooled mode: the failing "donor" is a lease; its crash is
+        // reconciled by the broker on its next step.
+        auto it = lease_slots_.find(donor);
+        if (it == lease_slots_.end())
+            return {};
+        ++stats_.donor_failures;
+        std::vector<JobId> victims = fail_placement_group(donor);
+        it->second.used = 0;
+        slot_capacity_total_ -= it->second.capacity;
+        lease_slots_.erase(it);
+        dead_leases_.push_back(donor);
+        return victims;
+    }
+    ++stats_.donor_failures;
+    return fail_placement_group(donor);
+}
+
+std::vector<JobId>
 RemoteTier::fail_random_donor()
 {
+    if (params_.pooled)
+        return fail_random_lease(rng_);
     return fail_donor(static_cast<std::uint32_t>(
         rng_.next_below(params_.num_donors)));
+}
+
+std::vector<JobId>
+RemoteTier::fail_random_lease(Rng &rng)
+{
+    SDFM_ASSERT(params_.pooled);
+    if (lease_slots_.empty())
+        return {};
+    // Victim draw over the sorted lease ids (std::map iterates in key
+    // order), so the trajectory is independent of insertion history.
+    std::uint64_t pick = rng.next_below(lease_slots_.size());
+    auto it = lease_slots_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(pick));
+    return fail_donor(it->first);
+}
+
+std::vector<JobId>
+RemoteTier::fail_lease(std::uint32_t lease_id)
+{
+    SDFM_ASSERT(params_.pooled);
+    auto it = lease_slots_.find(lease_id);
+    SDFM_ASSERT(it != lease_slots_.end());
+    std::vector<JobId> victims = fail_placement_group(lease_id);
+    it->second.used = 0;
+    slot_capacity_total_ -= it->second.capacity;
+    lease_slots_.erase(it);
+    return victims;
+}
+
+void
+RemoteTier::grant_lease(std::uint32_t lease_id, std::uint64_t pages)
+{
+    SDFM_ASSERT(params_.pooled && pages > 0);
+    auto [it, inserted] =
+        lease_slots_.emplace(lease_id, LeaseSlot{pages, 0, false});
+    SDFM_ASSERT(inserted);
+    slot_capacity_total_ += pages;
+}
+
+void
+RemoteTier::begin_drain(std::uint32_t lease_id)
+{
+    auto it = lease_slots_.find(lease_id);
+    SDFM_ASSERT(it != lease_slots_.end());
+    it->second.draining = true;
+}
+
+std::uint64_t
+RemoteTier::lease_used(std::uint32_t lease_id) const
+{
+    auto it = lease_slots_.find(lease_id);
+    SDFM_ASSERT(it != lease_slots_.end());
+    return it->second.used;
+}
+
+void
+RemoteTier::finish_lease(std::uint32_t lease_id)
+{
+    auto it = lease_slots_.find(lease_id);
+    SDFM_ASSERT(it != lease_slots_.end());
+    SDFM_ASSERT(it->second.used == 0);
+    slot_capacity_total_ -= it->second.capacity;
+    lease_slots_.erase(it);
+}
+
+std::vector<std::pair<Memcg *, PageId>>
+RemoteTier::lease_page_refs(std::uint32_t lease_id,
+                            std::uint64_t limit) const
+{
+    std::vector<std::uint64_t> keys;
+    // sdfm-lint: allow(unordered-iter) -- keys are sorted below, so
+    // the drain order is independent of hash-map iteration order.
+    for (const auto &[k, placement] : placements_) {
+        if (placement.donor == lease_id)
+            keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    if (keys.size() > limit)
+        keys.resize(limit);
+    std::vector<std::pair<Memcg *, PageId>> refs;
+    refs.reserve(keys.size());
+    for (std::uint64_t k : keys) {
+        const Placement &placement = placements_.at(k);
+        refs.emplace_back(placement.cg, placement.page);
+    }
+    return refs;
+}
+
+std::vector<std::uint32_t>
+RemoteTier::take_dead_leases()
+{
+    std::vector<std::uint32_t> dead = std::move(dead_leases_);
+    dead_leases_.clear();
+    return dead;
+}
+
+std::uint64_t
+RemoteTier::free_slot_pages() const
+{
+    std::uint64_t free = 0;
+    // sdfm-lint: allow(unordered-iter) -- ordered std::map; the sum
+    // is order-independent anyway.
+    for (const auto &[id, slot] : lease_slots_) {
+        if (!slot.draining)
+            free += slot.capacity - slot.used;
+    }
+    return free;
+}
+
+std::vector<RemoteTier::LeaseSlotView>
+RemoteTier::lease_slots() const
+{
+    std::vector<LeaseSlotView> views;
+    views.reserve(lease_slots_.size());
+    for (const auto &[id, slot] : lease_slots_) {
+        views.push_back(
+            {id, slot.capacity, slot.used, slot.draining});
+    }
+    return views;
 }
 
 void
@@ -168,6 +364,22 @@ RemoteTier::ckpt_save(Serializer &s) const
     s.put_u32(next_donor_);
     s.put_rng(rng_);
     s.put_double(transient_read_failure_prob_);
+
+    // Pooled extras ride between the scalar block and the placement
+    // rows; the flag comes from the config, so both sides agree on
+    // the layout without a wire discriminator.
+    if (params_.pooled) {
+        s.put_u32(slot_cursor_);
+        s.put_u64(lease_slots_.size());
+        for (const auto &[id, slot] : lease_slots_) {
+            s.put_u32(id);
+            s.put_u64(slot.capacity);
+            s.put_bool(slot.draining);
+        }
+        s.put_u64(dead_leases_.size());
+        for (std::uint32_t id : dead_leases_)
+            s.put_u32(id);
+    }
 
     struct Row
     {
@@ -213,12 +425,38 @@ RemoteTier::ckpt_load(Deserializer &d)
     d.get_rng(rng_);
     transient_read_failure_prob_ = d.get_double();
 
+    lease_slots_.clear();
+    slot_capacity_total_ = 0;
+    dead_leases_.clear();
+    if (params_.pooled) {
+        slot_cursor_ = d.get_u32();
+        std::size_t num_slots = d.get_size(d.remaining() / 13, 13);
+        for (std::size_t i = 0; i < num_slots; ++i) {
+            std::uint32_t id = d.get_u32();
+            LeaseSlot slot;
+            slot.capacity = d.get_u64();
+            slot.draining = d.get_bool();
+            if (!d.ok() || slot.capacity == 0 ||
+                !lease_slots_.emplace(id, slot).second) {
+                return false;
+            }
+            slot_capacity_total_ += slot.capacity;
+        }
+        std::size_t num_dead = d.get_size(d.remaining() / 4, 4);
+        for (std::size_t i = 0; i < num_dead; ++i)
+            dead_leases_.push_back(d.get_u32());
+    }
+
     placements_.clear();
     pending_placements_.clear();
     std::size_t num = d.get_size(d.remaining() / 16, 16);
-    if (!d.ok() || num != used_pages_ ||
-        used_pages_ > params_.capacity_pages ||
-        next_donor_ >= params_.num_donors) {
+    if (!d.ok() || num != used_pages_)
+        return false;
+    if (params_.pooled) {
+        if (used_pages_ > slot_capacity_total_)
+            return false;
+    } else if (used_pages_ > params_.capacity_pages ||
+               next_donor_ >= params_.num_donors) {
         return false;
     }
     pending_placements_.reserve(num);
@@ -227,8 +465,15 @@ RemoteTier::ckpt_load(Deserializer &d)
         pending.job = d.get_u64();
         pending.page = d.get_u32();
         pending.donor = d.get_u32();
-        if (!d.ok() || pending.donor >= params_.num_donors)
+        if (!d.ok())
             return false;
+        if (params_.pooled) {
+            // The donor field names a lease slot; it must exist.
+            if (lease_slots_.find(pending.donor) == lease_slots_.end())
+                return false;
+        } else if (pending.donor >= params_.num_donors) {
+            return false;
+        }
         pending_placements_.push_back(pending);
     }
     return true;
@@ -252,6 +497,12 @@ RemoteTier::ckpt_resolve(const std::map<JobId, Memcg *> &jobs)
             Placement{cg, pending.page, pending.donor});
         if (!inserted)
             return false;
+        if (params_.pooled) {
+            LeaseSlot &slot = lease_slots_[pending.donor];
+            if (slot.used == slot.capacity)
+                return false;
+            ++slot.used;
+        }
     }
     pending_placements_.clear();
     pending_placements_.shrink_to_fit();

@@ -18,6 +18,7 @@
 #define SDFM_MEM_REMOTE_TIER_H
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,15 @@ struct RemoteTierParams
      */
     std::uint32_t max_read_retries = 3;
     double retry_backoff_base_us = 50.0;
+
+    /**
+     * Lease-backed mode (cluster memory pooling): capacity comes from
+     * revocable lease slots granted by the cluster's MemoryBroker
+     * instead of the static capacity_pages/num_donors pool. With the
+     * flag off (the default) the tier behaves exactly as before, bit
+     * for bit.
+     */
+    bool pooled = false;
 };
 
 /** Remote-tier counters. */
@@ -92,7 +102,8 @@ class RemoteTier : public FarTier
     std::uint64_t
     capacity_pages() const override
     {
-        return params_.capacity_pages;
+        return params_.pooled ? slot_capacity_total_
+                              : params_.capacity_pages;
     }
 
     /**
@@ -105,11 +116,84 @@ class RemoteTier : public FarTier
      */
     std::vector<JobId> fail_donor(std::uint32_t donor);
 
-    /** Fail a uniformly random donor. */
+    /**
+     * Fail a random donor. Static mode: a uniform donor index (the
+     * historical draw, bit-for-bit). Pooled mode: a uniform pick over
+     * the live lease ids in sorted-key order (digest-stable; no draw
+     * when no leases are held), recorded for broker reconciliation.
+     */
     std::vector<JobId> fail_random_donor();
 
-    /** Pages currently hosted by a donor. */
+    /** Pages currently hosted by a donor (static) or lease (pooled). */
     std::uint64_t donor_pages(std::uint32_t donor) const;
+
+    // -- lease-backed mode (params().pooled) --------------------------
+
+    bool pooled() const { return params_.pooled; }
+
+    /** Install a delivered lease as an empty capacity slot. */
+    void grant_lease(std::uint32_t lease_id, std::uint64_t pages);
+
+    /** Stop placing new pages into a lease (revocation received). */
+    void begin_drain(std::uint32_t lease_id);
+
+    /** Pages currently stored under a lease. */
+    std::uint64_t lease_used(std::uint32_t lease_id) const;
+
+    /** Remove a fully drained lease slot (lease_used() must be 0). */
+    void finish_lease(std::uint32_t lease_id);
+
+    /**
+     * The lease's pages are gone (donor crash or grace expiry): drop
+     * every placement it holds and remove the slot. Like fail_donor,
+     * the data is unrecoverable and the owning jobs must be killed.
+     *
+     * @return The distinct jobs that lost pages.
+     */
+    std::vector<JobId> fail_lease(std::uint32_t lease_id);
+
+    /**
+     * Fail a random live lease as if its donor crashed, drawing the
+     * victim from @p rng over the sorted lease ids. Empty (and no RNG
+     * draw) when no leases are held. Recorded in the dead-lease list
+     * for broker reconciliation.
+     */
+    std::vector<JobId> fail_random_lease(Rng &rng);
+
+    /**
+     * Pages under @p lease_id in ascending placement-key order, at
+     * most @p limit -- the grace-window drain scan.
+     */
+    std::vector<std::pair<Memcg *, PageId>>
+    lease_page_refs(std::uint32_t lease_id, std::uint64_t limit) const;
+
+    /**
+     * Lease ids destroyed machine-side (donor-crash faults) since the
+     * last call; the broker consumes these to mark the leases revoked
+     * and return the donor pages.
+     */
+    std::vector<std::uint32_t> take_dead_leases();
+
+    /** Peek the pending dead-lease list without consuming it (broker
+     *  checkpoint cross-validation). */
+    const std::vector<std::uint32_t> &dead_leases() const
+    {
+        return dead_leases_;
+    }
+
+    /** Free (non-draining) slot capacity remaining, in pages. */
+    std::uint64_t free_slot_pages() const;
+
+    /** Live lease slots in ascending id order: (id, capacity,
+     *  draining). */
+    struct LeaseSlotView
+    {
+        std::uint32_t id;
+        std::uint64_t capacity;
+        std::uint64_t used;
+        bool draining;
+    };
+    std::vector<LeaseSlotView> lease_slots() const;
 
     /**
      * Fault plane: probability that one promotion read attempt fails
@@ -150,6 +234,16 @@ class RemoteTier : public FarTier
 
     static std::uint64_t key(const Memcg &cg, PageId p);
 
+    /** Drop every placement whose donor/lease field equals @p group
+     *  (pages lost); returns the distinct owning jobs. */
+    std::vector<JobId> fail_placement_group(std::uint32_t group);
+
+    /** Pick the lease slot for the next store (pooled mode); the
+     *  lowest-id non-draining slot with space at or after the cursor,
+     *  wrapping -- deterministic round-robin across leases. Returns
+     *  the slot id, or ~0u when nothing has space. */
+    std::uint32_t pick_store_slot();
+
     RemoteTierParams params_;
     RemoteTierStats stats_;
     std::uint64_t used_pages_ = 0;
@@ -157,6 +251,21 @@ class RemoteTier : public FarTier
     std::unordered_map<std::uint64_t, Placement> placements_;
     Rng rng_;
     double transient_read_failure_prob_ = 0.0;
+
+    // -- lease-backed mode (params_.pooled) ---------------------------
+
+    /** One granted lease's capacity slot. Ordered map: iteration and
+     *  victim selection stay deterministic without key extraction. */
+    struct LeaseSlot
+    {
+        std::uint64_t capacity = 0;
+        std::uint64_t used = 0;
+        bool draining = false;
+    };
+    std::map<std::uint32_t, LeaseSlot> lease_slots_;
+    std::uint64_t slot_capacity_total_ = 0;
+    std::uint32_t slot_cursor_ = 0;  ///< round-robin over lease ids
+    std::vector<std::uint32_t> dead_leases_;  ///< pending reconciliation
 
     /** Parsed-but-unresolved placements between ckpt_load() and
      *  ckpt_resolve(): (job id, page, donor). */

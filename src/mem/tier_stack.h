@@ -125,10 +125,20 @@ class TierStack
         std::uint64_t seen_reads_exhausted = 0;
         std::uint64_t seen_media_errors = 0;
 
+        /**
+         * Memory pooling: the cluster broker's per-machine breaker is
+         * open, so this (remote, lease-backed) tier takes no new
+         * stores; demotions fall through the route table to shallower
+         * tiers. Orthogonal to the tier's own breaker.
+         */
+        bool pool_gated = false;
+
         /** Demotion routing allowed into this tier right now. */
         bool
         allowed() const
         {
+            if (pool_gated)
+                return false;
             return !spec.breaker_enabled || breaker.allow();
         }
 
@@ -136,6 +146,8 @@ class TierStack
         std::uint64_t
         store_budget() const
         {
+            if (pool_gated)
+                return 0;
             return spec.breaker_enabled ? breaker.trial_budget()
                                         : kUnlimitedBudget;
         }

@@ -47,10 +47,12 @@ Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
     // legacy single-tier fields derive an equivalent one.
     std::vector<TierConfig> deep = config_.tiers;
     if (deep.empty()) {
-        SDFM_ASSERT(config_.nvm.capacity_pages == 0 ||
-                    config_.remote.capacity_pages == 0);
-        if (config_.nvm.capacity_pages > 0 ||
-            config_.remote.capacity_pages > 0) {
+        // A pooled remote tier starts with zero capacity (leases
+        // arrive later), so the enable test includes the flag.
+        bool remote_enabled = config_.remote.capacity_pages > 0 ||
+                              config_.remote.pooled;
+        SDFM_ASSERT(config_.nvm.capacity_pages == 0 || !remote_enabled);
+        if (config_.nvm.capacity_pages > 0 || remote_enabled) {
             TierConfig tc;
             if (config_.nvm.capacity_pages > 0) {
                 tc.kind = TierKind::kNvm;
@@ -67,7 +69,8 @@ Machine::Machine(std::uint32_t machine_id, const MachineConfig &config,
         }
     } else {
         SDFM_ASSERT(config_.nvm.capacity_pages == 0 &&
-                    config_.remote.capacity_pages == 0);
+                    config_.remote.capacity_pages == 0 &&
+                    !config_.remote.pooled);
     }
 
     for (const TierConfig &tc : deep) {
@@ -308,8 +311,10 @@ Machine::check_invariants() const
     }
     // handle_pressure() evicts until the machine fits (or is empty),
     // so a completed step always leaves the capacity respected.
+    // Donated pool pages are excluded, matching the eviction loop.
     SDFM_INVARIANT(jobs_.empty() ||
-                       used_pages() <= config_.dram_pages,
+                       used_pages() - donated_pages_ <=
+                           config_.dram_pages,
                    "post-step DRAM usage within capacity");
 }
 
@@ -394,7 +399,10 @@ Machine::handle_pressure(MachineStepResult *result)
 
     // Hard OOM: evict best-effort jobs (fail fast + reschedule,
     // Section 4.2), largest first; then anyone, as a last resort.
-    while (used_pages() > config_.dram_pages && !jobs_.empty()) {
+    // Donated pool pages are excluded: donating memory must never
+    // directly kill the donor's jobs (revocation is the relief path).
+    while (used_pages() - donated_pages_ > config_.dram_pages &&
+           !jobs_.empty()) {
         auto pick = [&](bool best_effort_only) -> Job * {
             Job *victim = nullptr;
             for (auto &job : jobs_) {
@@ -443,6 +451,65 @@ Machine::fail_donor(std::uint32_t donor)
         return {};
     RemoteTier *remote = static_cast<RemoteTier *>(&tiers_.tier(ri));
     std::vector<JobId> victims = remote->fail_donor(donor);
+    for (JobId victim : victims) {
+        remove_job(victim);
+        ++counters_.evictions;
+    }
+    return victims;
+}
+
+void
+Machine::return_donated(std::uint64_t pages)
+{
+    SDFM_ASSERT(pages <= donated_pages_);
+    donated_pages_ -= pages;
+}
+
+RemoteTier *
+Machine::pooled_remote()
+{
+    std::size_t ri = tiers_.find(TierKind::kRemote);
+    if (ri >= tiers_.size())
+        return nullptr;
+    RemoteTier *remote = static_cast<RemoteTier *>(&tiers_.tier(ri));
+    return remote->pooled() ? remote : nullptr;
+}
+
+void
+Machine::set_pool_gate(bool gated)
+{
+    std::size_t ri = tiers_.find(TierKind::kRemote);
+    if (ri < tiers_.size())
+        tiers_.entry(ri).pool_gated = gated;
+}
+
+std::uint64_t
+Machine::drain_lease(std::uint32_t lease_id, std::uint64_t budget)
+{
+    RemoteTier *remote = pooled_remote();
+    SDFM_ASSERT(remote != nullptr);
+    std::uint64_t drained = 0;
+    for (auto &[cg, page] : remote->lease_page_refs(lease_id, budget)) {
+        remote->drop(*cg, page);
+        ++drained;
+        const PageMeta &meta = cg->page(page);
+        // Re-home in zswap where the contents allow; pages zswap
+        // cannot take (incompressible, mlocked) fault back to
+        // resident and the pressure path deals with any OOM.
+        if (!meta.test(kPageIncompressible) &&
+            !meta.test(kPageUnevictable)) {
+            zswap_->store(*cg, page);
+        }
+    }
+    return drained;
+}
+
+std::vector<JobId>
+Machine::fail_lease(std::uint32_t lease_id)
+{
+    RemoteTier *remote = pooled_remote();
+    SDFM_ASSERT(remote != nullptr);
+    std::vector<JobId> victims = remote->fail_lease(lease_id);
     for (JobId victim : victims) {
         remove_job(victim);
         ++counters_.evictions;
@@ -529,13 +596,21 @@ Machine::apply_faults(SimTime now, SimTime period_end,
                 break;
             RemoteTier *remote =
                 static_cast<RemoteTier *>(&tiers_.tier(ri));
-            std::uint32_t donor = static_cast<std::uint32_t>(
-                fault_.target_rng().next_below(
-                    remote->params().num_donors));
             ++result->donor_failures;
             metrics_->counter("fault.donor_failures").inc();
             std::size_t before = result->evicted.size();
-            kill_victims(remote->fail_donor(donor), result);
+            if (remote->pooled()) {
+                // Pooled mode: the victim is a live lease, drawn over
+                // the sorted lease ids (no draw when none are held).
+                kill_victims(
+                    remote->fail_random_lease(fault_.target_rng()),
+                    result);
+            } else {
+                std::uint32_t donor = static_cast<std::uint32_t>(
+                    fault_.target_rng().next_below(
+                        remote->params().num_donors));
+                kill_victims(remote->fail_donor(donor), result);
+            }
             metrics_->counter("fault.jobs_killed")
                 .inc(result->evicted.size() - before);
             break;
@@ -600,6 +675,12 @@ Machine::apply_faults(SimTime now, SimTime period_end,
             crash_agent(now);
             break;
           }
+          case FaultKind::kLeaseGrantLoss:
+          case FaultKind::kRevocationLoss:
+          case FaultKind::kBrokerStall:
+            // Pooling control-plane kinds are drawn and applied by the
+            // cluster's MemoryBroker, never by per-machine injectors.
+            break;
         }
     }
 }
@@ -781,8 +862,10 @@ Machine::ckpt_load(Deserializer &d)
         if (tier_counts[i] != tiers_.tier(i).used_pages())
             return false;
     }
-    if (!jobs_.empty() && used_pages() > config_.dram_pages)
+    if (!jobs_.empty() &&
+        used_pages() - donated_pages_ > config_.dram_pages) {
         return false;
+    }
 
     if (!metrics_->ckpt_load(d))
         return false;
@@ -808,7 +891,7 @@ Machine::zswap_pool_pages() const
 std::uint64_t
 Machine::used_pages() const
 {
-    return resident_pages() + zswap_pool_pages();
+    return resident_pages() + zswap_pool_pages() + donated_pages_;
 }
 
 std::uint64_t

@@ -180,10 +180,58 @@ class Machine
     /** Pages backing the zswap arena. */
     std::uint64_t zswap_pool_pages() const;
 
-    /** resident + zswap pool. */
+    /** resident + zswap pool + pages donated to the memory pool. */
     std::uint64_t used_pages() const;
 
     std::uint64_t free_pages() const;
+
+    // -- cluster memory pooling (driven by MemoryBroker) --------------
+
+    /**
+     * Pages this machine is donating to the cluster pool (backing
+     * other machines' leases). Donated pages count toward used_pages()
+     * -- they are unavailable for placement and raise the pressure
+     * signal -- but the OOM eviction path excludes them: donating
+     * never directly kills this machine's jobs; revocation with a
+     * grace window is the relief path.
+     */
+    std::uint64_t donated_pages() const { return donated_pages_; }
+    void donate_pages(std::uint64_t pages) { donated_pages_ += pages; }
+    void return_donated(std::uint64_t pages);
+
+    /** Checkpoint rebinding only: the broker's ckpt_resolve() derives
+     *  the donation total from the restored lease table. */
+    void set_donated_pages(std::uint64_t pages)
+    {
+        donated_pages_ = pages;
+    }
+
+    /**
+     * Broker breaker gate over the lease-backed remote tier: while
+     * gated the tier accepts no new demotions and the route table
+     * falls through to shallower tiers (NVM/zswap). No-op when no
+     * remote tier exists.
+     */
+    void set_pool_gate(bool gated);
+
+    /**
+     * Drain up to @p budget pages stored under @p lease_id out of the
+     * lease-backed remote tier, re-homing them in zswap where the page
+     * contents allow (the grace-window drain). Returns pages dropped
+     * from the lease.
+     */
+    std::uint64_t drain_lease(std::uint32_t lease_id,
+                              std::uint64_t budget);
+
+    /**
+     * The lease's pages are gone (grace expired or donor crashed):
+     * drop them and kill the owning jobs. Returns the victims (the
+     * caller reschedules them).
+     */
+    std::vector<JobId> fail_lease(std::uint32_t lease_id);
+
+    /** The lease-backed remote tier, or null when not pooled. */
+    RemoteTier *pooled_remote();
 
     /** Sum of per-job cold pages under the 120 s threshold. */
     std::uint64_t cold_pages_min_threshold() const;
@@ -348,6 +396,9 @@ class Machine
     std::uint32_t scan_phase_ = 0;
     SimTime last_telemetry_ = 0;
     std::uint64_t steps_ = 0;
+    /** Pages donated to the cluster memory pool. Not serialized: the
+     *  broker's ckpt_resolve() re-derives it from the lease table. */
+    std::uint64_t donated_pages_ = 0;
 
     // -- fault plane -------------------------------------------------
     FaultInjector fault_;

@@ -10,13 +10,19 @@
 // fault-free fleet.
 //
 // Usage: chaos_probe [--minutes N] [--clusters N] [--seed S]
-//                    [--tiers 1|2|3] [--donor-fph F] [--corrupt P]
-//                    [--degrade P] [--agent-crash P]
+//                    [--tiers 1|2|3] [--pooling] [--donor-fph F]
+//                    [--corrupt P] [--degrade P] [--agent-crash P]
 //
 // --tiers picks the memory stack: 1 = zswap only, 2 = the legacy
 // remote tier (default; bit-identical to the pre-flag probe), 3 = an
 // explicit NVM + remote TierStack so the fault plane fires against
 // every depth at once.
+//
+// --pooling (tiers 2 and 3 only) swaps the static remote tier for
+// lease-based cluster memory pooling and lights up the broker fault
+// kinds (lease-grant loss, revocation-message loss, broker stalls),
+// adding the pool.* recovery rows to the table. Off by default; with
+// the flag absent the run is bit-identical to the pre-pooling probe.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +40,7 @@ main(int argc, char **argv)
     std::uint32_t num_clusters = 2;
     std::uint64_t seed = 1;
     int tiers = 2;
+    bool pooling = false;
     double donor_fph = 6.0;     // donor failures per machine-hour
     double corrupt_prob = 0.2;  // zswap corruption events per step
     double degrade_prob = 0.05; // remote degradation windows per step
@@ -53,6 +60,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--tiers must be 1, 2, or 3\n");
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--pooling") == 0) {
+            pooling = true;
         } else if (std::strcmp(argv[i], "--donor-fph") == 0 &&
                    i + 1 < argc) {
             donor_fph = std::atof(argv[++i]);
@@ -68,12 +77,18 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
-                         "[--seed S] [--tiers 1|2|3] [--donor-fph F] "
-                         "[--corrupt P] [--degrade P] "
+                         "[--seed S] [--tiers 1|2|3] [--pooling] "
+                         "[--donor-fph F] [--corrupt P] [--degrade P] "
                          "[--agent-crash P]\n",
                          argv[0]);
             return 1;
         }
+    }
+
+    if (pooling && tiers == 1) {
+        std::fprintf(stderr,
+                     "--pooling needs a remote tier (--tiers 2 or 3)\n");
+        return 1;
     }
 
     // Small fleet with the remote tier enabled so donor failures and
@@ -90,7 +105,10 @@ main(int argc, char **argv)
     if (tiers == 1) {
         // zswap only: donor/remote faults become no-ops by design.
     } else if (tiers == 2) {
-        config.cluster.machine.remote.capacity_pages = 1ull << 20;
+        // Pooled remote capacity comes from granted leases, not a
+        // static budget; the Cluster constructor marks the tier.
+        if (!pooling)
+            config.cluster.machine.remote.capacity_pages = 1ull << 20;
         config.cluster.machine.tier_breaker_enabled = true;
     } else {
         // Explicit three-tier stack: NVM takes the moderately cold
@@ -103,7 +121,8 @@ main(int argc, char **argv)
         nvm.breaker_enabled = true;
         TierConfig remote;
         remote.kind = TierKind::kRemote;
-        remote.remote.capacity_pages = 1ull << 20;
+        if (!pooling)
+            remote.remote.capacity_pages = 1ull << 20;
         remote.band_lo = 2.0;
         remote.band_hi = 0.0;
         remote.breaker_enabled = true;
@@ -117,6 +136,23 @@ main(int argc, char **argv)
     fault.corruption_batch = 4;
     fault.remote_degrade_prob = degrade_prob;
     fault.agent_crash_prob = crash_prob;
+
+    if (pooling) {
+        MemPoolParams &pool = config.cluster.pool;
+        pool.enabled = true;
+        // Scaled to the 16k-page machines above so leases circulate,
+        // expire, and get revoked inside a one-hour chaos run.
+        pool.lease_pages = 1024;
+        pool.max_leases_per_borrower = 2;
+        pool.lease_term_periods = 20;
+        pool.grace_periods = 2;
+        pool.drain_pages_per_period = 512;
+        pool.donor_reserve_frac = 0.08;
+        pool.fault.enabled = true;
+        pool.fault.lease_grant_loss_prob = 0.05;
+        pool.fault.revocation_loss_prob = 0.05;
+        pool.fault.broker_stall_prob = 0.02;
+    }
 
     FarMemorySystem system(config);
     system.populate();
@@ -151,6 +187,22 @@ main(int argc, char **argv)
         static_cast<long long>(report.agent_restarts))});
     table.add_row({"slo breaker trips", fmt_int(
         static_cast<long long>(report.slo_breaker_trips))});
+    if (pooling) {
+        table.add_row({"pool leases granted", fmt_int(
+            static_cast<long long>(report.pool_leases_granted))});
+        table.add_row({"pool grants aborted", fmt_int(
+            static_cast<long long>(report.pool_grants_aborted))});
+        table.add_row({"pool revocations", fmt_int(
+            static_cast<long long>(report.pool_revocations))});
+        table.add_row({"pool grace drains (pages)", fmt_int(
+            static_cast<long long>(report.pool_grace_drain_pages))});
+        table.add_row({"pool forced kills", fmt_int(
+            static_cast<long long>(report.pool_forced_kills))});
+        table.add_row({"pool broker stalls", fmt_int(
+            static_cast<long long>(report.pool_broker_stalls))});
+        table.add_row({"pool breaker opens", fmt_int(
+            static_cast<long long>(report.pool_breaker_opens))});
+    }
     table.print(std::cout);
 
     std::printf("\njobs start=%llu end=%llu  coverage=%s  "

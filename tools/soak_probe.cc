@@ -16,12 +16,21 @@
 // kill/resume cycles actually happened.
 //
 // Usage: soak_probe [--minutes N] [--clusters N] [--seed S]
-//                   [--tiers 1|2|3] [--min-crashes N] [--ckpt PATH]
+//                   [--tiers 1|2|3] [--pooling] [--min-crashes N]
+//                   [--ckpt PATH]
 //
 // --tiers picks the victim's memory stack: 1 = zswap only, 2 = the
 // legacy remote tier (default; bit-identical to the pre-flag probe),
 // 3 = an explicit NVM + remote TierStack so kill/resume covers the
 // per-tier checkpoint sections at every depth.
+//
+// --pooling replaces the static remote tier with lease-based cluster
+// memory pooling (tiers 2 and 3 only): the broker's lease table and
+// breaker bank ride in their own checkpoint section, and the broker
+// fault kinds (grant loss, revocation loss, broker stall) fire
+// alongside the machine fault plane, so kill/resume lands
+// mid-revocation and mid-grant. Off by default; with the flag absent
+// the run is bit-identical to the pre-pooling probe.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +45,8 @@ using namespace sdfm;
 namespace {
 
 FleetConfig
-soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers)
+soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers,
+            bool pooling)
 {
     // Small remote-tier fleet with the full fault plane lit up, so
     // checkpoints cover tiers, breakers, and injector streams -- the
@@ -49,7 +59,11 @@ soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers)
     config.cluster.machine.dram_pages = 16 * 1024;
     config.cluster.machine.slo_breaker_enabled = true;
     if (tiers == 2) {
-        config.cluster.machine.remote.capacity_pages = 1ull << 20;
+        // With pooling the remote tier is purely lease-backed: the
+        // Cluster constructor marks it pooled, and capacity comes
+        // from granted leases rather than a static budget.
+        if (!pooling)
+            config.cluster.machine.remote.capacity_pages = 1ull << 20;
         config.cluster.machine.tier_breaker_enabled = true;
     } else if (tiers == 3) {
         TierConfig nvm;
@@ -60,7 +74,8 @@ soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers)
         nvm.breaker_enabled = true;
         TierConfig remote;
         remote.kind = TierKind::kRemote;
-        remote.remote.capacity_pages = 1ull << 20;
+        if (!pooling)
+            remote.remote.capacity_pages = 1ull << 20;
         remote.band_lo = 2.0;
         remote.band_hi = 0.0;
         remote.breaker_enabled = true;
@@ -74,6 +89,25 @@ soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers)
     fault.corruption_batch = 4;
     fault.remote_degrade_prob = 0.05;
     fault.agent_crash_prob = 0.01;
+
+    if (pooling) {
+        MemPoolParams &pool = config.cluster.pool;
+        pool.enabled = true;
+        // Scaled to the 16k-page machines above: leases small enough
+        // that several circulate per borrower, terms short enough
+        // that natural expiry and donor-pressure revocation both
+        // happen inside a 30-minute soak.
+        pool.lease_pages = 1024;
+        pool.max_leases_per_borrower = 2;
+        pool.lease_term_periods = 20;
+        pool.grace_periods = 2;
+        pool.drain_pages_per_period = 512;
+        pool.donor_reserve_frac = 0.08;
+        pool.fault.enabled = true;
+        pool.fault.lease_grant_loss_prob = 0.05;
+        pool.fault.revocation_loss_prob = 0.05;
+        pool.fault.broker_stall_prob = 0.02;
+    }
     return config;
 }
 
@@ -94,6 +128,7 @@ main(int argc, char **argv)
     std::uint32_t num_clusters = 2;
     std::uint64_t seed = 1;
     int tiers = 2;
+    bool pooling = false;
     std::uint64_t min_crashes = 3;
     const char *ckpt_path = "soak_probe.ckpt";
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +146,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--tiers must be 1, 2, or 3\n");
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--pooling") == 0) {
+            pooling = true;
         } else if (std::strcmp(argv[i], "--min-crashes") == 0 &&
                    i + 1 < argc) {
             min_crashes =
@@ -120,14 +157,20 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
-                         "[--seed S] [--tiers 1|2|3] [--min-crashes N] "
-                         "[--ckpt PATH]\n",
+                         "[--seed S] [--tiers 1|2|3] [--pooling] "
+                         "[--min-crashes N] [--ckpt PATH]\n",
                          argv[0]);
             return 1;
         }
     }
 
-    FleetConfig config = soak_config(num_clusters, seed, tiers);
+    if (pooling && tiers == 1) {
+        std::fprintf(stderr,
+                     "--pooling needs a remote tier (--tiers 2 or 3)\n");
+        return 1;
+    }
+
+    FleetConfig config = soak_config(num_clusters, seed, tiers, pooling);
 
     // Reference trajectory: digest after populate() (index 0) and
     // after each of the N steps (indices 1..N).
@@ -221,6 +264,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(crashes),
                 static_cast<unsigned long long>(mismatches),
                 static_cast<unsigned long long>(seed));
+    if (pooling) {
+        // Evidence the lease plane was actually exercised across the
+        // kill/resume cycles, not just configured.
+        FleetFaultReport report = victim->fault_report();
+        std::printf("pool: %llu leases granted, %llu revocations, "
+                    "%llu grace drains, %llu forced kills, "
+                    "%llu broker stalls\n",
+                    static_cast<unsigned long long>(
+                        report.pool_leases_granted),
+                    static_cast<unsigned long long>(
+                        report.pool_revocations),
+                    static_cast<unsigned long long>(
+                        report.pool_grace_drain_pages),
+                    static_cast<unsigned long long>(
+                        report.pool_forced_kills),
+                    static_cast<unsigned long long>(
+                        report.pool_broker_stalls));
+    }
     if (mismatches != 0) {
         std::printf("FAIL: restore diverged from the reference run\n");
         return 1;
