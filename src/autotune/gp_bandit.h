@@ -99,7 +99,11 @@ class GpBandit
 
     Vector random_point();
 
+    // sdfm-state: config(fixed at construction; ckpt_load only
+    // validates observation dimensionality against it)
     BanditConfig config_;
+    // sdfm-state: config(construction-time constraint bound, read by
+    // acquisition() and never written after)
     double constraint_limit_;
     Rng rng_;
     std::vector<BanditObservation> observations_;

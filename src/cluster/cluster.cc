@@ -347,6 +347,13 @@ Cluster::state_digest() const
     StateDigest d;
     d.mix(cluster_id_);
     d.mix(next_job_id_);
+    // Scheduler RNG engine state: arrival-stream divergence shows up
+    // here immediately instead of at the next differing placement.
+    const RngState rng_state = rng_.state();
+    for (std::uint64_t word : rng_state.s)
+        d.mix(word);
+    d.mix(static_cast<std::uint64_t>(rng_state.have_gauss));
+    d.mix_double(rng_state.gauss_spare);
     d.mix(num_jobs());
     d.mix(machines_.size());
     for (const auto &machine : machines_)

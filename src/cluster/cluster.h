@@ -199,12 +199,16 @@ class Cluster
     bool schedule_new_job(SimTime now);
 
     std::uint32_t cluster_id_;
+    // sdfm-state: config(fixed at construction; the fleet checkpoint
+    // compares config fingerprints instead of carrying it on the wire)
     ClusterConfig config_;
     Rng rng_;
     std::vector<std::unique_ptr<Machine>> machines_;
     /** Memory-pooling broker; null unless config_.pool.enabled.
      *  Checkpointed via per-cluster "pool.NNNN" fleet sections, not
-     *  the cluster wire (the machine wire stays unchanged). */
+     *  the cluster wire (the machine wire stays unchanged).
+     *  sdfm-state: rebuilt-on-resolve(restored by the fleet's
+     *  pool-section pass in fleet_ckpt, outside Cluster::ckpt_load) */
     std::unique_ptr<MemoryBroker> broker_;
     TraceLog trace_log_;
     JobId next_job_id_;

@@ -407,6 +407,8 @@ MemoryBroker::state_digest(
     d.mix(stats_.forced_kills);
     d.mix(stats_.donor_crash_revocations);
     d.mix(stats_.breaker_opens);
+    // Control-plane fault streams advance with every broker step.
+    fault_.digest_into(d);
     return d.value();
 }
 

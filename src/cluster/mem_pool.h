@@ -195,29 +195,50 @@ class MemoryBroker
     /** Non-terminal leases currently held by @p borrower. */
     std::uint32_t borrower_lease_count(std::uint32_t borrower) const;
 
+    // sdfm-state: config(fixed at construction; ckpt_load validates
+    // wire compatibility against it, the fingerprint covers the rest)
     MemPoolParams params_;
+    // sdfm-state: config(cluster topology input, fixed at
+    // construction; ckpt_load cross-checks the wire against it)
     std::uint32_t num_machines_;
     std::map<LeaseId, Lease> leases_;
     LeaseId next_lease_id_ = 1;
     SimTime stalled_until_ = 0;
     /** Lost-delivery budgets for the current step (from this step's
-     *  fault events). */
+     *  fault events). Zero at any step boundary, which is where
+     *  checkpoints and digests are taken. */
+    // sdfm-state: derived(reset from the step's fault events at the
+    // top of every broker step; zero at every ckpt/digest boundary)
     std::uint32_t grant_losses_ = 0;
+    // sdfm-state: derived(reset from the step's fault events at the
+    // top of every broker step; zero at every ckpt/digest boundary)
     std::uint32_t revocation_losses_ = 0;
     std::vector<CircuitBreaker> breakers_;
     FaultInjector fault_;
     MemPoolStats stats_;
+    // sdfm-state: non-semantic(owned telemetry registry; counters
+    // mirror stats_, which is serialized and digested)
     std::unique_ptr<MetricRegistry> metrics_;
 
-    // Cached pool.* metric handles.
+    // Cached pool.* metric handles: registry-owned pointers bound at
+    // construction; the backing stats_ counters are on the wire.
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_leases_granted_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_grants_aborted_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_revocations_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_grace_drains_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_forced_kills_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_broker_stalls_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Counter *m_breaker_opens_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Gauge *m_leases_active_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is serialized)
     Gauge *m_breaker_state_ = nullptr;
 };
 

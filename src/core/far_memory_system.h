@@ -215,12 +215,18 @@ class FarMemorySystem
     CkptStatus restore(const std::string &path);
 
   private:
+    // sdfm-state: config(fixed at construction; checkpoints compare
+    // config fingerprints rather than digesting the struct)
     FleetConfig config_;
     SimTime now_;
     std::vector<std::unique_ptr<Cluster>> clusters_;
     /** Steps clusters in parallel (one task per cluster); clusters
-     *  share no mutable state, so the only sync is the step barrier. */
+     *  share no mutable state, so the only sync is the step barrier.
+     *  sdfm-state: non-semantic(execution vehicle only; serial and
+     *  pooled runs must digest identically, so it must stay out) */
     std::unique_ptr<ThreadPool> pool_;
+    // sdfm-state: rebuilt-on-resolve(external sink wired by the
+    // driver via set_exporter(); never owned or serialized)
     TelemetryExporter *exporter_ = nullptr;
 };
 

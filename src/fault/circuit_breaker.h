@@ -150,6 +150,8 @@ class CircuitBreaker : public Checkpointable
   private:
     void trip();
 
+    // sdfm-state: config(fixed at construction; ckpt_load re-applies
+    // thresholds from it rather than trusting the wire)
     CircuitBreakerParams params_;
     CircuitBreakerStats stats_;
     BreakerState state_ = BreakerState::kClosed;

@@ -165,6 +165,32 @@ FaultInjector::ckpt_save(Serializer &s) const
     s.put_u64(next_scheduled_);
 }
 
+void
+FaultInjector::digest_into(StateDigest &d) const
+{
+    auto mix_rng = [&d](const Rng &rng) {
+        const RngState st = rng.state();
+        for (std::uint64_t word : st.s)
+            d.mix(word);
+        d.mix(static_cast<std::uint64_t>(st.have_gauss));
+        d.mix_double(st.gauss_spare);
+    };
+    mix_rng(rng_);
+    mix_rng(target_rng_);
+    d.mix(stats_.injected_total);
+    d.mix(stats_.donor_failures);
+    d.mix(stats_.zswap_corruptions);
+    d.mix(stats_.remote_degrades);
+    d.mix(stats_.nvm_latency_spikes);
+    d.mix(stats_.nvm_media_errors);
+    d.mix(stats_.nvm_capacity_losses);
+    d.mix(stats_.agent_crashes);
+    d.mix(stats_.lease_grant_losses);
+    d.mix(stats_.revocation_losses);
+    d.mix(stats_.broker_stalls);
+    d.mix(next_scheduled_);
+}
+
 bool
 FaultInjector::ckpt_load(Deserializer &d)
 {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "util/digest.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -217,9 +218,20 @@ class FaultInjector : public Checkpointable
     void ckpt_save(Serializer &s) const override;
     bool ckpt_load(Deserializer &d) override;
 
+    /**
+     * Fold the injector's dynamic state (both RNG streams, counters,
+     * schedule cursor) into @p d, so owners can digest their fault
+     * plane. Divergence in consumed draws is then caught the step it
+     * happens rather than when the next fault lands differently.
+     */
+    void digest_into(StateDigest &d) const;
+
   private:
     void count(FaultKind kind);
 
+    // sdfm-state: config(immutable after construction; the explicit
+    // schedule and probabilities are config, only the cursor and RNG
+    // streams below advance)
     FaultConfig config_;
     Rng rng_;         ///< schedule draws
     Rng target_rng_;  ///< victim selection

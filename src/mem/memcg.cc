@@ -286,6 +286,12 @@ Memcg::state_digest() const
           static_cast<std::uint64_t>(huge_count_ > 0));
     d.mix(soft_limit_pages_);
     d.mix(huge_count_);
+    // Huge-region bitmap: *which* regions are huge drives split cost
+    // and reclaim eligibility, not just the count mixed above.
+    for (std::size_t r = 0; r < region_huge_.size(); ++r) {
+        if (region_huge_[r])
+            d.mix(static_cast<std::uint64_t>(r));
+    }
     for (const PageMeta &meta : pages_) {
         d.mix(static_cast<std::uint64_t>(meta.age) << 32 |
               static_cast<std::uint64_t>(meta.flags) << 24 |

@@ -349,6 +349,9 @@ class Memcg : public Checkpointable
     std::uint64_t content_seed_;
     SimTime start_time_;
     std::vector<PageMeta> pages_;
+    // sdfm-state: derived(mirror of the arena entry table: per-page
+    // in-zswap flags and the arena alloc/free aggregates are both
+    // digested, so divergence here cannot hide)
     std::unordered_map<PageId, ZsHandle> zswap_handles_;
     AgeHistogram cold_hist_;
     AgeHistogram promo_hist_;
@@ -367,6 +370,8 @@ class Memcg : public Checkpointable
     bool best_effort_ = false;
     std::uint64_t soft_limit_pages_ = 0;
     std::vector<bool> region_huge_;
+    // sdfm-state: derived(recounted from the serialized region_huge_
+    // bitmap by ckpt_load)
     std::uint32_t huge_count_ = 0;
     MemcgStats stats_;
 };

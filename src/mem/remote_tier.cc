@@ -28,8 +28,6 @@ bool
 RemoteTier::has_space() const
 {
     if (params_.pooled) {
-        // sdfm-lint: allow(unordered-iter) -- ordered std::map, and
-        // the result is an existence check independent of order.
         for (const auto &[id, slot] : lease_slots_) {
             if (!slot.draining && slot.used < slot.capacity)
                 return true;
@@ -326,8 +324,6 @@ std::uint64_t
 RemoteTier::free_slot_pages() const
 {
     std::uint64_t free = 0;
-    // sdfm-lint: allow(unordered-iter) -- ordered std::map; the sum
-    // is order-independent anyway.
     for (const auto &[id, slot] : lease_slots_) {
         if (!slot.draining)
             free += slot.capacity - slot.used;

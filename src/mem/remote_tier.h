@@ -263,6 +263,8 @@ class RemoteTier : public FarTier
         bool draining = false;
     };
     std::map<std::uint32_t, LeaseSlot> lease_slots_;
+    // sdfm-state: derived(running sum over the serialized lease
+    // slots, recomputed by ckpt_load)
     std::uint64_t slot_capacity_total_ = 0;
     std::uint32_t slot_cursor_ = 0;  ///< round-robin over lease ids
     std::vector<std::uint32_t> dead_leases_;  ///< pending reconciliation
@@ -275,6 +277,8 @@ class RemoteTier : public FarTier
         PageId page;
         std::uint32_t donor;
     };
+    // sdfm-state: derived(transient load-to-resolve staging, drained
+    // by ckpt_resolve; always empty in a saved state)
     std::vector<PendingPlacement> pending_placements_;
 };
 

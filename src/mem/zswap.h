@@ -178,6 +178,8 @@ class Zswap : public FarTier
     static std::uint64_t entry_checksum(std::uint64_t content_seed,
                                         std::uint32_t payload_size);
 
+    // sdfm-state: rebuilt-on-resolve(borrowed stateless functor,
+    // wired by the owning Machine at construction and after restore)
     Compressor *compressor_;
     ZsmallocArena arena_;
     ZswapStats stats_;
@@ -186,14 +188,24 @@ class Zswap : public FarTier
     /** Per-entry integrity checksums, keyed by live arena handle. */
     std::unordered_map<ZsHandle, std::uint64_t> checksums_;
 
-    // Cached registry metrics (null when unbound).
+    // Cached registry metrics (null when unbound); the backing
+    // ZswapStats counters are serialized and digested.
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_stores_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_rejects_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_incompressible_marks_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_promotions_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_poisoned_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; arena stats are digested)
     Gauge *m_arena_bytes_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; arena stats are digested)
     Gauge *m_stored_pages_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; sizes derive from
+    // digested per-page content)
     Histogram *m_payload_bytes_ = nullptr;
 };
 

@@ -327,6 +327,16 @@ Machine::state_digest() const
     d.mix(static_cast<std::uint64_t>(last_scan_));
     d.mix(scan_phase_);
     d.mix(static_cast<std::uint64_t>(last_telemetry_));
+    // Machine RNG engine state: a divergent draw count (say, a
+    // parallel-phase ordering bug) is caught this step, not one step
+    // later through its first behavioural effect.
+    const RngState rng_state = rng_.state();
+    for (std::uint64_t word : rng_state.s)
+        d.mix(word);
+    d.mix(static_cast<std::uint64_t>(rng_state.have_gauss));
+    d.mix_double(rng_state.gauss_spare);
+    // Fault-plane streams and counters advance inside step() too.
+    fault_.digest_into(d);
     d.mix(jobs_.size());
     for (const auto &job : jobs_)
         d.mix(job->memcg().state_digest());

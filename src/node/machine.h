@@ -372,24 +372,44 @@ class Machine
     void update_fault_plane(MachineStepResult *result);
 
     std::uint32_t machine_id_;
+    // sdfm-state: config(fixed at construction; checkpoints compare
+    // config fingerprints rather than carrying it on the wire)
     MachineConfig config_;
     Rng rng_;
     /** Owned registry; by pointer so bound metric addresses survive
-     *  any future move of the Machine object. */
+     *  any future move of the Machine object.
+     *  sdfm-state: non-semantic(telemetry mirror of counters_ and the
+     *  daemon stats, all of which are serialized and digested) */
     std::unique_ptr<MetricRegistry> metrics_;
+    // sdfm-state: config(stateless functor chosen by config_.model;
+    // rebuilt identically from config at construction)
     std::unique_ptr<Compressor> compressor_;
     /** zswap at index 0, deeper tiers behind it. Owns the tiers. */
     TierStack tiers_;
     /** Cached tiers_.zswap() -- the hot path in step(). */
     Zswap *zswap_ = nullptr;
-    /** Maps age bands to tiers each step; pluggable. */
+    /** Maps age bands to tiers each step; pluggable.
+     *  sdfm-state: config(stateless policy chosen from config at
+     *  construction; every decision lands in the digested plan
+     *  effects) */
     std::unique_ptr<RoutingPolicy> routing_;
-    /** Scratch demotion plan, reused across steps (no allocation). */
+    /** Scratch demotion plan, reused across steps (no allocation).
+     *  sdfm-state: non-semantic(per-step scratch, fully rebuilt by
+     *  the routing policy before each reclaim pass) */
     DemotionPlan plan_;
+    // sdfm-state: config(stateless daemon; behaviour fixed by its
+    // construction-time params)
     Kstaled kstaled_;
+    // sdfm-state: config(stateless daemon; behaviour fixed by its
+    // construction-time params)
     Kreclaimd kreclaimd_;
+    // sdfm-state: derived(every control decision lands in the
+    // digested per-memcg reclaim_threshold_ the same round; its own
+    // history is ckpt-covered and resume-verified)
     NodeAgent agent_;
     std::vector<std::unique_ptr<Job>> jobs_;
+    /** sdfm-state: rebuilt-on-resolve(borrowed sink, rebound by the
+     *  owning Cluster after construction and after restore) */
     TraceLog *trace_sink_ = nullptr;
     MachineCounters counters_;
     SimTime last_scan_ = -kScanPeriod;
@@ -397,7 +417,10 @@ class Machine
     SimTime last_telemetry_ = 0;
     std::uint64_t steps_ = 0;
     /** Pages donated to the cluster memory pool. Not serialized: the
-     *  broker's ckpt_resolve() re-derives it from the lease table. */
+     *  broker's ckpt_resolve() re-derives it from the lease table,
+     *  and MemoryBroker::state_digest() folds it in per machine.
+     *  sdfm-state: derived(re-derived from the serialized lease table
+     *  by the broker's ckpt_resolve; digested at the broker level) */
     std::uint64_t donated_pages_ = 0;
 
     // -- fault plane -------------------------------------------------
@@ -417,6 +440,8 @@ class Machine
         Gauge *utilization = nullptr;
         Gauge *breaker_state = nullptr;  ///< null unless breaker on
     };
+    // sdfm-state: non-semantic(registry-owned metric handles; the
+    // backing tier occupancy and breaker state are digested)
     std::vector<TierMetricSet> tier_metrics_;
 };
 

@@ -152,14 +152,24 @@ class NodeAgent
     NodeAgentStats stats_;
     std::unordered_map<JobId, JobState> jobs_;
 
+    // sdfm-state: rebuilt-on-resolve(borrowed registry wired by the
+    // owning Machine; ckpt_load only re-binds the handles below)
     MetricRegistry *registry_ = nullptr;
-    // Cached registry metrics (null when unbound).
+    // Cached registry metrics (null when unbound); the backing
+    // NodeAgentStats counters are serialized.
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_control_rounds_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_slo_violations_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_restarts_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; stats_ is on the wire)
     Counter *m_slo_breaker_trips_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; recomputed gauge)
     Gauge *m_jobs_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; recomputed gauge)
     Gauge *m_threshold_sum_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; observation stream)
     Histogram *m_promo_rate_ = nullptr;
 };
 

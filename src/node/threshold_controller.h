@@ -117,9 +117,13 @@ class ThresholdController
     std::deque<AgeBucket> pool_;
     AgeBucket current_ = 0;
 
-    // Cached registry metrics (null when unbound).
+    // Cached registry metrics (null when unbound), re-bound by the
+    // agent after load; decisions themselves are ckpt-covered.
+    // sdfm-state: non-semantic(metric handle; telemetry only)
     Counter *m_updates_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; telemetry only)
     Counter *m_slo_unsatisfiable_ = nullptr;
+    // sdfm-state: non-semantic(metric handle; telemetry only)
     Histogram *m_threshold_ = nullptr;
 };
 

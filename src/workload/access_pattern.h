@@ -123,6 +123,9 @@ class AccessPattern
     /** Start of the next diurnal active window at or after @p t. */
     SimTime next_active_start(SimTime t) const;
 
+    // sdfm-state: derived(re-supplied by the owning Job, which
+    // serializes the profile itself, before ckpt_load replays the
+    // dynamic state)
     JobProfile profile_;
     Rng rng_;
     std::vector<ReuseClass> classes_;

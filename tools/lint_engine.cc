@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,27 +10,20 @@
 #include <set>
 #include <sstream>
 
+#include "lint_internal.h"
+#include "lint_state.h"
+
 namespace sdfm {
 namespace lint {
 
-namespace {
-
 // ---------------------------------------------------------------------
 // Preprocessing: strip comments (and optionally string/char literals)
-// while preserving line structure, and harvest suppression comments.
+// while preserving line structure, and harvest suppression comments
+// plus sdfm-state member annotations. Shared with lint_state.cc via
+// lint_internal.h.
 // ---------------------------------------------------------------------
 
-struct Preprocessed
-{
-    /** Comments and string/char literals blanked out. */
-    std::string code;
-    /** Comments blanked out, string literals preserved. */
-    std::string code_with_strings;
-    /** line (1-based) -> rules suppressed on that line and the next. */
-    std::map<int, std::set<std::string>> line_suppressions;
-    /** Rules suppressed for the whole file. */
-    std::set<std::string> file_suppressions;
-};
+namespace {
 
 /** Parse "rule_a, rule_b" out of an allow(...) argument list. */
 std::set<std::string>
@@ -68,8 +62,10 @@ harvest_suppressions(const std::string &comment, int line,
     if (comment.compare(rest, 10, "allow-file") == 0) {
         std::size_t paren = comment.find('(', rest);
         if (paren != std::string::npos) {
-            for (const auto &r : parse_rule_list(comment, paren))
-                out->file_suppressions.insert(r);
+            for (const auto &r : parse_rule_list(comment, paren)) {
+                if (out->file_suppressions.count(r) == 0)
+                    out->file_suppressions[r] = line;
+            }
         }
     } else if (comment.compare(rest, 5, "allow") == 0) {
         std::size_t paren = comment.find('(', rest);
@@ -79,6 +75,61 @@ harvest_suppressions(const std::string &comment, int line,
         }
     }
 }
+
+/**
+ * Scan one comment's text for an `sdfm-state: <tag>(<justification>)`
+ * member annotation (see lint_state.h for the grammar and reach).
+ */
+void
+harvest_annotation(const std::string &comment, int line,
+                   Preprocessed *out)
+{
+    static const std::string kTag = "sdfm-state:";
+    std::size_t pos = comment.find(kTag);
+    if (pos == std::string::npos)
+        return;
+    std::size_t rest = pos + kTag.size();
+    while (rest < comment.size() && std::isspace(
+               static_cast<unsigned char>(comment[rest]))) {
+        ++rest;
+    }
+    StateAnnotation anno;
+    while (rest < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[rest])) ||
+            comment[rest] == '-' || comment[rest] == '_')) {
+        anno.tag.push_back(comment[rest++]);
+    }
+    if (anno.tag.empty())
+        return;
+    std::size_t paren = comment.find('(', rest);
+    if (paren != std::string::npos) {
+        std::size_t close = comment.rfind(')');
+        if (close != std::string::npos && close > paren) {
+            anno.justification =
+                comment.substr(paren + 1, close - paren - 1);
+        } else {
+            anno.justification = comment.substr(paren + 1);
+        }
+    }
+    if (out->annotations.count(line) == 0)
+        out->annotations[line] = std::move(anno);
+}
+
+void
+harvest_directives(const std::string &comment, int line,
+                   Preprocessed *out)
+{
+    harvest_suppressions(comment, line, out);
+    harvest_annotation(comment, line, out);
+}
+
+bool
+is_ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
 
 Preprocessed
 preprocess(const std::string &content)
@@ -132,7 +183,7 @@ preprocess(const std::string &content)
             break;
           case State::kLineComment:
             if (c == '\n') {
-                harvest_suppressions(comment_text, comment_line, &out);
+                harvest_directives(comment_text, comment_line, &out);
                 state = State::kCode;
             } else {
                 comment_text.push_back(c);
@@ -145,7 +196,7 @@ preprocess(const std::string &content)
                 blank(i, true);
                 blank(i + 1, true);
                 ++i;
-                harvest_suppressions(comment_text, comment_line, &out);
+                harvest_directives(comment_text, comment_line, &out);
                 state = State::kCode;
             } else {
                 comment_text.push_back(c);
@@ -183,7 +234,7 @@ preprocess(const std::string &content)
             ++line;
     }
     if (state == State::kLineComment || state == State::kBlockComment)
-        harvest_suppressions(comment_text, comment_line, &out);
+        harvest_directives(comment_text, comment_line, &out);
     return out;
 }
 
@@ -204,19 +255,6 @@ split_lines(const std::string &text)
     return lines;
 }
 
-bool
-is_ident_char(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-struct Token
-{
-    std::string text;
-    std::size_t begin = 0;  ///< column of first char
-    std::size_t end = 0;    ///< one past last char
-};
-
 std::vector<Token>
 tokenize(const std::string &line)
 {
@@ -230,6 +268,7 @@ tokenize(const std::string &line)
             while (i < line.size() && is_ident_char(line[i]))
                 t.text.push_back(line[i++]);
             t.end = i;
+            t.is_ident = true;
             tokens.push_back(std::move(t));
         } else {
             ++i;
@@ -238,7 +277,69 @@ tokenize(const std::string &line)
     return tokens;
 }
 
-/** First non-space char at or after @p pos, or '\0'. */
+std::vector<Token>
+tokenize_all(const std::string &code)
+{
+    // Longest first, so "<<=" never parses as "<<" then "=".
+    static const char *kOps[] = {
+        "<<=", ">>=", "->*", "::", "->", "==", "!=", "<=", ">=",
+        "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=", "<<",
+        ">>",  "++",  "--",  "&&", "||",
+    };
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (is_ident_char(c)) {
+            Token t;
+            t.begin = i;
+            t.line = line;
+            t.is_ident =
+                !std::isdigit(static_cast<unsigned char>(c));
+            while (i < code.size() && is_ident_char(code[i]))
+                t.text.push_back(code[i++]);
+            t.end = i;
+            tokens.push_back(std::move(t));
+            continue;
+        }
+        bool matched = false;
+        for (const char *op : kOps) {
+            std::size_t len = std::strlen(op);
+            if (code.compare(i, len, op) == 0) {
+                Token t;
+                t.text = op;
+                t.begin = i;
+                t.end = i + len;
+                t.line = line;
+                tokens.push_back(std::move(t));
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            Token t;
+            t.text = std::string(1, c);
+            t.begin = i;
+            t.end = i + 1;
+            t.line = line;
+            tokens.push_back(std::move(t));
+            ++i;
+        }
+    }
+    return tokens;
+}
+
 char
 next_nonspace(const std::string &line, std::size_t pos)
 {
@@ -266,7 +367,6 @@ trim(const std::string &s)
     return s.substr(a, b - a + 1);
 }
 
-/** Path with its final extension removed (group key for .h/.cc). */
 std::string
 path_stem(const std::string &path)
 {
@@ -280,58 +380,66 @@ path_stem(const std::string &path)
 }
 
 // ---------------------------------------------------------------------
-// The rule context threaded through every check.
+// Reporter: suppression reach + directive-usage accounting
 // ---------------------------------------------------------------------
 
-struct FileContext
+void
+Reporter::report(const FileContext &ctx, const std::string &rule,
+                 int line, const std::string &message)
 {
-    const Source *source = nullptr;
-    Preprocessed pre;
-    std::vector<std::string> code_lines;
-    std::vector<std::string> string_lines;  ///< strings preserved
-};
-
-class Reporter
-{
-  public:
-    explicit Reporter(std::vector<Finding> *findings)
-        : findings_(findings)
-    {
+    if (ctx.pre.file_suppressions.count(rule) > 0) {
+        used_file_.insert({&ctx, rule});
+        return;
     }
-
-    void
-    report(const FileContext &ctx, const std::string &rule, int line,
-           const std::string &message)
-    {
-        if (ctx.pre.file_suppressions.count(rule) > 0)
+    auto suppressed = [&](int l) {
+        auto it = ctx.pre.line_suppressions.find(l);
+        return it != ctx.pre.line_suppressions.end() &&
+               it->second.count(rule) > 0;
+    };
+    auto use = [&](int l) {
+        used_line_.insert({&ctx, {l, rule}});
+    };
+    if (suppressed(line)) {
+        use(line);
+        return;
+    }
+    // A suppression comment above the statement covers it, even when
+    // the comment's explanation spans several lines: walk upward past
+    // comment-only/blank lines (blank after comment stripping) plus
+    // the one code line directly above.
+    for (int l = line - 1; l >= 1; --l) {
+        if (suppressed(l)) {
+            use(l);
             return;
-        auto suppressed = [&](int l) {
-            auto it = ctx.pre.line_suppressions.find(l);
-            return it != ctx.pre.line_suppressions.end() &&
-                   it->second.count(rule) > 0;
-        };
-        if (suppressed(line))
-            return;
-        // A suppression comment above the statement covers it, even
-        // when the comment's explanation spans several lines: walk
-        // upward past comment-only/blank lines (blank after comment
-        // stripping) plus the one code line directly above.
-        for (int l = line - 1; l >= 1; --l) {
-            if (suppressed(l))
-                return;
-            if (static_cast<std::size_t>(l) <= ctx.code_lines.size() &&
-                !trim(ctx.code_lines[static_cast<std::size_t>(l) - 1])
-                     .empty()) {
-                break;
-            }
         }
-        findings_->push_back(
-            Finding{rule, ctx.source->path, line, message});
+        if (static_cast<std::size_t>(l) <= ctx.code_lines.size() &&
+            !trim(ctx.code_lines[static_cast<std::size_t>(l) - 1])
+                 .empty()) {
+            break;
+        }
     }
+    findings_->push_back(Finding{rule, ctx.source->path, line, message});
+}
 
-  private:
-    std::vector<Finding> *findings_;
-};
+bool
+Reporter::line_directive_used(const FileContext &ctx, int line,
+                              const std::string &rule) const
+{
+    return used_line_.count({&ctx, {line, rule}}) > 0;
+}
+
+bool
+Reporter::file_directive_used(const FileContext &ctx,
+                              const std::string &rule) const
+{
+    return used_file_.count({&ctx, rule}) > 0;
+}
+
+// ---------------------------------------------------------------------
+// Line/token-oriented rules
+// ---------------------------------------------------------------------
+
+namespace {
 
 // ---------------------------------------------------------------------
 // Rule: wallclock
@@ -623,8 +731,10 @@ check_metric_name(const FileContext &ctx, Reporter &reporter)
 std::vector<std::string>
 rule_names()
 {
-    return {"wallclock", "unordered-iter", "float-accounting",
-            "header-hygiene", "metric-name", "dynamic-cast"};
+    return {"wallclock",      "unordered-iter",  "float-accounting",
+            "header-hygiene", "metric-name",     "dynamic-cast",
+            "ckpt-coverage",  "digest-coverage", "parallel-safety",
+            "stale-suppression"};
 }
 
 std::vector<Finding>
@@ -660,6 +770,18 @@ lint_sources(const std::vector<Source> &sources)
         check_metric_name(ctx, reporter);
         check_dynamic_cast(ctx, reporter);
     }
+
+    // Whole-program state-coverage rules (lint_state.cc): member
+    // extraction across every source, then the coverage and
+    // parallel-safety checks.
+    StateModel model = build_state_model(contexts);
+    check_ckpt_coverage(model, contexts, reporter);
+    check_digest_coverage(model, contexts, reporter);
+    check_parallel_safety(model, contexts, reporter);
+
+    // Last, after every rule has had the chance to consume directives:
+    // flag the suppressions nothing used.
+    check_stale_suppressions(contexts, reporter);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Internals shared between the token-oriented rules (lint_engine.cc)
+ * and the whole-program state-coverage analyzer (lint_state.cc):
+ * comment/string-aware preprocessing, directive harvesting
+ * (`sdfm-lint: allow(...)` suppressions and `sdfm-state: <tag>(...)`
+ * member annotations), tokenization, and the Reporter that applies
+ * suppression reach and records which directives actually fired so
+ * the stale-suppression rule can audit them afterwards.
+ *
+ * This header is private to the lint library; tools and tests consume
+ * lint_engine.h / lint_state.h instead.
+ */
+
+#ifndef SDFM_TOOLS_LINT_INTERNAL_H
+#define SDFM_TOOLS_LINT_INTERNAL_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint_engine.h"
+
+namespace sdfm {
+namespace lint {
+
+/**
+ * A `// sdfm-state: <tag>(<justification>)` annotation harvested from
+ * a comment. Tags classify why a mutable member is exempt from the
+ * state-coverage rules (see lint_state.h for the grammar).
+ */
+struct StateAnnotation
+{
+    std::string tag;
+    std::string justification;
+};
+
+/** Comment/string-stripped view of one source plus its directives. */
+struct Preprocessed
+{
+    /** Comments and string/char literals blanked out. */
+    std::string code;
+    /** Comments blanked out, string literals preserved. */
+    std::string code_with_strings;
+    /** line (1-based) -> rules suppressed on that line and the next. */
+    std::map<int, std::set<std::string>> line_suppressions;
+    /** Rules suppressed for the whole file -> line of the directive. */
+    std::map<std::string, int> file_suppressions;
+    /** line (1-based) -> sdfm-state annotation starting there. */
+    std::map<int, StateAnnotation> annotations;
+};
+
+Preprocessed preprocess(const std::string &content);
+
+std::vector<std::string> split_lines(const std::string &text);
+
+std::string trim(const std::string &s);
+
+bool path_contains(const std::string &path, const char *needle);
+
+/** Path with its final extension removed (group key for .h/.cc). */
+std::string path_stem(const std::string &path);
+
+/** One identifier or operator token. */
+struct Token
+{
+    std::string text;
+    std::size_t begin = 0;  ///< column (line tokenizer) / offset (file)
+    std::size_t end = 0;    ///< one past last char
+    int line = 0;           ///< 1-based; file tokenizer only
+    bool is_ident = false;  ///< file tokenizer only
+};
+
+/** Identifier tokens of one line (the original line-oriented rules). */
+std::vector<Token> tokenize(const std::string &line);
+
+/**
+ * Tokenize a whole preprocessed text into identifiers plus the
+ * punctuation the declaration parser dispatches on. Multi-character
+ * operators ("::", "->", "==", "+=", "++", ...) come back as single
+ * tokens so `=` is unambiguously an assignment.
+ */
+std::vector<Token> tokenize_all(const std::string &code);
+
+/** First non-space char at or after @p pos, or '\0'. */
+char next_nonspace(const std::string &line, std::size_t pos);
+
+/** Per-file state threaded through every rule. */
+struct FileContext
+{
+    const Source *source = nullptr;
+    Preprocessed pre;
+    std::vector<std::string> code_lines;
+    std::vector<std::string> string_lines;  ///< strings preserved
+};
+
+/**
+ * Finding sink. Applies suppression reach (same line, directive line
+ * covering the next code line, multi-line justification comments) and
+ * remembers every directive that suppressed at least one finding, so
+ * check_stale_suppressions() can flag the rest.
+ */
+class Reporter
+{
+  public:
+    explicit Reporter(std::vector<Finding> *findings)
+        : findings_(findings)
+    {
+    }
+
+    void report(const FileContext &ctx, const std::string &rule,
+                int line, const std::string &message);
+
+    /** True iff the line directive at (@p ctx, @p line) suppressed a
+     *  finding of @p rule at least once. */
+    bool line_directive_used(const FileContext &ctx, int line,
+                             const std::string &rule) const;
+
+    /** True iff the allow-file directive for @p rule fired. */
+    bool file_directive_used(const FileContext &ctx,
+                             const std::string &rule) const;
+
+  private:
+    std::vector<Finding> *findings_;
+    std::set<std::pair<const FileContext *, std::pair<int, std::string>>>
+        used_line_;
+    std::set<std::pair<const FileContext *, std::string>> used_file_;
+};
+
+}  // namespace lint
+}  // namespace sdfm
+
+#endif  // SDFM_TOOLS_LINT_INTERNAL_H

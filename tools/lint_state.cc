@@ -1,0 +1,752 @@
+#include "lint_state.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace sdfm {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Declaration parsing
+// ---------------------------------------------------------------------
+
+/** Keywords that open a statement which is never a data member. */
+bool
+non_member_keyword(const std::string &t)
+{
+    static const std::set<std::string> kKeywords = {
+        "using",    "typedef", "friend",   "static",  "constexpr",
+        "template", "enum",    "class",    "struct",  "union",
+        "operator", "public",  "private",  "protected",
+        "static_assert", "extern", "virtual",
+    };
+    return kKeywords.count(t) > 0;
+}
+
+bool
+is_assignment_op(const std::string &t)
+{
+    static const std::set<std::string> kOps = {
+        "=",  "+=", "-=", "*=",  "/=",  "%=",
+        "&=", "|=", "^=", "<<=", ">>=",
+    };
+    return kOps.count(t) > 0;
+}
+
+/** Adjust template-angle depth for one token (clamped at zero). */
+void
+track_angles(const std::string &t, int *depth)
+{
+    if (t == "<")
+        ++*depth;
+    else if (t == ">" && *depth > 0)
+        --*depth;
+    else if (t == ">>" && *depth > 0)
+        *depth = *depth >= 2 ? *depth - 2 : 0;
+}
+
+/**
+ * Look up the sdfm-state annotation covering a member declared at
+ * @p line: one trailing on the declaration line itself, or one in the
+ * comment block directly above it (only blank/comment lines in
+ * between -- a preceding *code* line breaks the association, so an
+ * annotation never silently leaks onto the next member down).
+ */
+const StateAnnotation *
+annotation_for(const FileContext &ctx, int line)
+{
+    auto at = [&](int l) -> const StateAnnotation * {
+        auto it = ctx.pre.annotations.find(l);
+        return it != ctx.pre.annotations.end() ? &it->second : nullptr;
+    };
+    if (const StateAnnotation *a = at(line))
+        return a;
+    for (int l = line - 1; l >= 1; --l) {
+        std::size_t idx = static_cast<std::size_t>(l) - 1;
+        if (idx < ctx.code_lines.size() &&
+            !trim(ctx.code_lines[idx]).empty()) {
+            return nullptr;  // real code above; no annotation reaches
+        }
+        if (const StateAnnotation *a = at(l))
+            return a;
+    }
+    return nullptr;
+}
+
+/**
+ * Tokenize a file's stripped code, dropping tokens on preprocessor
+ * lines (and their backslash continuations): `#include <vector>`
+ * would otherwise leak '<' '>' into statement parsing.
+ */
+std::vector<Token>
+preprocessed_tokens(const FileContext &ctx)
+{
+    std::vector<bool> is_pp(ctx.code_lines.size() + 1, false);
+    bool continued = false;
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        std::string t = trim(ctx.code_lines[i]);
+        bool pp = continued || (!t.empty() && t[0] == '#');
+        is_pp[i + 1] = pp;
+        continued = pp && !t.empty() && t.back() == '\\';
+    }
+    std::vector<Token> out;
+    for (Token &t : tokenize_all(ctx.pre.code)) {
+        std::size_t line = static_cast<std::size_t>(t.line);
+        if (line < is_pp.size() && is_pp[line])
+            continue;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+/** Find the token index of the brace matching toks[open] ("{"). */
+std::size_t
+matching_brace(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+struct Scope
+{
+    enum Kind
+    {
+        kNamespace,
+        kClass,
+        kBlock,
+    };
+    Kind kind = kBlock;
+    std::size_t class_index = 0;  ///< valid when kind == kClass
+};
+
+/**
+ * The method name + owning-class qualifier of a function-ish
+ * statement ("void Machine::ckpt_save(" -> {"ckpt_save", "Machine"}).
+ * The qualifier is empty for unqualified (in-class) definitions.
+ */
+struct FunctionHead
+{
+    std::string name;
+    std::string qualifier;
+};
+
+bool
+parse_function_head(const std::vector<Token> &stmt, FunctionHead *out)
+{
+    // First '(' at template-angle depth zero opens the parameter list.
+    int angles = 0;
+    std::size_t p = stmt.size();
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+        track_angles(stmt[i].text, &angles);
+        if (stmt[i].text == "(" && angles == 0) {
+            p = i;
+            break;
+        }
+    }
+    if (p == stmt.size() || p == 0 || !stmt[p - 1].is_ident)
+        return false;
+    out->name = stmt[p - 1].text;
+    out->qualifier.clear();
+    std::size_t j = p - 1;
+    while (j >= 2 && stmt[j - 1].text == "::" && stmt[j - 2].is_ident) {
+        std::string part = stmt[j - 2].text;
+        out->qualifier = out->qualifier.empty()
+                             ? part
+                             : part + "::" + out->qualifier;
+        j -= 2;
+    }
+    return true;
+}
+
+/** Split @p stmt at top-level commas (outside <>, (), [], {}). */
+std::vector<std::vector<Token>>
+split_declarators(const std::vector<Token> &stmt)
+{
+    std::vector<std::vector<Token>> chunks(1);
+    int angles = 0;
+    int nest = 0;
+    for (const Token &t : stmt) {
+        track_angles(t.text, &angles);
+        if (t.text == "(" || t.text == "[" || t.text == "{")
+            ++nest;
+        else if (t.text == ")" || t.text == "]" || t.text == "}")
+            --nest;
+        if (t.text == "," && angles == 0 && nest == 0) {
+            chunks.emplace_back();
+            continue;
+        }
+        chunks.back().push_back(t);
+    }
+    return chunks;
+}
+
+/**
+ * Interpret one class-scope statement (tokens up to the ';') as a
+ * possible data-member declaration; append extracted members and
+ * record declared analyzed methods.
+ */
+void
+process_class_statement(const std::vector<Token> &stmt_in,
+                        const FileContext &ctx, std::size_t file_index,
+                        StateClass *cls)
+{
+    if (stmt_in.empty())
+        return;
+    std::vector<Token> stmt = stmt_in;
+    if (stmt[0].text == "mutable")
+        stmt.erase(stmt.begin());
+    if (stmt.empty())
+        return;
+    if (stmt[0].text == "const")
+        return;  // immutable member: outside the coverage contract
+    if (non_member_keyword(stmt[0].text)) {
+        // Method declarations still matter: `void ckpt_save(...)`.
+        // Fall through only for `virtual` so pure-virtual analyzed
+        // methods register as declared.
+        if (stmt[0].text != "virtual")
+            return;
+    }
+
+    // A '(' at angle-depth zero before any top-level '=' makes this a
+    // function declaration, not a member.
+    int angles = 0;
+    bool saw_assign = false;
+    bool is_function = false;
+    for (const Token &t : stmt) {
+        track_angles(t.text, &angles);
+        if (angles > 0)
+            continue;
+        if (t.text == "=")
+            saw_assign = true;
+        if (t.text == "(" && !saw_assign) {
+            is_function = true;
+            break;
+        }
+    }
+    if (is_function) {
+        FunctionHead head;
+        if (parse_function_head(stmt, &head) &&
+            analyzed_methods().count(head.name) > 0) {
+            cls->declared_methods.insert(head.name);
+        }
+        return;
+    }
+    if (non_member_keyword(stmt[0].text))
+        return;  // `virtual` without a '(' -- not a member either
+    // operator< never reaches the '(' check (the '<' reads as a
+    // template angle); no operator declaration is ever a member.
+    for (const Token &t : stmt) {
+        if (t.text == "operator")
+            return;
+    }
+
+    std::vector<std::vector<Token>> chunks = split_declarators(stmt);
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        const std::vector<Token> &chunk = chunks[ci];
+        // Boundary: first top-level '=' / '[' / '{' ends the
+        // declarator; the member name is the last identifier before
+        // it (or before the end of the chunk).
+        int a = 0;
+        std::size_t boundary = chunk.size();
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            track_angles(chunk[i].text, &a);
+            if (a > 0)
+                continue;
+            const std::string &t = chunk[i].text;
+            if (t == "=" || t == "[" || t == "{") {
+                boundary = i;
+                break;
+            }
+        }
+        std::size_t name_idx = chunk.size();
+        for (std::size_t i = 0; i < boundary; ++i) {
+            if (chunk[i].is_ident)
+                name_idx = i;
+        }
+        if (name_idx >= chunk.size())
+            continue;
+        // Reference members bind once at construction; they carry no
+        // checkpointable value of their own.
+        if (name_idx > 0 && (chunk[name_idx - 1].text == "&" ||
+                             chunk[name_idx - 1].text == "&&")) {
+            continue;
+        }
+        // In the first chunk a single identifier is a bare type
+        // mention (e.g. a macro), not a declarator; later chunks are
+        // pure declarators, so a leading identifier IS the name.
+        if (ci == 0 && name_idx == 0)
+            continue;
+        StateMember m;
+        m.name = chunk[name_idx].text;
+        m.line = chunk[name_idx].line;
+        m.file_index = file_index;
+        if (const StateAnnotation *anno = annotation_for(ctx, m.line)) {
+            m.annotation_tag = anno->tag;
+            m.annotation_justification = anno->justification;
+        }
+        cls->members.push_back(std::move(m));
+    }
+}
+
+void
+parse_file(const FileContext &ctx, std::size_t file_index,
+           StateModel *model)
+{
+    std::vector<Token> toks = preprocessed_tokens(ctx);
+    std::vector<Scope> scopes;
+    std::vector<Token> stmt;
+    int paren_depth = 0;
+
+    auto current_class = [&]() -> StateClass * {
+        if (scopes.empty() || scopes.back().kind != Scope::kClass)
+            return nullptr;
+        return &model->classes[scopes.back().class_index];
+    };
+    auto class_prefix = [&]() {
+        std::string q;
+        for (const Scope &s : scopes) {
+            if (s.kind == Scope::kClass) {
+                const std::string &n = model->classes[s.class_index].name;
+                q = n;  // names are stored already qualified
+            }
+        }
+        return q;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.text == "(") {
+            ++paren_depth;
+            stmt.push_back(t);
+            continue;
+        }
+        if (t.text == ")") {
+            if (paren_depth > 0)
+                --paren_depth;
+            stmt.push_back(t);
+            continue;
+        }
+        if (paren_depth > 0) {
+            stmt.push_back(t);
+            continue;
+        }
+        if (t.text == "}") {
+            if (!scopes.empty())
+                scopes.pop_back();
+            stmt.clear();
+            continue;
+        }
+        if (t.text == ";") {
+            if (StateClass *cls = current_class())
+                process_class_statement(stmt, ctx, file_index, cls);
+            stmt.clear();
+            continue;
+        }
+        if (t.text == ":") {
+            if (current_class() && stmt.size() == 1 &&
+                (stmt[0].text == "public" || stmt[0].text == "private" ||
+                 stmt[0].text == "protected")) {
+                stmt.clear();
+                continue;
+            }
+            stmt.push_back(t);
+            continue;
+        }
+        if (t.text != "{") {
+            stmt.push_back(t);
+            continue;
+        }
+
+        // -- '{' : decide what kind of block opens ---------------------
+        auto stmt_has = [&](const char *kw) {
+            for (const Token &s : stmt)
+                if (s.text == kw)
+                    return true;
+            return false;
+        };
+        bool has_paren = stmt_has("(");
+
+        if (stmt_has("enum")) {
+            scopes.push_back({Scope::kBlock, 0});
+            stmt.clear();
+            continue;
+        }
+        if (stmt_has("namespace")) {
+            scopes.push_back({Scope::kNamespace, 0});
+            stmt.clear();
+            continue;
+        }
+        if (!has_paren &&
+            (stmt_has("class") || stmt_has("struct") ||
+             stmt_has("union"))) {
+            // Class definition. Name: identifier after the last
+            // class/struct/union keyword (skips template headers).
+            std::string name;
+            int line = stmt.empty() ? t.line : stmt[0].line;
+            for (std::size_t k = 0; k < stmt.size(); ++k) {
+                if ((stmt[k].text == "class" || stmt[k].text == "struct" ||
+                     stmt[k].text == "union") &&
+                    k + 1 < stmt.size() && stmt[k + 1].is_ident) {
+                    name = stmt[k + 1].text;
+                }
+            }
+            if (name.empty())
+                name = "(anonymous)";
+            std::string prefix = class_prefix();
+            StateClass cls;
+            cls.name = prefix.empty() ? name : prefix + "::" + name;
+            cls.file_index = file_index;
+            cls.line = line;
+            model->classes.push_back(std::move(cls));
+            scopes.push_back(
+                {Scope::kClass, model->classes.size() - 1});
+            stmt.clear();
+            continue;
+        }
+        if (has_paren) {
+            // Function definition: capture the body when it is one of
+            // the analyzed methods of a known owner.
+            FunctionHead head;
+            if (parse_function_head(stmt, &head) &&
+                analyzed_methods().count(head.name) > 0) {
+                std::string owner;
+                if (!head.qualifier.empty()) {
+                    std::string prefix = class_prefix();
+                    owner = prefix.empty()
+                                ? head.qualifier
+                                : prefix + "::" + head.qualifier;
+                } else if (StateClass *cls = current_class()) {
+                    owner = cls->name;
+                    cls->declared_methods.insert(head.name);
+                }
+                if (!owner.empty()) {
+                    std::size_t close = matching_brace(toks, i);
+                    std::size_t end = close < toks.size()
+                                          ? toks[close].end
+                                          : ctx.pre.code.size();
+                    model->bodies[owner][head.name] =
+                        ctx.pre.code.substr(t.begin, end - t.begin);
+                }
+            }
+            scopes.push_back({Scope::kBlock, 0});
+            stmt.clear();
+            continue;
+        }
+        if (current_class() != nullptr) {
+            // Brace initializer on a member declaration
+            // (`Type name_{...};`): swallow the braces, keep the
+            // statement running to its ';'.
+            std::size_t close = matching_brace(toks, i);
+            i = close < toks.size() ? close : toks.size() - 1;
+            continue;
+        }
+        scopes.push_back({Scope::kBlock, 0});
+        stmt.clear();
+    }
+}
+
+/** Identifier set of a method body. */
+std::set<std::string>
+ident_set(const std::string &body)
+{
+    std::set<std::string> out;
+    for (const Token &t : tokenize_all(body))
+        if (t.is_ident)
+            out.insert(t.text);
+    return out;
+}
+
+std::string
+annotation_clause(const StateMember &m)
+{
+    if (m.annotation_tag.empty())
+        return "";
+    return " (annotation tag '" + m.annotation_tag +
+           "' is not recognized; known tags: derived, "
+           "rebuilt-on-resolve, non-semantic, config)";
+}
+
+bool
+has_valid_annotation(const StateMember &m)
+{
+    return known_annotation_tags().count(m.annotation_tag) > 0;
+}
+
+const std::map<std::string, std::string> *
+bodies_for(const StateModel &model, const std::string &cls)
+{
+    auto it = model.bodies.find(cls);
+    return it != model.bodies.end() ? &it->second : nullptr;
+}
+
+const std::string *
+body_of(const std::map<std::string, std::string> &bodies,
+        const std::string &method)
+{
+    auto it = bodies.find(method);
+    return it != bodies.end() ? &it->second : nullptr;
+}
+
+}  // namespace
+
+const std::set<std::string> &
+analyzed_methods()
+{
+    static const std::set<std::string> kMethods = {
+        "ckpt_save", "ckpt_load", "ckpt_resolve", "state_digest",
+        "check_invariants",
+    };
+    return kMethods;
+}
+
+const std::set<std::string> &
+known_annotation_tags()
+{
+    static const std::set<std::string> kTags = {
+        "derived", "rebuilt-on-resolve", "non-semantic", "config",
+    };
+    return kTags;
+}
+
+StateModel
+build_state_model(const std::vector<FileContext> &contexts)
+{
+    StateModel model;
+    for (std::size_t i = 0; i < contexts.size(); ++i)
+        parse_file(contexts[i], i, &model);
+    return model;
+}
+
+void
+check_ckpt_coverage(const StateModel &model,
+                    const std::vector<FileContext> &contexts,
+                    Reporter &reporter)
+{
+    for (const StateClass &cls : model.classes) {
+        if (cls.declared_methods.count("ckpt_save") == 0 ||
+            cls.declared_methods.count("ckpt_load") == 0) {
+            continue;
+        }
+        const auto *bodies = bodies_for(model, cls.name);
+        if (bodies == nullptr)
+            continue;  // interface only (e.g. pure virtual): no bodies
+        const std::string *save = body_of(*bodies, "ckpt_save");
+        const std::string *load = body_of(*bodies, "ckpt_load");
+        if (save == nullptr || load == nullptr)
+            continue;
+        std::set<std::string> save_refs = ident_set(*save);
+        std::set<std::string> load_refs = ident_set(*load);
+        if (const std::string *resolve = body_of(*bodies, "ckpt_resolve")) {
+            for (const std::string &r : ident_set(*resolve))
+                load_refs.insert(r);
+        }
+        for (const StateMember &m : cls.members) {
+            const FileContext &ctx = contexts[m.file_index];
+            bool in_save = save_refs.count(m.name) > 0;
+            bool in_load = load_refs.count(m.name) > 0;
+            if (in_save && in_load)
+                continue;
+            if (in_save && !in_load) {
+                reporter.report(
+                    ctx, "ckpt-coverage", m.line,
+                    cls.name + "::" + m.name +
+                        " is written by ckpt_save but never read by "
+                        "ckpt_load/ckpt_resolve -- the checkpoint "
+                        "wire and the restore path have diverged");
+                continue;
+            }
+            if (has_valid_annotation(m))
+                continue;
+            if (in_load) {
+                reporter.report(
+                    ctx, "ckpt-coverage", m.line,
+                    cls.name + "::" + m.name +
+                        " is rebuilt by ckpt_load/ckpt_resolve but "
+                        "never serialized; annotate it `sdfm-state: "
+                        "derived(...)` (or rebuilt-on-resolve) if "
+                        "that is by design" +
+                        annotation_clause(m));
+            } else {
+                reporter.report(
+                    ctx, "ckpt-coverage", m.line,
+                    cls.name + "::" + m.name +
+                        " is a mutable member of a checkpointed class "
+                        "but appears in neither ckpt_save nor "
+                        "ckpt_load/ckpt_resolve; serialize it or "
+                        "annotate it (sdfm-state: derived/"
+                        "rebuilt-on-resolve/non-semantic/config) with "
+                        "a justification" +
+                        annotation_clause(m));
+            }
+        }
+    }
+}
+
+void
+check_digest_coverage(const StateModel &model,
+                      const std::vector<FileContext> &contexts,
+                      Reporter &reporter)
+{
+    for (const StateClass &cls : model.classes) {
+        if (cls.declared_methods.count("state_digest") == 0)
+            continue;
+        const auto *bodies = bodies_for(model, cls.name);
+        if (bodies == nullptr)
+            continue;
+        const std::string *digest = body_of(*bodies, "state_digest");
+        if (digest == nullptr)
+            continue;
+        std::set<std::string> refs = ident_set(*digest);
+        for (const StateMember &m : cls.members) {
+            if (refs.count(m.name) > 0)
+                continue;
+            if (has_valid_annotation(m))
+                continue;
+            reporter.report(
+                contexts[m.file_index], "digest-coverage", m.line,
+                cls.name + "::" + m.name +
+                    " does not fold into state_digest(); divergence "
+                    "in it would evade the serial/parallel and "
+                    "resume digest checks -- mix it in or annotate "
+                    "it (sdfm-state: non-semantic/derived/"
+                    "rebuilt-on-resolve/config) with a "
+                    "justification" +
+                    annotation_clause(m));
+        }
+    }
+}
+
+void
+check_parallel_safety(const StateModel &model,
+                      const std::vector<FileContext> &contexts,
+                      Reporter &reporter)
+{
+    // Cluster/fleet-shared classes: anything declared under cluster/.
+    // Their unqualified names are what alias declarations mention.
+    std::set<std::string> shared;
+    for (const StateClass &cls : model.classes) {
+        const std::string &path = contexts[cls.file_index].source->path;
+        if (!path_contains(path, "cluster/"))
+            continue;
+        std::size_t sep = cls.name.rfind("::");
+        shared.insert(sep == std::string::npos
+                          ? cls.name
+                          : cls.name.substr(sep + 2));
+    }
+    if (shared.empty())
+        return;
+
+    // Aliases (pointers/references to shared objects) propagate across
+    // a header/source pair, like the unordered-container rule.
+    std::map<std::string, std::set<std::string>> group_aliases;
+    std::vector<std::vector<Token>> file_tokens(contexts.size());
+    for (std::size_t f = 0; f < contexts.size(); ++f) {
+        const FileContext &ctx = contexts[f];
+        file_tokens[f] = preprocessed_tokens(ctx);
+        const std::vector<Token> &toks = file_tokens[f];
+        std::set<std::string> &aliases =
+            group_aliases[path_stem(ctx.source->path)];
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].is_ident || shared.count(toks[i].text) == 0)
+                continue;
+            if (i > 0 && toks[i - 1].text == "const")
+                continue;  // pointee is const: read-only alias
+            bool indirection = false;
+            std::size_t j = i + 1;
+            while (j < toks.size() &&
+                   (toks[j].text == "*" || toks[j].text == "&" ||
+                    toks[j].text == "&&" || toks[j].text == "const")) {
+                if (toks[j].text != "const")
+                    indirection = true;
+                ++j;
+            }
+            if (indirection && j < toks.size() && toks[j].is_ident)
+                aliases.insert(toks[j].text);
+        }
+    }
+
+    for (std::size_t f = 0; f < contexts.size(); ++f) {
+        const FileContext &ctx = contexts[f];
+        const std::string &path = ctx.source->path;
+        // The serial control phase: the broker and cluster step
+        // machines; their own code is not Machine::step-reachable.
+        if (path_contains(path, "cluster/") || path_contains(path, "core/"))
+            continue;
+        const std::set<std::string> &aliases =
+            group_aliases[path_stem(path)];
+        if (aliases.empty())
+            continue;
+        const std::vector<Token> &toks = file_tokens[f];
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (!toks[i].is_ident || aliases.count(toks[i].text) == 0)
+                continue;
+            if (toks[i + 1].text != "->" && toks[i + 1].text != ".")
+                continue;
+            if (!toks[i + 2].is_ident)
+                continue;
+            const std::string &after =
+                i + 3 < toks.size() ? toks[i + 3].text : "";
+            bool pre_incr =
+                i > 0 && (toks[i - 1].text == "++" ||
+                          toks[i - 1].text == "--");
+            if (after == "(") {
+                reporter.report(
+                    ctx, "parallel-safety", toks[i].line,
+                    "call through '" + toks[i].text +
+                        "' into cluster-shared object from "
+                        "Machine::step-reachable code: machines step "
+                        "in parallel, so shared mutations belong in "
+                        "the broker/cluster serial phase (justify "
+                        "read-only calls with a suppression)");
+            } else if (is_assignment_op(after) || after == "++" ||
+                       after == "--" || pre_incr) {
+                reporter.report(
+                    ctx, "parallel-safety", toks[i].line,
+                    "write to member '" + toks[i + 2].text +
+                        "' of cluster-shared object '" + toks[i].text +
+                        "' from Machine::step-reachable code: an "
+                        "unsynchronized shared-state write races "
+                        "under parallel stepping");
+            }
+        }
+    }
+}
+
+void
+check_stale_suppressions(const std::vector<FileContext> &contexts,
+                         Reporter &reporter)
+{
+    for (const FileContext &ctx : contexts) {
+        for (const auto &entry : ctx.pre.line_suppressions) {
+            for (const std::string &rule : entry.second) {
+                if (reporter.line_directive_used(ctx, entry.first, rule))
+                    continue;
+                reporter.report(
+                    ctx, "stale-suppression", entry.first,
+                    "sdfm-lint: allow(" + rule +
+                        ") no longer suppresses any finding; delete "
+                        "the directive (or fix the rule name)");
+            }
+        }
+        for (const auto &entry : ctx.pre.file_suppressions) {
+            if (reporter.file_directive_used(ctx, entry.first))
+                continue;
+            reporter.report(
+                ctx, "stale-suppression", entry.second,
+                "sdfm-lint: allow-file(" + entry.first +
+                    ") no longer suppresses any finding; delete the "
+                    "directive (or fix the rule name)");
+        }
+    }
+}
+
+}  // namespace lint
+}  // namespace sdfm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The state-coverage analyzer behind sdfm_lint's whole-program rules:
+ * a lightweight, dependency-free C++ declaration parser that extracts
+ * every class's mutable data members across the linted sources and
+ * cross-references them against the bodies of that class's
+ * ckpt_save / ckpt_load / ckpt_resolve / state_digest /
+ * check_invariants implementations (inline or out-of-line, in any
+ * linted file).
+ *
+ * Rules built on the model:
+ *
+ *   ckpt-coverage     Every mutable member of a class implementing
+ *                     ckpt_save/ckpt_load is referenced in both the
+ *                     save and the load/resolve path, or carries an
+ *                     sdfm-state annotation justifying the omission.
+ *                     A member referenced on only one side is always
+ *                     a finding (wire drift), annotation or not.
+ *   digest-coverage   Every mutable member of a class implementing
+ *                     state_digest() folds into the digest body, or
+ *                     carries an sdfm-state annotation.
+ *   parallel-safety   Writes (member assignments) or method calls
+ *                     from machine-layer code -- anything stepped in
+ *                     parallel under Machine::step -- through a
+ *                     pointer/reference to a cluster/fleet-shared
+ *                     class (declared under cluster/) are flagged: a
+ *                     static complement to the TSan CI leg. Code
+ *                     under cluster/ and core/ runs in the serial
+ *                     control phase and is exempt.
+ *   stale-suppression An `sdfm-lint: allow(rule)` or
+ *                     `allow-file(rule)` directive that no longer
+ *                     suppresses any finding of that rule is itself
+ *                     a finding.
+ *
+ * Annotation grammar (attached to the member it precedes; a trailing
+ * comment on the declaration line, or a comment block directly above
+ * it with nothing but comments/blank lines in between):
+ *
+ *   // sdfm-state: <tag>(<one-line justification>)
+ *
+ *   derived             Recomputed from other serialized state (by
+ *                       ckpt_load or lazily); holds no independent
+ *                       trajectory information.
+ *   rebuilt-on-resolve  Wiring (pointers, bound handles) re-bound by
+ *                       ckpt_resolve()/the owner after load, not
+ *                       serialized by value.
+ *   non-semantic        Telemetry caches, memoized lookups, scratch
+ *                       buffers: never observable in the trajectory.
+ *   config              Immutable after construction and covered by
+ *                       the fleet config fingerprint, not the wire.
+ *
+ * Any valid tag exempts the member from ckpt-coverage and
+ * digest-coverage alike -- the tag records *why*, the justification
+ * records the evidence. An unknown tag is reported (ckpt-coverage)
+ * rather than silently honoured.
+ */
+
+#ifndef SDFM_TOOLS_LINT_STATE_H
+#define SDFM_TOOLS_LINT_STATE_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_internal.h"
+
+namespace sdfm {
+namespace lint {
+
+/** One mutable data member of a parsed class. */
+struct StateMember
+{
+    std::string name;
+    int line = 0;  ///< declaration line in the declaring file
+    std::size_t file_index = 0;  ///< into the lint_sources input
+    /** Annotation tag ("" when unannotated). */
+    std::string annotation_tag;
+    std::string annotation_justification;
+};
+
+/** One parsed class/struct definition. */
+struct StateClass
+{
+    /** Qualified name: "Machine", "Machine::TierMetricSet", ... */
+    std::string name;
+    std::size_t file_index = 0;
+    int line = 0;  ///< line of the class-opening statement
+    std::vector<StateMember> members;
+    /** Which of the five analyzed methods the class declares. */
+    std::set<std::string> declared_methods;
+};
+
+/** The whole-program declaration model. */
+struct StateModel
+{
+    std::vector<StateClass> classes;
+    /**
+     * Qualified class name -> method -> body text (comment/string
+     * stripped). Bodies found inline or out-of-line in any file.
+     */
+    std::map<std::string, std::map<std::string, std::string>> bodies;
+};
+
+/** Method names the analyzer tracks bodies for. */
+const std::set<std::string> &analyzed_methods();
+
+/** Annotation tags the coverage rules honour. */
+const std::set<std::string> &known_annotation_tags();
+
+/**
+ * Parse every context into the whole-program model. Contexts must be
+ * the same array the rules later report against (classes index into
+ * it via file_index).
+ */
+StateModel build_state_model(const std::vector<FileContext> &contexts);
+
+void check_ckpt_coverage(const StateModel &model,
+                         const std::vector<FileContext> &contexts,
+                         Reporter &reporter);
+
+void check_digest_coverage(const StateModel &model,
+                           const std::vector<FileContext> &contexts,
+                           Reporter &reporter);
+
+void check_parallel_safety(const StateModel &model,
+                           const std::vector<FileContext> &contexts,
+                           Reporter &reporter);
+
+/**
+ * Flag every suppression directive the Reporter never consumed. Run
+ * last, after every other rule has reported.
+ */
+void check_stale_suppressions(const std::vector<FileContext> &contexts,
+                              Reporter &reporter);
+
+}  // namespace lint
+}  // namespace sdfm
+
+#endif  // SDFM_TOOLS_LINT_STATE_H

@@ -1,11 +1,17 @@
 /**
  * @file
  * sdfm_lint: the project's determinism/invariant linter, run as a
- * CTest over src/. See lint_engine.h for the rule set and the
- * suppression syntax, and docs/ARCHITECTURE.md ("Determinism
- * contract") for what the rules protect.
+ * CTest over src/. See lint_engine.h for the token rules,
+ * lint_state.h for the whole-program state-coverage rules and the
+ * sdfm-state annotation grammar, and docs/ARCHITECTURE.md
+ * ("Determinism contract") for what the rules protect.
  *
- * Usage: sdfm_lint [--list-rules] <dir> [<dir>...]
+ * Usage: sdfm_lint [--list-rules] [--format=text|json] <dir> [<dir>...]
+ *
+ * --format=json emits a machine-readable report on stdout:
+ *   {"rules": [...], "count": N,
+ *    "findings": [{"rule","path","line","message"}, ...]}
+ * CI archives it as an artifact; the exit status is unchanged.
  *
  * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
  */
@@ -16,9 +22,78 @@
 
 #include "lint_engine.h"
 
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+print_json(const std::vector<sdfm::lint::Finding> &findings)
+{
+    std::printf("{\n  \"rules\": [");
+    bool first = true;
+    for (const std::string &rule : sdfm::lint::rule_names()) {
+        std::printf("%s\"%s\"", first ? "" : ", ", rule.c_str());
+        first = false;
+    }
+    std::printf("],\n  \"count\": %zu,\n  \"findings\": [",
+                findings.size());
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const sdfm::lint::Finding &f = findings[i];
+        std::printf(
+            "%s\n    {\"rule\": \"%s\", \"path\": \"%s\", "
+            "\"line\": %d, \"message\": \"%s\"}",
+            i == 0 ? "" : ",", json_escape(f.rule).c_str(),
+            json_escape(f.path).c_str(), f.line,
+            json_escape(f.message).c_str());
+    }
+    std::printf("%s]\n}\n", findings.empty() ? "" : "\n  ");
+}
+
+}  // namespace
+
 int
 main(int argc, char **argv)
 {
+    const char kUsage[] =
+        "usage: sdfm_lint [--list-rules] [--format=text|json] <dir> "
+        "[<dir>...]\n";
+    bool json = false;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -27,17 +102,27 @@ main(int argc, char **argv)
                 std::printf("%s\n", rule.c_str());
             return 0;
         }
+        if (arg == "--format=json") {
+            json = true;
+            continue;
+        }
+        if (arg == "--format=text") {
+            json = false;
+            continue;
+        }
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: sdfm_lint [--list-rules] <dir> "
-                        "[<dir>...]\n");
+            std::printf("%s", kUsage);
             return 0;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "sdfm_lint: unknown option '%s'\n%s",
+                         arg.c_str(), kUsage);
+            return 2;
         }
         roots.push_back(arg);
     }
     if (roots.empty()) {
-        std::fprintf(stderr,
-                     "usage: sdfm_lint [--list-rules] <dir> "
-                     "[<dir>...]\n");
+        std::fprintf(stderr, "%s", kUsage);
         return 2;
     }
 
@@ -50,14 +135,18 @@ main(int argc, char **argv)
             findings.push_back(std::move(f));
         }
     }
-    for (const sdfm::lint::Finding &f : findings)
-        std::fprintf(stderr, "%s\n", sdfm::lint::to_string(f).c_str());
+    if (json) {
+        print_json(findings);
+    } else {
+        for (const sdfm::lint::Finding &f : findings)
+            std::fprintf(stderr, "%s\n",
+                         sdfm::lint::to_string(f).c_str());
+        if (!findings.empty()) {
+            std::fprintf(stderr, "sdfm_lint: %zu finding(s)\n",
+                         findings.size());
+        }
+    }
     if (io_error)
         return 2;
-    if (!findings.empty()) {
-        std::fprintf(stderr, "sdfm_lint: %zu finding(s)\n",
-                     findings.size());
-        return 1;
-    }
-    return 0;
+    return findings.empty() ? 0 : 1;
 }
