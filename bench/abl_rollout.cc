@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Ablation: instant config deploy vs staged canary rollout (Section
+ * 5.3's "deployed in stages", measured as blast radius).
+ *
+ * Three runs share one fleet and one timeline; at the deploy point
+ * each applies a candidate (K, S) its own way:
+ *
+ *   - instant + bad config: the legacy deploy_slo path -- an
+ *     unguarded fleet-wide swap. Every machine runs the bad config
+ *     for the rest of the run; the fleet-wide SLO-violation count is
+ *     the cost of having no guardrails.
+ *   - staged + bad config: the same candidate through ConfigRollout.
+ *     The canary cohort breaches the promotion-rate guardrail inside
+ *     its observation window and the campaign auto-rolls back;
+ *     exposure stops at the canary.
+ *   - staged + good config: a plausible candidate walks every stage
+ *     and reaches kDeployed -- the guardrails gate regressions, not
+ *     progress.
+ *
+ * Prints the comparison table and writes BENCH_rollout.json for
+ * machine consumption (EXPERIMENTS.md tracks the sweep).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "autotune/rollout.h"
+#include "common.h"
+
+using namespace sdfm;
+using namespace sdfm::bench;
+
+namespace {
+
+constexpr std::uint32_t kMachines = 8;
+constexpr SimTime kWarmup = 40 * kMinute;
+constexpr SimTime kAfterDeploy = 80 * kMinute;
+
+struct Outcome
+{
+    const char *final_state = "";
+    std::uint32_t machines_exposed = 0;  ///< ever ran the candidate
+    std::uint64_t violations_after = 0;  ///< fleet SLO violations
+    std::uint64_t guardrail_breaches = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t deployments = 0;
+};
+
+enum class Variant
+{
+    kInstantBad,
+    kStagedBad,
+    kStagedGood,
+};
+
+FleetConfig
+variant_fleet(Variant variant, std::uint64_t seed)
+{
+    FleetConfig config;
+    config.seed = seed;
+    config.num_clusters = 1;
+    config.cluster.mix = typical_fleet_mix();
+    config.cluster.num_machines = kMachines;
+    // Big, well-packed machines so every machine hosts jobs: an empty
+    // canary has no promotion traffic and no guardrail power.
+    config.cluster.machine.dram_pages = 48 * 1024;
+    config.cluster.target_utilization = 0.9;
+    config.cluster.churn_per_hour = 0.0;
+    config.cluster.machine.slo_breaker_enabled = true;
+
+    if (variant != Variant::kInstantBad) {
+        RolloutParams &rollout = config.rollout;
+        rollout.enabled = true;
+        rollout.seed = seed ^ 0x5107BAD5ULL;
+        rollout.stage_fractions = {0.25, 1.0};
+        rollout.baseline_periods = 5;
+        rollout.observe_periods = 14;
+        // The agent.promo_rate buckets double per step, so the bucket-
+        // granular window p98 moves in 2x quanta: headroom 2.5
+        // tolerates one bucket of drift and still catches the
+        // multi-bucket jump a genuinely bad config causes.
+        rollout.guardrails.promo_headroom = 2.5;
+    }
+    return config;
+}
+
+SloConfig
+candidate(Variant variant, const FleetConfig &config)
+{
+    SloConfig slo = config.cluster.machine.slo;
+    if (variant == Variant::kStagedGood) {
+        slo.percentile_k = 97.0;
+        slo.enable_delay = 6 * kMinute;
+    } else {
+        // The kind of config a mis-trained tuner emits: a far too
+        // aggressive percentile with almost no warmup.
+        slo.percentile_k = 55.0;
+        slo.enable_delay = 2 * kMinute;
+    }
+    return slo;
+}
+
+Outcome
+run_variant(Variant variant, std::uint64_t seed)
+{
+    FleetConfig config = variant_fleet(variant, seed);
+    FarMemorySystem fleet(config);
+    fleet.populate();
+    fleet.run(kWarmup);
+
+    std::uint64_t violations_before =
+        fleet.fleet_telemetry().counter_or_zero("agent.slo_violations");
+    if (variant == Variant::kInstantBad)
+        fleet.deploy_slo(candidate(variant, config));
+    else
+        fleet.propose_slo(candidate(variant, config));
+    fleet.run(kAfterDeploy);
+
+    Outcome outcome;
+    outcome.violations_after =
+        fleet.fleet_telemetry().counter_or_zero("agent.slo_violations") -
+        violations_before;
+    if (variant == Variant::kInstantBad) {
+        // deploy_slo swaps every machine unconditionally.
+        outcome.final_state = "deployed (unguarded)";
+        outcome.machines_exposed = kMachines;
+        return outcome;
+    }
+    const ConfigRollout *rollout = fleet.rollout();
+    outcome.final_state = rollout_state_name(rollout->state());
+    const RolloutStats &stats = rollout->stats();
+    outcome.guardrail_breaches = stats.guardrail_breaches;
+    outcome.rollbacks = stats.rollbacks;
+    outcome.deployments = stats.deployments;
+    for (const auto &machine : fleet.clusters()[0]->machines()) {
+        if (machine->agent().config_epoch() != 0)
+            ++outcome.machines_exposed;
+    }
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header(
+        "Ablation: instant config deploy vs staged canary rollout",
+        "Section 5.3: configs are deployed in stages; a bad (K, S) "
+        "should stop at the canary, not the fleet");
+
+    struct Case
+    {
+        Variant variant;
+        const char *label;
+        const char *key;
+    };
+    const Case cases[] = {
+        {Variant::kInstantBad, "instant deploy, bad config",
+         "instant_bad"},
+        {Variant::kStagedBad, "staged rollout, bad config",
+         "staged_bad"},
+        {Variant::kStagedGood, "staged rollout, good config",
+         "staged_good"},
+    };
+
+    TablePrinter table({"deploy path", "final state",
+                        "machines exposed", "SLO violations after",
+                        "guardrail breaches", "rollbacks",
+                        "deployments"});
+    Outcome outcomes[3];
+    for (int i = 0; i < 3; ++i) {
+        outcomes[i] = run_variant(cases[i].variant, 57);
+        const Outcome &o = outcomes[i];
+        table.add_row(
+            {cases[i].label, o.final_state,
+             fmt_int(static_cast<long long>(o.machines_exposed)),
+             fmt_int(static_cast<long long>(o.violations_after)),
+             fmt_int(static_cast<long long>(o.guardrail_breaches)),
+             fmt_int(static_cast<long long>(o.rollbacks)),
+             fmt_int(static_cast<long long>(o.deployments))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected: the unguarded deploy exposes every "
+                 "machine to the bad config; the staged rollout stops "
+                 "it at the canary cohort and rolls back, while the "
+                 "good candidate still reaches deployed.\n";
+
+    std::FILE *json = std::fopen("BENCH_rollout.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_rollout.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"abl_rollout\",\n"
+                       "  \"variants\": [\n");
+    for (int i = 0; i < 3; ++i) {
+        const Outcome &o = outcomes[i];
+        std::fprintf(
+            json,
+            "    {\"name\": \"%s\", \"final_state\": \"%s\", "
+            "\"machines_exposed\": %u, "
+            "\"slo_violations_after\": %llu, "
+            "\"guardrail_breaches\": %llu, \"rollbacks\": %llu, "
+            "\"deployments\": %llu}%s\n",
+            cases[i].key, o.final_state, o.machines_exposed,
+            static_cast<unsigned long long>(o.violations_after),
+            static_cast<unsigned long long>(o.guardrail_breaches),
+            static_cast<unsigned long long>(o.rollbacks),
+            static_cast<unsigned long long>(o.deployments),
+            i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_rollout.json\n");
+    return 0;
+}

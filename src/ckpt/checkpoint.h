@@ -42,10 +42,13 @@ namespace sdfm {
 /** "SDFMCKPT", read as a little-endian u64. */
 inline constexpr std::uint64_t kCkptMagic = 0x54504B434D464453ULL;
 
-/** Wire-format version this build writes and accepts. Version 2:
- *  memory-pooling fault kinds grew the per-machine FaultInjector
- *  stats block, and pooled fleets add "pool.NNNN" lease sections. */
-inline constexpr std::uint32_t kCkptFormatVersion = 2;
+/** Wire-format version this build writes and accepts. Version 3:
+ *  config-rollout fault kinds grew the FaultInjector stats block, the
+ *  node agent carries a config epoch, and rollout-supervised fleets
+ *  add a "rollout" section. (Version 2: memory-pooling fault kinds
+ *  grew the per-machine FaultInjector stats block, and pooled fleets
+ *  added "pool.NNNN" lease sections.) */
+inline constexpr std::uint32_t kCkptFormatVersion = 3;
 
 /** Typed outcome of checkpoint container and restore operations. */
 enum class CkptStatus : std::uint8_t

@@ -34,6 +34,27 @@ FarMemorySystem::FarMemorySystem(const FleetConfig &config)
             std::min<std::size_t>(config_.num_clusters,
                                   std::thread::hardware_concurrency()));
     }
+    rebuild_machine_view();
+    if (config_.rollout.enabled) {
+        std::vector<std::uint32_t> machines_per_cluster;
+        machines_per_cluster.reserve(clusters_.size());
+        for (const auto &cluster : clusters_) {
+            machines_per_cluster.push_back(
+                static_cast<std::uint32_t>(cluster->machines().size()));
+        }
+        rollout_ = std::make_unique<ConfigRollout>(
+            config_.rollout, config_.cluster.machine.slo, config_.seed,
+            std::move(machines_per_cluster));
+    }
+}
+
+void
+FarMemorySystem::rebuild_machine_view()
+{
+    machine_view_.clear();
+    machine_view_.reserve(clusters_.size());
+    for (auto &cluster : clusters_)
+        machine_view_.push_back(&cluster->machines());
 }
 
 void
@@ -61,6 +82,13 @@ FarMemorySystem::step()
         result.accesses += step.accesses;
         result.promotions += step.promotions;
         result.evictions += step.evicted;
+    }
+    // The rollout plane steps after the cluster barrier, on the fleet
+    // thread, so pushes applied here take effect in the next period's
+    // control rounds on every stepping (serial or pooled).
+    if (rollout_ != nullptr) {
+        rollout_->step(now_, config_.cluster.machine.control_period,
+                       machine_view_);
     }
     now_ += config_.cluster.machine.control_period;
 
@@ -151,6 +179,8 @@ FarMemorySystem::fleet_telemetry() const
     MetricsSnapshot snap;
     for (const auto &cluster : clusters_)
         snap.merge(cluster->telemetry_snapshot());
+    if (rollout_ != nullptr)
+        snap.merge(rollout_->metrics().snapshot());
     return snap;
 }
 
@@ -192,6 +222,21 @@ FarMemorySystem::fault_report() const
         snap.counter_or_zero("pool.broker_stalls");
     report.pool_breaker_opens =
         snap.counter_or_zero("pool.broker_breaker_opens");
+    report.rollout_pushes_delivered =
+        snap.counter_or_zero("rollout.pushes_delivered");
+    report.rollout_pushes_lost =
+        snap.counter_or_zero("rollout.pushes_lost");
+    report.rollout_pushes_aborted =
+        snap.counter_or_zero("rollout.pushes_aborted");
+    report.rollout_stall_periods =
+        snap.counter_or_zero("rollout.stall_periods");
+    report.rollout_split_brains =
+        snap.counter_or_zero("rollout.split_brains");
+    report.rollout_guardrail_breaches =
+        snap.counter_or_zero("rollout.guardrail_breaches");
+    report.rollout_deployments =
+        snap.counter_or_zero("rollout.deployments");
+    report.rollout_rollbacks = snap.counter_or_zero("rollout.rollbacks");
     return report;
 }
 
@@ -202,6 +247,14 @@ FarMemorySystem::deploy_slo(const SloConfig &slo)
         cluster->deploy_slo(slo);
 }
 
+bool
+FarMemorySystem::propose_slo(const SloConfig &slo)
+{
+    if (rollout_ == nullptr)
+        return false;
+    return rollout_->propose(now_, slo, machine_view_);
+}
+
 void
 FarMemorySystem::check_invariants() const
 {
@@ -209,6 +262,8 @@ FarMemorySystem::check_invariants() const
         return;
     for (const auto &cluster : clusters_)
         cluster->check_invariants();
+    if (rollout_ != nullptr)
+        rollout_->check_invariants(machine_view_);
 }
 
 std::uint64_t
@@ -219,6 +274,8 @@ FarMemorySystem::state_digest() const
     d.mix(clusters_.size());
     for (const auto &cluster : clusters_)
         d.mix(cluster->state_digest());
+    if (rollout_ != nullptr)
+        d.mix(rollout_->state_digest(machine_view_));
     return d.value();
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "autotune/rollout.h"
 #include "ckpt/checkpoint.h"
 #include "cluster/cluster.h"
 #include "node/slo.h"
@@ -52,6 +53,13 @@ struct FleetConfig
     SimTime start_time = 8 * kHour;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Staged canary rollout for autotuner configs. Disabled by
+     * default: the fleet then has no rollout plane at all and
+     * deploy_slo() remains the instantaneous legacy path.
+     */
+    RolloutParams rollout;
 
     /**
      * Debug mode: step clusters serially on the calling thread
@@ -100,6 +108,16 @@ struct FleetFaultReport
     std::uint64_t pool_forced_kills = 0;    ///< pool.forced_kills
     std::uint64_t pool_broker_stalls = 0;   ///< pool.broker_stalls
     std::uint64_t pool_breaker_opens = 0;  ///< pool.broker_breaker_opens
+
+    // Config rollout (all zero unless the fleet rollout is enabled).
+    std::uint64_t rollout_pushes_delivered = 0;
+    std::uint64_t rollout_pushes_lost = 0;
+    std::uint64_t rollout_pushes_aborted = 0;
+    std::uint64_t rollout_stall_periods = 0;
+    std::uint64_t rollout_split_brains = 0;
+    std::uint64_t rollout_guardrail_breaches = 0;
+    std::uint64_t rollout_deployments = 0;
+    std::uint64_t rollout_rollbacks = 0;
 };
 
 /** The warehouse-scale system. */
@@ -144,8 +162,26 @@ class FarMemorySystem
     /** Merge every cluster's telemetry into one log. */
     TraceLog merged_trace() const;
 
-    /** Deploy new SLO tunables fleet-wide (autotuner output). */
+    /** Deploy new SLO tunables fleet-wide (autotuner output). The
+     *  legacy unguarded path: an instantaneous fleet-wide swap with
+     *  no canary, no guardrails, and no config-epoch bump. Prefer
+     *  propose_slo() when the rollout plane is enabled. */
     void deploy_slo(const SloConfig &slo);
+
+    /**
+     * Hand new SLO tunables to the staged rollout plane
+     * (FleetConfig::rollout). The config is canaried through seeded
+     * per-cluster cohorts, watched against SLO guardrails, and either
+     * expanded to the whole fleet or automatically rolled back.
+     * Returns false when the rollout plane is disabled or a campaign
+     * is already in flight.
+     */
+    bool propose_slo(const SloConfig &slo);
+
+    /** The rollout plane; nullptr unless FleetConfig::rollout is
+     *  enabled. */
+    ConfigRollout *rollout() { return rollout_.get(); }
+    const ConfigRollout *rollout() const { return rollout_.get(); }
 
     // -- metrics plane -----------------------------------------------
 
@@ -228,6 +264,18 @@ class FarMemorySystem
     // sdfm-state: rebuilt-on-resolve(external sink wired by the
     // driver via set_exporter(); never owned or serialized)
     TelemetryExporter *exporter_ = nullptr;
+
+    /** Staged config rollout; null unless config_.rollout.enabled.
+     *  Stepped after the cluster barrier each period and serialized
+     *  into its own "rollout" checkpoint section. */
+    std::unique_ptr<ConfigRollout> rollout_;
+    /** Per-cluster machine lists handed to the rollout (it operates
+     *  on node-layer objects, never through Cluster).
+     *  sdfm-state: rebuilt-on-resolve(borrowed pointers into the
+     *  clusters; rebuilt after construction and restore) */
+    ConfigRollout::MachineView machine_view_;
+
+    void rebuild_machine_view();
 };
 
 /**

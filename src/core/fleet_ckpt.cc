@@ -57,6 +57,9 @@ save_fault_config(Serializer &s, const FaultConfig &f)
     s.put_double(f.lease_grant_loss_prob);
     s.put_double(f.revocation_loss_prob);
     s.put_double(f.broker_stall_prob);
+    s.put_double(f.config_push_loss_prob);
+    s.put_double(f.config_push_stall_prob);
+    s.put_double(f.config_split_brain_prob);
     s.put_u32(f.corruption_batch);
     s.put_i64(f.degrade_duration);
     s.put_double(f.remote_read_failure_prob);
@@ -64,6 +67,7 @@ save_fault_config(Serializer &s, const FaultConfig &f)
     s.put_u32(f.media_error_burst);
     s.put_double(f.capacity_loss_frac);
     s.put_i64(f.broker_stall_duration);
+    s.put_i64(f.config_push_stall_duration);
     s.put_u64(f.schedule.size());
     for (const ScheduledFault &sf : f.schedule) {
         s.put_i64(sf.at);
@@ -176,6 +180,20 @@ save_fleet_config(Serializer &s, const FleetConfig &config)
     s.put_double(config.mix_weight_jitter);
     s.put_i64(config.start_time);
     s.put_u64(config.seed);
+    s.put_bool(config.rollout.enabled);
+    s.put_u64(config.rollout.seed);
+    s.put_u64(config.rollout.stage_fractions.size());
+    for (double frac : config.rollout.stage_fractions)
+        s.put_double(frac);
+    s.put_u64(config.rollout.baseline_periods);
+    s.put_u64(config.rollout.observe_periods);
+    s.put_double(config.rollout.guardrails.promo_headroom);
+    s.put_double(config.rollout.guardrails.counter_slack);
+    s.put_u64(config.rollout.guardrails.counter_grace);
+    s.put_u32(config.rollout.max_push_retries);
+    s.put_u64(config.rollout.push_backoff_base);
+    s.put_bool(config.rollout.conservative_rollback);
+    save_fault_config(s, config.rollout.fault);
 }
 
 std::string
@@ -197,6 +215,10 @@ pool_section_name(std::size_t index)
 /** Version of the per-cluster "pool.NNNN" broker section. Bumped
  *  whenever the broker/lease wire layout changes. */
 constexpr std::uint32_t kPoolSectionVersion = 1;
+
+/** Version of the fleet "rollout" section. Bumped whenever the
+ *  ConfigRollout wire layout changes. */
+constexpr std::uint32_t kRolloutSectionVersion = 1;
 
 }  // namespace
 
@@ -230,6 +252,14 @@ FarMemorySystem::checkpoint(const std::string &path) const
         s.put_u32(kPoolSectionVersion);
         broker->ckpt_save(s);
         writer.add_section(pool_section_name(c), s.take());
+    }
+    // The rollout plane rides in its own versioned fleet section so
+    // the cluster/machine wire is unchanged when it is disabled.
+    if (rollout_ != nullptr) {
+        Serializer s;
+        s.put_u32(kRolloutSectionVersion);
+        rollout_->ckpt_save(s);
+        writer.add_section("rollout", s.take());
     }
     return writer.write_file(path);
 }
@@ -301,7 +331,31 @@ FarMemorySystem::restore(const std::string &path)
         }
     }
 
+    if (replica.rollout_ != nullptr) {
+        const std::vector<std::uint8_t> *bytes =
+            reader.section("rollout");
+        if (bytes == nullptr)
+            return CkptStatus::kCorruptPayload;
+        Deserializer d(*bytes);
+        std::uint32_t version = d.get_u32();
+        if (!d.ok())
+            return CkptStatus::kCorruptPayload;
+        if (version != kRolloutSectionVersion)
+            return CkptStatus::kBadVersion;
+        // A corrupt rollout section must never half-apply a campaign:
+        // ckpt_load parses and validates, ckpt_resolve cross-checks
+        // the ledger, cohorts and epochs against the restored
+        // machines -- any disagreement rejects the whole restore with
+        // the replica (and the live fleet's own rollout) untouched.
+        if (!replica.rollout_->ckpt_load(d) || !d.ok() || !d.at_end() ||
+            !replica.rollout_->ckpt_resolve(replica.machine_view_)) {
+            return CkptStatus::kCorruptPayload;
+        }
+    }
+
     clusters_ = std::move(replica.clusters_);
+    rollout_ = std::move(replica.rollout_);
+    rebuild_machine_view();
     now_ = now;
     check_invariants();
     return CkptStatus::kOk;

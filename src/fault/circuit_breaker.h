@@ -101,6 +101,15 @@ class CircuitBreaker : public Checkpointable
      */
     void tick();
 
+    /**
+     * Forget the consecutive-failure streak without touching the
+     * state machine. For config deployments: failures observed under
+     * the old tunables must not count toward tripping under the new
+     * ones, but an already-open breaker keeps its hold-off (the
+     * outage it reacted to is real regardless of tunables).
+     */
+    void reset_streak() { consecutive_failures_ = 0; }
+
     BreakerState state() const { return state_; }
 
     /** True unless the breaker is open (traffic may flow). */

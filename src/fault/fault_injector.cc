@@ -30,6 +30,12 @@ fault_kind_name(FaultKind kind)
         return "revocation_loss";
       case FaultKind::kBrokerStall:
         return "broker_stall";
+      case FaultKind::kConfigPushLoss:
+        return "config_push_loss";
+      case FaultKind::kConfigPushStall:
+        return "config_push_stall";
+      case FaultKind::kConfigSplitBrain:
+        return "config_split_brain";
     }
     return "?";
 }
@@ -82,6 +88,15 @@ FaultInjector::count(FaultKind kind)
       case FaultKind::kBrokerStall:
         ++stats_.broker_stalls;
         break;
+      case FaultKind::kConfigPushLoss:
+        ++stats_.config_push_losses;
+        break;
+      case FaultKind::kConfigPushStall:
+        ++stats_.config_push_stalls;
+        break;
+      case FaultKind::kConfigSplitBrain:
+        ++stats_.config_split_brains;
+        break;
     }
 }
 
@@ -128,6 +143,10 @@ FaultInjector::step(SimTime begin, SimTime end)
         {config_.lease_grant_loss_prob, FaultKind::kLeaseGrantLoss, 1},
         {config_.revocation_loss_prob, FaultKind::kRevocationLoss, 1},
         {config_.broker_stall_prob, FaultKind::kBrokerStall, 1},
+        {config_.config_push_loss_prob, FaultKind::kConfigPushLoss, 1},
+        {config_.config_push_stall_prob, FaultKind::kConfigPushStall, 1},
+        {config_.config_split_brain_prob, FaultKind::kConfigSplitBrain,
+         1},
     };
     for (const Draw &draw : draws) {
         if (draw.prob <= 0.0)
@@ -139,6 +158,8 @@ FaultInjector::step(SimTime begin, SimTime end)
         event.magnitude = draw.magnitude;
         event.duration = draw.kind == FaultKind::kBrokerStall
                              ? config_.broker_stall_duration
+                         : draw.kind == FaultKind::kConfigPushStall
+                             ? config_.config_push_stall_duration
                              : config_.degrade_duration;
         events.push_back(event);
         count(event.kind);
@@ -162,6 +183,9 @@ FaultInjector::ckpt_save(Serializer &s) const
     s.put_u64(stats_.lease_grant_losses);
     s.put_u64(stats_.revocation_losses);
     s.put_u64(stats_.broker_stalls);
+    s.put_u64(stats_.config_push_losses);
+    s.put_u64(stats_.config_push_stalls);
+    s.put_u64(stats_.config_split_brains);
     s.put_u64(next_scheduled_);
 }
 
@@ -188,6 +212,9 @@ FaultInjector::digest_into(StateDigest &d) const
     d.mix(stats_.lease_grant_losses);
     d.mix(stats_.revocation_losses);
     d.mix(stats_.broker_stalls);
+    d.mix(stats_.config_push_losses);
+    d.mix(stats_.config_push_stalls);
+    d.mix(stats_.config_split_brains);
     d.mix(next_scheduled_);
 }
 
@@ -207,6 +234,9 @@ FaultInjector::ckpt_load(Deserializer &d)
     stats_.lease_grant_losses = d.get_u64();
     stats_.revocation_losses = d.get_u64();
     stats_.broker_stalls = d.get_u64();
+    stats_.config_push_losses = d.get_u64();
+    stats_.config_push_stalls = d.get_u64();
+    stats_.config_split_brains = d.get_u64();
     next_scheduled_ = d.get_u64();
     if (!d.ok() || next_scheduled_ > config_.schedule.size())
         return false;

@@ -81,10 +81,26 @@ enum class FaultKind : std::uint8_t
      *  for the event's duration -- every machine's pool control path
      *  sees failures and its breaker may open. */
     kBrokerStall,
+
+    /** Config rollout control plane: a config-push delivery is lost
+     *  in flight; the rollout retries with exponential backoff and
+     *  aborts the stage (rolling back) after bounded retries. */
+    kConfigPushLoss,
+
+    /** Config rollout control plane: the push path stalls -- no
+     *  deliveries and a frozen stage window for the event's
+     *  duration. */
+    kConfigPushStall,
+
+    /** Config rollout control plane: a push is acknowledged but never
+     *  applied, leaving the machine on the old config version until
+     *  the per-machine config-epoch audit detects and reconciles
+     *  it. */
+    kConfigSplitBrain,
 };
 
 /** Number of distinct fault kinds (for iteration and tables). */
-inline constexpr std::size_t kNumFaultKinds = 10;
+inline constexpr std::size_t kNumFaultKinds = 13;
 
 /** Human-readable fault-kind name. */
 const char *fault_kind_name(FaultKind kind);
@@ -135,6 +151,11 @@ struct FaultConfig
     double lease_grant_loss_prob = 0.0;
     double revocation_loss_prob = 0.0;
     double broker_stall_prob = 0.0;
+    // Config-rollout control-plane kinds (drawn only by the rollout's
+    // injector; per-machine injectors leave these at zero).
+    double config_push_loss_prob = 0.0;
+    double config_push_stall_prob = 0.0;
+    double config_split_brain_prob = 0.0;
 
     /** Entries corrupted per kZswapCorruption event. */
     std::uint32_t corruption_batch = 1;
@@ -158,6 +179,9 @@ struct FaultConfig
     /** Stalled-state length for kBrokerStall events. */
     SimTime broker_stall_duration = 5 * kMinute;
 
+    /** Stalled-state length for kConfigPushStall events. */
+    SimTime config_push_stall_duration = 3 * kMinute;
+
     /** Explicit faults pinned to simulated time (sorted internally;
      *  an event fires in the control period covering its time). */
     std::vector<ScheduledFault> schedule;
@@ -177,6 +201,9 @@ struct FaultStats
     std::uint64_t lease_grant_losses = 0;
     std::uint64_t revocation_losses = 0;
     std::uint64_t broker_stalls = 0;
+    std::uint64_t config_push_losses = 0;
+    std::uint64_t config_push_stalls = 0;
+    std::uint64_t config_split_brains = 0;
 };
 
 /** One machine's fault injector. */

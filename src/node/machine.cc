@@ -534,6 +534,14 @@ Machine::crash_agent(SimTime now)
     agent_.crash_restart(now, cgs);
 }
 
+void
+Machine::deploy_slo(SimTime now, const SloConfig &slo,
+                    std::uint64_t epoch, bool conservative)
+{
+    std::vector<Memcg *> cgs = memcgs();
+    agent_.deploy_slo(now, slo, epoch, conservative, cgs);
+}
+
 std::uint64_t
 Machine::spill_tier_overflow(std::size_t tier_index,
                              std::uint64_t overflow)
@@ -690,6 +698,13 @@ Machine::apply_faults(SimTime now, SimTime period_end,
           case FaultKind::kBrokerStall:
             // Pooling control-plane kinds are drawn and applied by the
             // cluster's MemoryBroker, never by per-machine injectors.
+            break;
+          case FaultKind::kConfigPushLoss:
+          case FaultKind::kConfigPushStall:
+          case FaultKind::kConfigSplitBrain:
+            // Config-rollout control-plane kinds are drawn and applied
+            // by the fleet's ConfigRollout, never by per-machine
+            // injectors.
             break;
         }
     }

@@ -274,6 +274,7 @@ class Machine
     const TierStack &tiers() const { return tiers_; }
 
     NodeAgent &agent() { return agent_; }
+    const NodeAgent &agent() const { return agent_; }
     const MachineCounters &counters() const { return counters_; }
     const MachineConfig &config() const { return config_; }
 
@@ -302,6 +303,15 @@ class Machine
      * through the fault injector.
      */
     void crash_agent(SimTime now);
+
+    /**
+     * Apply a supervised config push (staged rollout delivery): new
+     * SLO tunables plus the config-epoch bump the rollout's
+     * per-machine audit verifies. @p conservative re-enters the
+     * S-second warmup for every job (the rollback posture).
+     */
+    void deploy_slo(SimTime now, const SloConfig &slo,
+                    std::uint64_t epoch, bool conservative);
 
     /**
      * The machine's metric registry. Every daemon and agent on the

@@ -229,6 +229,7 @@ void
 NodeAgent::ckpt_save(Serializer &s) const
 {
     ckpt_save_slo(s, config_.slo);
+    s.put_u64(config_epoch_);
     s.put_u64(stats_.restarts);
     s.put_u64(stats_.slo_breaker_trips);
 
@@ -258,6 +259,7 @@ NodeAgent::ckpt_load(Deserializer &d)
 {
     if (!ckpt_load_slo(d, config_.slo))
         return false;
+    config_epoch_ = d.get_u64();
     stats_.restarts = d.get_u64();
     stats_.slo_breaker_trips = d.get_u64();
 
@@ -294,12 +296,41 @@ NodeAgent::set_slo(const SloConfig &slo)
 {
     config_.slo = slo;
     // Controllers keep their observation pools; only the tunables
-    // change (staged autotuner deployment, Section 5.3).
+    // change (staged autotuner deployment, Section 5.3). SLO-breaker
+    // streaks do NOT carry over: consecutive breaches accumulated
+    // under the old tunables would otherwise trip the breaker on the
+    // first breach under the new ones, punishing a config for its
+    // predecessor's behaviour.
     // sdfm-lint: allow(unordered-iter) -- every controller receives
     // the same SloConfig and controllers do not interact, so the
     // visit order cannot affect any state.
-    for (auto &[id, state] : jobs_)
+    for (auto &[id, state] : jobs_) {
         state.controller.set_slo(slo);
+        state.slo_breaker.reset_streak();
+    }
+}
+
+void
+NodeAgent::deploy_slo(SimTime now, const SloConfig &slo,
+                      std::uint64_t epoch, bool conservative,
+                      std::vector<Memcg *> &jobs)
+{
+    set_slo(slo);
+    config_epoch_ = epoch;
+    if (!conservative)
+        return;
+    // Rollback posture: every job re-enters the S-second warmup via
+    // the controller's own deployment anchor, mirroring
+    // crash_restart() -- but the observation pools survive, so steady
+    // state resumes from history once the delay elapses.
+    for (Memcg *cg : jobs) {
+        auto it = jobs_.find(cg->id());
+        if (it == jobs_.end())
+            continue;
+        it->second.controller.reenter_warmup(now);
+        cg->set_reclaim_threshold(0);
+        cg->set_zswap_enabled(false);
+    }
 }
 
 }  // namespace sdfm

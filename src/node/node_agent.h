@@ -97,8 +97,26 @@ class NodeAgent
      */
     void crash_restart(SimTime now, std::vector<Memcg *> &jobs);
 
-    /** Mutate tunables (autotuner deployment path). */
+    /** Mutate tunables (autotuner deployment path). Per-job SLO
+     *  breaker streaks reset: breaches observed under the old config
+     *  must not count toward tripping under the new one. */
     void set_slo(const SloConfig &slo);
+
+    /**
+     * Supervised deployment (staged rollout path): set_slo() plus the
+     * config-epoch bump the rollout's per-machine audit checks.
+     * @p conservative additionally re-enters the S-second warmup for
+     * every job -- threshold 0, zswap off, controller warmup anchor
+     * moved to @p now -- the posture a rollback restores so a config
+     * that breached guardrails cannot keep reclaiming while the old
+     * tunables take back over.
+     */
+    void deploy_slo(SimTime now, const SloConfig &slo,
+                    std::uint64_t epoch, bool conservative,
+                    std::vector<Memcg *> &jobs);
+
+    /** Monotone deployment version the rollout audits per machine. */
+    std::uint64_t config_epoch() const { return config_epoch_; }
 
     /**
      * The per-job SLO circuit breaker for @p id; nullptr when the job
@@ -150,6 +168,10 @@ class NodeAgent
 
     NodeAgentConfig config_;
     NodeAgentStats stats_;
+    /** Bumped by every deploy_slo(); 0 until the first supervised
+     *  deployment. Survives crash_restart(): the agent process lost
+     *  its controller state, not the config version it runs. */
+    std::uint64_t config_epoch_ = 0;
     std::unordered_map<JobId, JobState> jobs_;
 
     // sdfm-state: rebuilt-on-resolve(borrowed registry wired by the

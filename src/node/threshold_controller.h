@@ -72,6 +72,19 @@ class ThresholdController
     void set_slo(const SloConfig &slo);
 
     /**
+     * Conservative redeploy (rollout rollback): re-anchor the
+     * S-second warmup at @p now and drop the threshold to 0, exactly
+     * the posture of a freshly started job, while keeping the
+     * observation pool so steady state resumes from history once the
+     * delay elapses.
+     */
+    void reenter_warmup(SimTime now)
+    {
+        job_start_ = now;
+        current_ = 0;
+    }
+
+    /**
      * The smallest threshold bucket (>= 1) whose would-be promotions
      * stay within the SLO budget for the period; 255 if none does.
      * Exposed for tests and the offline model.

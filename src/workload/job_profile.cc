@@ -234,6 +234,36 @@ ckpt_load_profile(Deserializer &d, JobProfile &profile)
 }
 
 JobProfile
+memory_bomb_profile()
+{
+    // Antagonist: nearly everything is hot and re-touched within
+    // seconds, frequent scans re-heat the rest, and heavy writes keep
+    // dirtying pages. The WSS ramp overruns any reasonable soft limit
+    // and forces fail-fast evictions; no (K, S) choice can make this
+    // job SLO-clean, which is exactly what the rollout chaos sweep
+    // needs to tell "bad workload" apart from "bad config".
+    JobProfile p;
+    p.name = "memory_bomb";
+    p.min_pages = 8192;
+    p.max_pages = 24576;
+    p.hot_frac = 0.80;
+    p.warm_frac = 0.15;
+    p.diurnal_frac = 0.0;
+    p.cold_frac = 0.03;
+    p.hot_gap_mean = 10.0;
+    p.warm_median_gap = 30.0;
+    p.warm_sigma = 0.6;
+    p.write_frac = 0.45;
+    p.diurnal_amplitude = 0.0;
+    p.best_effort = true;  // antagonists are evicted first
+    p.cycles_per_access = 20000.0;
+    p.mix = ContentMix(0.30, 0.10, 0.20, 0.15, 0.25);
+    p.scan_interval_mean = 10 * kMinute;  // rapid WSS re-ramp
+    p.scan_fraction = 0.80;
+    return p;
+}
+
+JobProfile
 profile_by_name(const std::string &name)
 {
     FleetMix mix = typical_fleet_mix();
@@ -241,6 +271,8 @@ profile_by_name(const std::string &name)
         if (p.name == name)
             return p;
     }
+    if (JobProfile bomb = memory_bomb_profile(); bomb.name == name)
+        return bomb;
     fatal("unknown job profile '%s'", name.c_str());
 }
 

@@ -142,7 +142,19 @@ struct FleetMix
  */
 FleetMix typical_fleet_mix();
 
-/** Look up a single archetype from typical_fleet_mix() by name. */
+/**
+ * Antagonist archetype: a "memory bomb" whose working set ramps so
+ * fast (huge hot fraction, aggressive whole-job scans, heavy writes)
+ * that it drives its host machine into fail-fast eviction pressure
+ * regardless of the far-memory tunables. Deliberately NOT part of
+ * typical_fleet_mix(): rollout chaos sweeps splice it into the mix to
+ * verify the guardrails distinguish a bad *config* (rolled back) from
+ * a bad *workload* (evicted / breaker-tripped, config untouched).
+ */
+JobProfile memory_bomb_profile();
+
+/** Look up a single archetype from typical_fleet_mix() -- or the
+ *  memory-bomb antagonist -- by name. */
 JobProfile profile_by_name(const std::string &name);
 
 }  // namespace sdfm

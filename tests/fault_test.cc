@@ -597,6 +597,58 @@ TEST(SloBreaker, CrashRestartResetsConsecutiveBreachCount)
     EXPECT_FALSE(cg.zswap_enabled());
 }
 
+TEST(SloBreaker, ConfigDeploymentResetsConsecutiveBreachCount)
+{
+    NodeAgentConfig config;
+    config.policy = FarMemoryPolicy::kStatic;
+    config.static_threshold = 4;
+    config.slo.enable_delay = 0;
+    config.slo_breaker_enabled = true;
+    config.slo_breaker.failure_threshold = 3;
+    config.slo_breaker.open_periods = 4;
+    NodeAgent agent(config);
+
+    Memcg cg(1, 1000, 42, ContentMix::typical(), 0);
+    cg.mutable_cold_hist().add(0, 1000);  // WSS = 1000 pages
+    agent.register_job(cg);
+    std::vector<Memcg *> jobs = {&cg};
+
+    // Two breach periods under the old tunables: one short of the
+    // threshold of three.
+    SimTime now = kMinute;
+    for (int round = 0; round < 2; ++round, now += kMinute) {
+        cg.stats().zswap_promotions += 100;  // 10% of WSS per minute
+        agent.control(now, jobs, 1.0);
+    }
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 0u);
+
+    // A new config deploys (autotuner / rollout path). Breaches
+    // accumulated under the old tunables must not count toward
+    // tripping under the new ones: one more breach is a fresh streak
+    // of one, not the completion of a streak of three.
+    SloConfig slo = config.slo;
+    slo.percentile_k = 95.0;
+    agent.deploy_slo(now, slo, /*epoch=*/1, /*conservative=*/false,
+                     jobs);
+    EXPECT_EQ(agent.config_epoch(), 1u);
+
+    cg.stats().zswap_promotions += 100;
+    agent.control(now, jobs, 1.0);
+    now += kMinute;
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 0u);
+    EXPECT_EQ(agent.slo_breaker_of(1)->state(), BreakerState::kClosed);
+
+    // Two more breaches complete a fresh run of three under the new
+    // config and trip normally -- the reset didn't disable the
+    // breaker.
+    for (int round = 0; round < 2; ++round, now += kMinute) {
+        cg.stats().zswap_promotions += 100;
+        agent.control(now, jobs, 1.0);
+    }
+    EXPECT_EQ(agent.stats().slo_breaker_trips, 1u);
+    EXPECT_EQ(agent.slo_breaker_of(1)->state(), BreakerState::kOpen);
+}
+
 // ---------------------------------------------------------------------
 // Cluster-level donor failure (the previously dormant fail_donor path)
 // ---------------------------------------------------------------------

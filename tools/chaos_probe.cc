@@ -23,15 +23,203 @@
 // kinds (lease-grant loss, revocation-message loss, broker stalls),
 // adding the pool.* recovery rows to the table. Off by default; with
 // the flag absent the run is bit-identical to the pre-pooling probe.
+//
+// --rollout exercises the staged-config-rollout good path end to end:
+// the rollout plane is enabled with every config-push fault kind lit
+// (push loss, push stall, split brain) and memory-bomb antagonist
+// jobs spliced into the fleet mix, a mild (K, S) candidate is
+// proposed after a warmup third of the run, and the probe exits 1
+// unless the campaign survives the hostile push plane and reaches
+// kDeployed. The antagonists matter: guardrails must tell a bad
+// *workload* (breakers trip fleet-wide, config stays) from a bad
+// *config* (canary regresses against its own baseline).
+//
+// --rollout-bad exercises the guardrail/rollback path: the machine
+// fault plane is off and job churn is zero so machines are fully
+// independent, two identically-seeded fleets run side by side, and
+// the GP-Bandit autotuner is run over the fleet's own telemetry with
+// deliberately rigged search ranges (K floor in the 50s, S capped at
+// two minutes, feasibility margin wide open) so it returns an
+// SLO-violating config. That config is proposed on one fleet only;
+// the probe exits 1 unless (a) the campaign is caught at the canary
+// stage and automatically rolled back with zero deployments, and
+// (b) every non-canary machine's state digest is bit-identical to
+// the fleet that never proposed -- the blast radius of a bad config
+// is exactly the canary cohort.
+//
+// Both rollout modes are off by default; with the flags absent the
+// run is bit-identical to the pre-rollout probe.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "autotune/autotuner.h"
 #include "core/far_memory_system.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace sdfm;
+
+namespace {
+
+/** Rollout plumbing shared by both rollout modes. */
+void
+enable_rollout(FleetConfig &config, std::uint64_t seed)
+{
+    RolloutParams &rollout = config.rollout;
+    rollout.enabled = true;
+    rollout.seed = seed ^ 0x5107BAD5ULL;
+    rollout.stage_fractions = {0.25, 1.0};
+    rollout.baseline_periods = 5;
+    rollout.observe_periods = 8;
+}
+
+void
+print_rollout_rows(TablePrinter &table, const FleetFaultReport &report)
+{
+    table.add_row({"rollout pushes delivered", fmt_int(
+        static_cast<long long>(report.rollout_pushes_delivered))});
+    table.add_row({"rollout pushes lost", fmt_int(
+        static_cast<long long>(report.rollout_pushes_lost))});
+    table.add_row({"rollout pushes aborted", fmt_int(
+        static_cast<long long>(report.rollout_pushes_aborted))});
+    table.add_row({"rollout stall periods", fmt_int(
+        static_cast<long long>(report.rollout_stall_periods))});
+    table.add_row({"rollout split brains", fmt_int(
+        static_cast<long long>(report.rollout_split_brains))});
+    table.add_row({"rollout guardrail breaches", fmt_int(
+        static_cast<long long>(report.rollout_guardrail_breaches))});
+    table.add_row({"rollout deployments", fmt_int(
+        static_cast<long long>(report.rollout_deployments))});
+    table.add_row({"rollout rollbacks", fmt_int(
+        static_cast<long long>(report.rollout_rollbacks))});
+}
+
+/**
+ * The --rollout-bad scenario. Returns the process exit code.
+ */
+int
+run_rollout_bad(FleetConfig config, SimTime minutes, std::uint64_t seed)
+{
+    // Machines must be fully independent for the blast-radius check:
+    // no machine faults (donor selection couples machines), no churn
+    // (placement of a replacement job depends on every machine's free
+    // DRAM), no pooling (leases couple donors to borrowers).
+    config.cluster.machine.fault = FaultConfig{};
+    config.cluster.churn_per_hour = 0.0;
+    // Every machine must host jobs: the guardrails can only judge a
+    // canary by its own workload's telemetry, and the chaos fleet's
+    // small machines leave some machines empty -- an empty canary can
+    // vouch for any config. Bigger machines, well packed, give every
+    // cohort draw real signal.
+    config.cluster.machine.dram_pages = 48 * 1024;
+    config.cluster.target_utilization = 0.9;
+    enable_rollout(config, seed);
+    // Production-posture guardrails: with no fault noise and no churn
+    // the baseline is quiet, so a canary regressing its promotion
+    // tail by more than 20% against the pre-rollout fleet is a config
+    // problem, not weather. The window is generous; a breach fires
+    // the period it is seen, so an early catch does not wait it out.
+    config.rollout.guardrails.promo_headroom = 1.2;
+    config.rollout.observe_periods = 14;
+
+    FarMemorySystem tuned(config);    // receives the bad proposal
+    FarMemorySystem control(config);  // never proposes
+    tuned.populate();
+    control.populate();
+
+    // Phase 1: identical warmup; the tuned fleet's telemetry feeds
+    // the autotuner.
+    SimTime warmup = minutes / 3;
+    tuned.run(warmup * kMinute);
+    control.run(warmup * kMinute);
+
+    // The GP-Bandit path with a rigged search space: K far below the
+    // production floor and S near zero are exactly the configurations
+    // the offline model's granularity cannot vouch for, and the
+    // wide-open feasibility margin disables the model's own safety
+    // net -- so the search returns the aggressive corner.
+    std::vector<JobTrace> traces = tuned.merged_trace().by_job();
+    ThreadPool pool;
+    FarMemoryModel model(&pool);
+    AutotunerConfig rigged;
+    rigged.iterations = 12;
+    rigged.initial_random = 4;
+    rigged.k_min = 50.0;
+    rigged.k_max = 55.0;
+    rigged.s_min = kMinute;
+    rigged.s_max = 2 * kMinute;
+    rigged.feasibility_margin = 1e9;
+    rigged.seed = seed ^ 0xBADC0F16ULL;
+    Autotuner tuner(rigged, config.cluster.machine.slo, &model, &traces);
+    SloConfig bad = tuner.run();
+    std::printf("autotuner (rigged): K %.1f -> %.1f, S %llds -> %llds "
+                "(%zu trials)\n",
+                config.cluster.machine.slo.percentile_k, bad.percentile_k,
+                static_cast<long long>(
+                    config.cluster.machine.slo.enable_delay),
+                static_cast<long long>(bad.enable_delay),
+                tuner.history().size());
+
+    if (!tuned.propose_slo(bad)) {
+        std::printf("FAIL: proposal rejected\n");
+        return 1;
+    }
+    tuned.run((minutes - warmup) * kMinute);
+    control.run((minutes - warmup) * kMinute);
+
+    const ConfigRollout *rollout = tuned.rollout();
+    const RolloutStats &stats = rollout->stats();
+    std::printf("rollout: state %s, %llu guardrail breaches, "
+                "%llu rollbacks, %llu deployments\n",
+                rollout_state_name(rollout->state()),
+                static_cast<unsigned long long>(stats.guardrail_breaches),
+                static_cast<unsigned long long>(stats.rollbacks),
+                static_cast<unsigned long long>(stats.deployments));
+
+    // Per-machine blast radius: the canary cohort (every machine that
+    // saw a config epoch) may diverge; nobody else is allowed to.
+    std::uint64_t canaries = 0;
+    std::uint64_t bystanders = 0;
+    std::uint64_t divergent = 0;
+    for (std::size_t c = 0; c < tuned.clusters().size(); ++c) {
+        const auto &tuned_machines = tuned.clusters()[c]->machines();
+        const auto &control_machines = control.clusters()[c]->machines();
+        for (std::size_t m = 0; m < tuned_machines.size(); ++m) {
+            if (tuned_machines[m]->agent().config_epoch() != 0) {
+                ++canaries;
+                continue;
+            }
+            ++bystanders;
+            if (tuned_machines[m]->state_digest() !=
+                control_machines[m]->state_digest())
+                ++divergent;
+        }
+    }
+    std::printf("blast radius: %llu canaries, %llu bystanders, "
+                "%llu divergent bystander digests\n",
+                static_cast<unsigned long long>(canaries),
+                static_cast<unsigned long long>(bystanders),
+                static_cast<unsigned long long>(divergent));
+
+    if (rollout->state() != RolloutState::kRolledBack ||
+        stats.deployments != 0 || stats.rollbacks != 1 ||
+        stats.guardrail_breaches == 0 || stats.stages_advanced != 0) {
+        std::printf("FAIL: bad config was not caught and rolled back "
+                    "at the canary stage\n");
+        return 1;
+    }
+    if (canaries == 0 || divergent != 0) {
+        std::printf("FAIL: bad config leaked beyond the canary "
+                    "cohort\n");
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}
+
+}  // namespace
 
 int
 main(int argc, char **argv)
@@ -41,6 +229,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     int tiers = 2;
     bool pooling = false;
+    bool rollout_good = false;
+    bool rollout_bad = false;
     double donor_fph = 6.0;     // donor failures per machine-hour
     double corrupt_prob = 0.2;  // zswap corruption events per step
     double degrade_prob = 0.05; // remote degradation windows per step
@@ -62,6 +252,10 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--pooling") == 0) {
             pooling = true;
+        } else if (std::strcmp(argv[i], "--rollout") == 0) {
+            rollout_good = true;
+        } else if (std::strcmp(argv[i], "--rollout-bad") == 0) {
+            rollout_bad = true;
         } else if (std::strcmp(argv[i], "--donor-fph") == 0 &&
                    i + 1 < argc) {
             donor_fph = std::atof(argv[++i]);
@@ -78,6 +272,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
                          "[--seed S] [--tiers 1|2|3] [--pooling] "
+                         "[--rollout] [--rollout-bad] "
                          "[--donor-fph F] [--corrupt P] [--degrade P] "
                          "[--agent-crash P]\n",
                          argv[0]);
@@ -88,6 +283,17 @@ main(int argc, char **argv)
     if (pooling && tiers == 1) {
         std::fprintf(stderr,
                      "--pooling needs a remote tier (--tiers 2 or 3)\n");
+        return 1;
+    }
+    if (rollout_good && rollout_bad) {
+        std::fprintf(stderr,
+                     "--rollout and --rollout-bad are exclusive\n");
+        return 1;
+    }
+    if (rollout_bad && pooling) {
+        std::fprintf(stderr,
+                     "--rollout-bad needs independent machines "
+                     "(no --pooling)\n");
         return 1;
     }
 
@@ -129,6 +335,9 @@ main(int argc, char **argv)
         config.cluster.machine.tiers = {nvm, remote};
     }
 
+    if (rollout_bad)
+        return run_rollout_bad(config, minutes, seed);
+
     FaultConfig &fault = config.cluster.machine.fault;
     fault.enabled = true;
     fault.donor_failure_prob = donor_fph / 60.0;  // per control period
@@ -136,6 +345,20 @@ main(int argc, char **argv)
     fault.corruption_batch = 4;
     fault.remote_degrade_prob = degrade_prob;
     fault.agent_crash_prob = crash_prob;
+
+    if (rollout_good) {
+        // Antagonists: a few memory bombs in the mix, so the rollout
+        // has to hold its guardrails against workload-induced noise
+        // that is present in the baseline too.
+        config.cluster.mix.profiles.push_back(memory_bomb_profile());
+        config.cluster.mix.weights.push_back(0.06);
+        enable_rollout(config, seed);
+        RolloutParams &rollout = config.rollout;
+        rollout.fault.enabled = true;
+        rollout.fault.config_push_loss_prob = 0.35;
+        rollout.fault.config_push_stall_prob = 0.06;
+        rollout.fault.config_split_brain_prob = 0.20;
+    }
 
     if (pooling) {
         MemPoolParams &pool = config.cluster.pool;
@@ -157,7 +380,22 @@ main(int argc, char **argv)
     FarMemorySystem system(config);
     system.populate();
     std::uint64_t jobs_at_start = system.num_jobs();
-    system.run(minutes * kMinute);
+    if (rollout_good) {
+        // Warmup first so the pre-rollout baseline sees steady-state
+        // fault noise, then push a mild (K, S) through the campaign.
+        SimTime warmup = minutes / 3;
+        system.run(warmup * kMinute);
+        SloConfig candidate = config.cluster.machine.slo;
+        candidate.percentile_k = 97.0;
+        candidate.enable_delay = 6 * kMinute;
+        if (!system.propose_slo(candidate)) {
+            std::fprintf(stderr, "rollout proposal rejected\n");
+            return 1;
+        }
+        system.run((minutes - warmup) * kMinute);
+    } else {
+        system.run(minutes * kMinute);
+    }
 
     FleetFaultReport report = system.fault_report();
     TablePrinter table({"fault/recovery counter", "value"});
@@ -203,6 +441,8 @@ main(int argc, char **argv)
         table.add_row({"pool breaker opens", fmt_int(
             static_cast<long long>(report.pool_breaker_opens))});
     }
+    if (rollout_good)
+        print_rollout_rows(table, report);
     table.print(std::cout);
 
     std::printf("\njobs start=%llu end=%llu  coverage=%s  "
@@ -212,5 +452,26 @@ main(int argc, char **argv)
                 fmt_percent(system.fleet_coverage()).c_str(),
                 static_cast<long long>(minutes),
                 static_cast<unsigned long long>(seed));
+
+    if (rollout_good) {
+        const ConfigRollout *rollout = system.rollout();
+        std::printf("rollout: state %s after %llu delivered / %llu "
+                    "lost / %llu stalled periods / %llu split brains\n",
+                    rollout_state_name(rollout->state()),
+                    static_cast<unsigned long long>(
+                        report.rollout_pushes_delivered),
+                    static_cast<unsigned long long>(
+                        report.rollout_pushes_lost),
+                    static_cast<unsigned long long>(
+                        report.rollout_stall_periods),
+                    static_cast<unsigned long long>(
+                        report.rollout_split_brains));
+        if (rollout->state() != RolloutState::kDeployed) {
+            std::printf("FAIL: good config did not survive the push "
+                        "plane to kDeployed\n");
+            return 1;
+        }
+        std::printf("PASS\n");
+    }
     return 0;
 }

@@ -31,6 +31,16 @@
 // alongside the machine fault plane, so kill/resume lands
 // mid-revocation and mid-grant. Off by default; with the flag absent
 // the run is bit-identical to the pre-pooling probe.
+//
+// --rollout enables the staged-config-rollout plane with the config
+// push fault kinds (push loss, stall, split brain) lit, and proposes
+// a mild (K, S) candidate at a fixed early step in both the reference
+// and the victim loops: the campaign's cohort draws, guardrail
+// windows, push ledger, and retry queue all ride the "rollout"
+// checkpoint section, so kill/resume lands mid-baseline, mid-stage,
+// and mid-retry, and any state the section forgets shows up as a
+// digest mismatch. Off by default; with the flag absent the run is
+// bit-identical to the pre-rollout probe.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,9 +54,22 @@ using namespace sdfm;
 
 namespace {
 
+/** Step (1-based) at which --rollout proposes its candidate. */
+constexpr std::uint64_t kProposeStep = 6;
+
+/** The --rollout candidate: a mild, plausibly-good (K, S). */
+SloConfig
+rollout_candidate(const FleetConfig &config)
+{
+    SloConfig slo = config.cluster.machine.slo;
+    slo.percentile_k = 96.5;
+    slo.enable_delay = 4 * kMinute;
+    return slo;
+}
+
 FleetConfig
 soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers,
-            bool pooling)
+            bool pooling, bool rollout)
 {
     // Small remote-tier fleet with the full fault plane lit up, so
     // checkpoints cover tiers, breakers, and injector streams -- the
@@ -108,6 +131,21 @@ soak_config(std::uint32_t num_clusters, std::uint64_t seed, int tiers,
         pool.fault.revocation_loss_prob = 0.05;
         pool.fault.broker_stall_prob = 0.02;
     }
+
+    if (rollout) {
+        RolloutParams &ro = config.rollout;
+        ro.enabled = true;
+        ro.seed = seed ^ 0x5107BAD5ULL;
+        ro.stage_fractions = {0.25, 0.5, 1.0};
+        ro.baseline_periods = 5;
+        ro.observe_periods = 8;
+        // The push plane is hostile so checkpoints land mid-retry and
+        // mid-reconcile, not just between clean stages.
+        ro.fault.enabled = true;
+        ro.fault.config_push_loss_prob = 0.25;
+        ro.fault.config_push_stall_prob = 0.05;
+        ro.fault.config_split_brain_prob = 0.15;
+    }
     return config;
 }
 
@@ -129,6 +167,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     int tiers = 2;
     bool pooling = false;
+    bool rollout = false;
     std::uint64_t min_crashes = 3;
     const char *ckpt_path = "soak_probe.ckpt";
     for (int i = 1; i < argc; ++i) {
@@ -148,6 +187,8 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--pooling") == 0) {
             pooling = true;
+        } else if (std::strcmp(argv[i], "--rollout") == 0) {
+            rollout = true;
         } else if (std::strcmp(argv[i], "--min-crashes") == 0 &&
                    i + 1 < argc) {
             min_crashes =
@@ -158,7 +199,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--minutes N] [--clusters N] "
                          "[--seed S] [--tiers 1|2|3] [--pooling] "
-                         "[--min-crashes N] [--ckpt PATH]\n",
+                         "[--rollout] [--min-crashes N] [--ckpt PATH]\n",
                          argv[0]);
             return 1;
         }
@@ -170,10 +211,13 @@ main(int argc, char **argv)
         return 1;
     }
 
-    FleetConfig config = soak_config(num_clusters, seed, tiers, pooling);
+    FleetConfig config =
+        soak_config(num_clusters, seed, tiers, pooling, rollout);
 
     // Reference trajectory: digest after populate() (index 0) and
-    // after each of the N steps (indices 1..N).
+    // after each of the N steps (indices 1..N). The rollout proposal
+    // lands immediately after step kProposeStep, so reference index
+    // kProposeStep already includes its cohort draws.
     std::vector<std::uint64_t> reference;
     reference.reserve(minutes + 1);
     {
@@ -182,6 +226,8 @@ main(int argc, char **argv)
         reference.push_back(ref.state_digest());
         for (std::uint64_t i = 0; i < minutes; ++i) {
             ref.step();
+            if (rollout && i + 1 == kProposeStep)
+                ref.propose_slo(rollout_candidate(config));
             reference.push_back(ref.state_digest());
         }
     }
@@ -222,6 +268,12 @@ main(int argc, char **argv)
             ++replayed_steps;
         else
             high_water_step = step;
+        // Re-propose on replay only if the restored checkpoint predates
+        // the proposal (state still kIdle); otherwise the rollout is
+        // already in flight inside the restored state.
+        if (rollout && step == kProposeStep &&
+            victim->rollout()->state() == RolloutState::kIdle)
+            victim->propose_slo(rollout_candidate(config));
         check("after step");
 
         if (--until_ckpt == 0) {
