@@ -159,6 +159,7 @@ ConfigRollout::propose(SimTime now, const SloConfig &candidate,
     state_ = RolloutState::kProposed;
     stage_ = 0;
     baseline_elapsed_ = 0;
+    baseline_span_ = 0;
     observed_ = 0;
     window_active_ = false;
     window_base_.clear();
@@ -257,8 +258,11 @@ ConfigRollout::finish_baseline(const MachineView &clusters)
             bounds = promo_bounds_of(m);
         ++machines;
     }
+    // Divide by the real periods the counters span -- push-plane
+    // stalls freeze baseline_elapsed_ but not the machines, and an
+    // inflated base rate would loosen every guardrail downstream.
     double denom = static_cast<double>(machines) *
-                   static_cast<double>(params_.baseline_periods);
+                   static_cast<double>(baseline_span_);
     if (denom > 0.0) {
         base_trips_rate_ = static_cast<double>(trips) / denom;
         base_poison_rate_ = static_cast<double>(poisoned) / denom;
@@ -491,6 +495,11 @@ ConfigRollout::step(SimTime now, SimTime period,
     if (now < stalled_until_) {
         ++stats_.stall_periods;
         m_stall_periods_->inc();
+        // Machine counters keep accumulating through a stalled
+        // baseline period even though baseline_elapsed_ freezes; the
+        // rate denominator must span it.
+        if (state_ == RolloutState::kProposed)
+            ++baseline_span_;
         update_gauges();
         return;
     }
@@ -498,6 +507,7 @@ ConfigRollout::step(SimTime now, SimTime period,
     // 3. Baseline measurement.
     if (state_ == RolloutState::kProposed) {
         ++baseline_elapsed_;
+        ++baseline_span_;
         if (baseline_elapsed_ >= params_.baseline_periods) {
             finish_baseline(clusters);
             state_ = RolloutState::kCanary;
@@ -512,6 +522,19 @@ ConfigRollout::step(SimTime now, SimTime period,
     // push that was acknowledged but never applied is exposed for a
     // full period rather than masked by its own redelivery.
     std::uint32_t mismatches = audit(now, clusters);
+
+    // A reconcile redelivery voids an open observation window: the
+    // split-brain machine was running the wrong config while the
+    // window's counters accumulated, and the redelivery itself may be
+    // lost, which must never strand an in-flight push inside an open
+    // window (the invariant checkpoints rely on). Close it; it
+    // re-opens on the next push-free period, once the redelivery
+    // lands.
+    if (mismatches > 0 && window_active_) {
+        window_active_ = false;
+        window_base_.clear();
+        observed_ = 0;
+    }
 
     // A rollback is complete once every push landed and a full audit
     // pass found the fleet consistent.
@@ -592,6 +615,8 @@ ConfigRollout::check_invariants(const MachineView &clusters) const
                    "observation window only open while staging");
     SDFM_INVARIANT(!window_active_ || pending_.empty(),
                    "no in-flight pushes inside an open window");
+    SDFM_INVARIANT(baseline_elapsed_ <= baseline_span_,
+                   "baseline span covers every counted period");
     SDFM_INVARIANT(target_epoch_ <= epoch_counter_,
                    "active epoch was issued by the campaign");
     if (!cohorts_.empty()) {
@@ -639,6 +664,7 @@ ConfigRollout::state_digest(const MachineView &clusters) const
     d.mix(target_epoch_);
     d.mix(static_cast<std::uint64_t>(stalled_until_));
     d.mix(baseline_elapsed_);
+    d.mix(baseline_span_);
     d.mix(observed_);
     d.mix(window_active_ ? 1 : 0);
     digest_slo(d, current_);
@@ -718,6 +744,7 @@ ConfigRollout::ckpt_save(Serializer &s) const
     s.put_u64(target_epoch_);
     s.put_i64(stalled_until_);
     s.put_u64(baseline_elapsed_);
+    s.put_u64(baseline_span_);
     s.put_u64(observed_);
     s.put_bool(window_active_);
     ckpt_save_slo(s, current_);
@@ -791,6 +818,7 @@ ConfigRollout::ckpt_load(Deserializer &d)
     target_epoch_ = d.get_u64();
     stalled_until_ = d.get_i64();
     baseline_elapsed_ = d.get_u64();
+    baseline_span_ = d.get_u64();
     observed_ = d.get_u64();
     window_active_ = d.get_bool();
     if (!d.ok() || stage_ >= params_.stage_fractions.size() ||
@@ -915,7 +943,43 @@ ConfigRollout::ckpt_load(Deserializer &d)
     stats_.rollbacks = d.get_u64();
     if (!metrics_->ckpt_load(d))
         return false;
-    return d.ok();
+    if (!d.ok())
+        return false;
+
+    // State-machine coherence: a corrupt-but-parseable section must
+    // not restore into a state the runtime can never produce (release
+    // builds have no check_invariants backstop). These mirror the
+    // staging invariants check_invariants enforces.
+    bool staging = state_ == RolloutState::kCanary ||
+                   state_ == RolloutState::kExpanding;
+    if (window_active_ &&
+        (!staging || !pending_.empty() ||
+         observed_ >= params_.observe_periods)) {
+        return false;
+    }
+    if (!window_active_ && (observed_ != 0 || !window_base_.empty()))
+        return false;
+    if (state_ != RolloutState::kProposed && !baseline_base_.empty())
+        return false;
+    if (state_ == RolloutState::kProposed &&
+        baseline_elapsed_ >= params_.baseline_periods) {
+        return false;
+    }
+    if (baseline_elapsed_ > params_.baseline_periods ||
+        baseline_elapsed_ > baseline_span_) {
+        return false;
+    }
+    if ((state_ == RolloutState::kIdle ||
+         state_ == RolloutState::kProposed) &&
+        (!ledger_.empty() || !pending_.empty())) {
+        return false;
+    }
+    if ((state_ == RolloutState::kDeployed ||
+         state_ == RolloutState::kRolledBack) &&
+        !pending_.empty()) {
+        return false;
+    }
+    return true;
 }
 
 bool

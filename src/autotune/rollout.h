@@ -305,6 +305,10 @@ class ConfigRollout
 
     /** Baseline measurement (kProposed). */
     std::uint64_t baseline_elapsed_ = 0;
+    /** Real periods the baseline counters span -- baseline_elapsed_
+     *  plus push-plane stall periods, during which the machines keep
+     *  accumulating events; the base-rate denominator. */
+    std::uint64_t baseline_span_ = 0;
     std::map<std::uint64_t, GuardrailCounters> baseline_base_;
     double base_trips_rate_ = 0.0;   ///< events per machine-period
     double base_poison_rate_ = 0.0;

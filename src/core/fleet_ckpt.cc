@@ -217,8 +217,9 @@ pool_section_name(std::size_t index)
 constexpr std::uint32_t kPoolSectionVersion = 1;
 
 /** Version of the fleet "rollout" section. Bumped whenever the
- *  ConfigRollout wire layout changes. */
-constexpr std::uint32_t kRolloutSectionVersion = 1;
+ *  ConfigRollout wire layout changes. Version 2: the baseline window
+ *  carries its real period span (stall periods included). */
+constexpr std::uint32_t kRolloutSectionVersion = 2;
 
 }  // namespace
 

@@ -344,6 +344,96 @@ TEST(ConfigRolloutTest, SplitBrainIsAuditedAndReconciled)
     rollout.check_invariants(h.view);
 }
 
+TEST(ConfigRolloutTest, LostSplitBrainRedeliveryClosesTheWindow)
+{
+    RolloutParams params = small_rollout_params();
+    params.fault.enabled = true;
+    // The canary delivery period leaves one machine split-brained;
+    // the audit's reconcile redelivery next period is itself lost.
+    params.fault.schedule.push_back(
+        {120, {FaultKind::kConfigSplitBrain, 1, 0}});
+    params.fault.schedule.push_back(
+        {180, {FaultKind::kConfigPushLoss, 1, 0}});
+
+    RolloutHarness h;
+    ConfigRollout rollout(params, SloConfig{}, 1, {4, 4});
+    ASSERT_TRUE(rollout.propose(0, candidate_config(), h.view));
+
+    // Baseline, then the canary delivery (one split brain), and the
+    // observation window opens over the two believed-switched
+    // machines.
+    SimTime now = run_steps(rollout, h.view, 0, 3);
+    ASSERT_EQ(rollout.state(), RolloutState::kCanary);
+
+    // The audit enqueues the reconcile redelivery and the redelivery
+    // is lost: the window must close (its counters covered a machine
+    // on the wrong config) rather than stay open around the in-flight
+    // retry -- the state that used to trip 'no in-flight pushes
+    // inside an open window'.
+    now = run_steps(rollout, h.view, now, 1);
+    EXPECT_EQ(rollout.stats().split_brains, 1u);
+    EXPECT_EQ(rollout.stats().pushes_lost, 1u);
+    rollout.check_invariants(h.view);
+
+    // A kill here must be recoverable: the mid-backoff state
+    // checkpoints, restores, and resolves to the same digest.
+    Serializer s;
+    rollout.ckpt_save(s);
+    Deserializer d(s.bytes());
+    ConfigRollout restored(params, SloConfig{}, 1, {4, 4});
+    ASSERT_TRUE(restored.ckpt_load(d));
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(restored.ckpt_resolve(h.view));
+    EXPECT_EQ(restored.state_digest(h.view),
+              rollout.state_digest(h.view));
+
+    // The retried redelivery lands and the campaign completes.
+    run_steps(rollout, h.view, now, 14);
+    EXPECT_EQ(rollout.state(), RolloutState::kDeployed);
+    EXPECT_EQ(h.machines_on_epoch(1).size(), 8u);
+    rollout.check_invariants(h.view);
+}
+
+TEST(ConfigRolloutTest, StalledBaselineDoesNotInflateGuardrailRates)
+{
+    RolloutParams params = small_rollout_params();
+    params.fault.enabled = true;
+    // Two stall periods inside the baseline window: machine counters
+    // keep accumulating while baseline_elapsed_ is frozen.
+    params.fault.schedule.push_back(
+        {60, {FaultKind::kConfigPushStall, 1, kMinute}});
+
+    RolloutHarness h;
+    ConfigRollout rollout(params, SloConfig{}, 1, {4, 4});
+    ASSERT_TRUE(rollout.propose(0, candidate_config(), h.view));
+
+    // One baseline period, two stall periods, one baseline period:
+    // the baseline counters span four real periods. One eviction per
+    // machine over that span is a true 0.25 events/machine-period.
+    SimTime now = run_steps(rollout, h.view, 0, 3);
+    ASSERT_EQ(rollout.stats().stall_periods, 2u);
+    for (auto *cluster : h.view)
+        for (const auto &m : *cluster)
+            m->metrics().counter("machine.evictions").inc();
+    now = run_steps(rollout, h.view, now, 1);
+    ASSERT_EQ(rollout.state(), RolloutState::kCanary);
+
+    // Canary delivery; the window opens over the two canaries.
+    now = run_steps(rollout, h.view, now, 1);
+    auto canaries = h.machines_on_epoch(1);
+    ASSERT_EQ(canaries.size(), 2u);
+
+    // One eviction on a canary in the first observed period. Against
+    // the true baseline the allowance is 0.25 x 2 machine-periods =
+    // 0.5, a breach; a stall-inflated baseline (deltas divided by the
+    // two counted periods only) would have let it slip through.
+    auto [c, m] = canaries.front();
+    (*h.view[c])[m]->metrics().counter("machine.evictions").inc();
+    run_steps(rollout, h.view, now, 1);
+    EXPECT_EQ(rollout.state(), RolloutState::kRollingBack);
+    EXPECT_EQ(rollout.stats().guardrail_breaches, 1u);
+}
+
 TEST(ConfigRolloutTest, CkptRoundTripPreservesStateAndDigest)
 {
     RolloutHarness h;
@@ -393,6 +483,17 @@ TEST(ConfigRolloutTest, CkptLoadRejectsCorruptPayloads)
     {  // topology mismatch: restored into a smaller fleet
         Deserializer d(s.bytes());
         ConfigRollout victim(params, SloConfig{}, 1, {2, 2});
+        EXPECT_FALSE(victim.ckpt_load(d));
+    }
+    {   // parseable but incoherent: the saved campaign has an open
+        // observation window (4 steps in), and flipping the state
+        // byte to a terminal kDeployed yields a state machine the
+        // runtime can never produce -- release builds must reject it
+        // too, not just SDFM_CHECK_INVARIANTS ones.
+        std::vector<std::uint8_t> bytes = s.bytes();
+        bytes[0] = static_cast<std::uint8_t>(RolloutState::kDeployed);
+        Deserializer d(bytes);
+        ConfigRollout victim(params, SloConfig{}, 1, {4, 4});
         EXPECT_FALSE(victim.ckpt_load(d));
     }
 }
