@@ -44,7 +44,8 @@ Cluster::Cluster(std::uint32_t cluster_id, const ClusterConfig &config,
         }
         machines_.push_back(std::make_unique<Machine>(
             m, machine_config, rng_.next_u64()));
-        machines_.back()->set_trace_sink(&trace_log_);
+        if (config_.collect_traces)
+            machines_.back()->set_trace_sink(&trace_log_);
     }
     // Broker seed drawn only when pooling is on, after the machine
     // loop, so pooling-off RNG streams are untouched.

@@ -59,6 +59,16 @@ struct ClusterConfig
     PlacementStrategy placement = PlacementStrategy::kWorstFit;
 
     /**
+     * Retain per-job telemetry windows in the cluster TraceLog. The
+     * log is consumed only offline (merged_trace(), checkpoints) --
+     * the live trajectory never reads it -- but it grows without
+     * bound (~4 KiB per job per 5-minute window), which long
+     * large-fleet benchmarks cannot afford. Disabling changes no
+     * simulation behaviour, only what is retained for analysis.
+     */
+    bool collect_traces = true;
+
+    /**
      * Cluster memory pooling: when enabled, the cluster owns a
      * MemoryBroker, every machine's remote tier becomes lease-backed
      * (the pooled flag is set on the remote tier config before the

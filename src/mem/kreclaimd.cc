@@ -1,6 +1,7 @@
 #include "mem/kreclaimd.h"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 namespace sdfm {
@@ -10,20 +11,6 @@ namespace {
 /** Flags that disqualify a page from demotion to any tier. */
 constexpr std::uint8_t kNotDemotable =
     kPageInZswap | kPageInFarTier | kPageUnevictable | kPageAccessed;
-
-/** Eligible for demotion to any tier (compressibility aside). */
-bool
-demotable(const PageMeta &meta)
-{
-    return (meta.flags & kNotDemotable) == 0;
-}
-
-/** Eligible for the zswap (compression) path specifically. */
-bool
-eligible(const PageMeta &meta)
-{
-    return (meta.flags & (kNotDemotable | kPageIncompressible)) == 0;
-}
 
 }  // namespace
 
@@ -89,8 +76,8 @@ Kreclaimd::reclaim_cold(Memcg &cg, DemotionPlan &plan) const
         if (!cg.region_is_huge(region))
             continue;
         PageId first = region * kHugeRegionPages;
-        if (cg.page(first).age >= threshold &&
-            !cg.page(first).test(kPageAccessed)) {
+        if (cg.page_age(first) >= threshold &&
+            !cg.page_test(first, kPageAccessed)) {
             cg.split_huge_region(region);
             ++result.huge_splits;
             result.walk_cycles += params_.split_cycles;
@@ -122,22 +109,26 @@ Kreclaimd::reclaim_cold(Memcg &cg, DemotionPlan &plan) const
         plan.resolved.push_back(rr);
     }
 
-    std::uint32_t n = cg.num_pages();
-    const bool has_huge = cg.has_huge_regions();
-    for (PageId p = 0; p < n; ++p) {
-        PageMeta &meta = cg.page(p);
-        if (has_huge && cg.region_is_huge(Memcg::region_of(p)))
-            continue;  // not demotable until split
-        ++result.pages_walked;
-        if (!demotable(meta) || meta.age < threshold)
-            continue;
-        // First matching route wins (deepest tier first). A tier that
-        // is full falls through to the next route; a tier that
-        // rejects for content (zswap) ends the page's pass, since the
-        // page is now marked incompressible.
+    // When every route's tier rejects incompressible pages, a page
+    // carrying the mark cannot be stored anywhere and its attempt has
+    // no side effects -- skip such pages up front. In a mostly-cold
+    // steady state these otherwise dominate the walk: every rejected
+    // page stays resident above threshold and would be re-examined on
+    // every pass.
+    bool all_reject_incompressible = true;
+    for (const DemotionPlan::ResolvedRoute &rr : plan.resolved) {
+        if (!stack.tier(rr.tier_index).rejects_incompressible())
+            all_reject_incompressible = false;
+    }
+
+    // First matching route wins (deepest tier first). A tier that is
+    // full falls through to the next route; a tier that rejects for
+    // content (zswap) ends the page's pass, since the page is now
+    // marked incompressible.
+    auto attempt_routes = [&](PageId p, std::uint8_t page_age) {
         std::uint32_t attempted = 0;
         for (const DemotionPlan::ResolvedRoute &rr : plan.resolved) {
-            if (meta.age < rr.lo || (rr.bounded && meta.age >= rr.hi))
+            if (page_age < rr.lo || (rr.bounded && page_age >= rr.hi))
                 continue;
             std::uint32_t bit = 1u << rr.tier_index;
             if ((attempted & bit) != 0)
@@ -146,7 +137,7 @@ Kreclaimd::reclaim_cold(Memcg &cg, DemotionPlan &plan) const
                 continue;
             FarTier &tier = stack.tier(rr.tier_index);
             if (tier.rejects_incompressible() &&
-                meta.test(kPageIncompressible)) {
+                cg.page_test(p, kPageIncompressible)) {
                 continue;  // it would reject the page again
             }
             attempted |= bit;
@@ -164,6 +155,75 @@ Kreclaimd::reclaim_cold(Memcg &cg, DemotionPlan &plan) const
                 ++result.pages_rejected;
                 break;  // marked incompressible; retry after a write
             }
+        }
+    };
+
+    std::uint32_t n = cg.num_pages();
+    const bool has_huge = cg.has_huge_regions();
+    PageTable &pt = cg.pages();
+    if (pt.layout() == PageLayout::kSoa) {
+        // Hierarchical walk: a region whose (conservative) max age is
+        // below the threshold cannot hold a demotable page -- skip it
+        // after accounting its walk. Within a live region, candidate
+        // pages come from one bitset word op: demotable means none of
+        // the disqualifying flags, so candidates are the zero bits of
+        // their union. Store side effects only touch the current
+        // page's bits, so a word's candidate mask stays valid while
+        // its later bits are processed.
+        const std::uint8_t *age = pt.age_data();
+        const std::uint64_t *zswap_w = pt.in_zswap_words();
+        const std::uint64_t *far_w = pt.in_far_words();
+        const std::uint64_t *unev_w = pt.unevictable_words();
+        const std::uint64_t *acc_w = pt.accessed_words();
+        const std::uint64_t *incompr_w =
+            all_reject_incompressible ? pt.incompressible_words()
+                                      : nullptr;
+        const std::uint32_t regions = pt.num_summary_regions();
+        for (std::uint32_t r = 0; r < regions; ++r) {
+            if (has_huge && cg.region_is_huge(r))
+                continue;  // not demotable until split
+            const PageId first = r * kPageRegionPages;
+            const PageId end = first + kPageRegionPages < n
+                                   ? first + kPageRegionPages
+                                   : n;
+            result.pages_walked += end - first;
+            if (pt.region_max_age(r) < threshold)
+                continue;  // no page in the region is old enough
+            const std::size_t w0 = PageTable::word_of(first);
+            const std::size_t w1 =
+                (static_cast<std::size_t>(end) + 63) / 64;
+            for (std::size_t w = w0; w < w1; ++w) {
+                std::uint64_t skip =
+                    zswap_w[w] | far_w[w] | unev_w[w] | acc_w[w];
+                if (incompr_w != nullptr)
+                    skip |= incompr_w[w];
+                std::uint64_t cand = ~skip & pt.live_mask(w);
+                while (cand != 0) {
+                    int b = std::countr_zero(cand);
+                    cand &= cand - 1;
+                    PageId p =
+                        static_cast<PageId>(w * 64) +
+                        static_cast<PageId>(b);
+                    if (age[p] < threshold)
+                        continue;
+                    attempt_routes(p, age[p]);
+                }
+            }
+        }
+    } else {
+        const std::uint8_t skip_flags =
+            all_reject_incompressible
+                ? static_cast<std::uint8_t>(kNotDemotable |
+                                            kPageIncompressible)
+                : kNotDemotable;
+        for (PageId p = 0; p < n; ++p) {
+            if (has_huge && cg.region_is_huge(Memcg::region_of(p)))
+                continue;  // not demotable until split
+            ++result.pages_walked;
+            std::uint8_t flags = pt.flags(p);
+            if ((flags & skip_flags) != 0 || pt.age(p) < threshold)
+                continue;
+            attempt_routes(p, pt.age(p));
         }
     }
     result.walk_cycles +=
@@ -195,18 +255,19 @@ Kreclaimd::direct_reclaim(Memcg &cg, Zswap &zswap,
     // Collect eligible pages, oldest first (the LRU tail).
     std::uint32_t n = cg.num_pages();
     const bool has_huge = cg.has_huge_regions();
+    const PageTable &pt = cg.pages();
     std::vector<PageId> order;
     order.reserve(n);
     for (PageId p = 0; p < n; ++p) {
         ++result.pages_walked;
         if (has_huge && cg.region_is_huge(Memcg::region_of(p)))
             continue;  // direct reclaim does not split huge mappings
-        if (eligible(cg.page(p)))
+        if ((pt.flags(p) & (kNotDemotable | kPageIncompressible)) == 0)
             order.push_back(p);
     }
     std::stable_sort(order.begin(), order.end(),
                      [&](PageId a, PageId b) {
-                         return cg.page(a).age > cg.page(b).age;
+                         return pt.age(a) > pt.age(b);
                      });
 
     for (PageId p : order) {

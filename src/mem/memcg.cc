@@ -13,13 +13,13 @@ namespace sdfm {
 
 Memcg::Memcg(JobId id, std::uint32_t num_pages, std::uint64_t content_seed,
              const ContentMix &mix, SimTime start_time)
-    : id_(id), content_seed_(content_seed), start_time_(start_time)
+    : id_(id), content_seed_(content_seed), start_time_(start_time),
+      pages_(num_pages)
 {
-    SDFM_ASSERT(num_pages > 0);
-    pages_.resize(num_pages);
     for (PageId p = 0; p < num_pages; ++p) {
-        pages_[p].content =
-            mix.pick(content_seed ^ (static_cast<std::uint64_t>(p) << 20));
+        pages_.set_content(
+            p,
+            mix.pick(content_seed ^ (static_cast<std::uint64_t>(p) << 20)));
     }
     resident_pages_ = num_pages;
     region_huge_.assign((num_pages + kHugeRegionPages - 1) /
@@ -36,10 +36,8 @@ Memcg::map_huge_region(PageId first)
     SDFM_ASSERT(first + kHugeRegionPages <= num_pages());
     std::uint32_t region = region_of(first);
     SDFM_ASSERT(!region_huge_[region]);
-    for (PageId p = first; p < first + kHugeRegionPages; ++p) {
-        SDFM_ASSERT(!pages_[p].test(kPageInZswap) &&
-                    !pages_[p].test(kPageInFarTier));
-    }
+    for (PageId p = first; p < first + kHugeRegionPages; ++p)
+        SDFM_ASSERT(!pages_.in_far_memory(p));
     region_huge_[region] = true;
     ++huge_count_;
 }
@@ -57,24 +55,23 @@ Memcg::split_huge_region(std::uint32_t region)
 std::uint64_t
 Memcg::content_seed_of(PageId p) const
 {
-    return page_content_seed(content_seed_, p, page(p).version);
+    return page_content_seed(content_seed_, p, pages_.version(p));
 }
 
 bool
 Memcg::touch_far(PageId p, bool is_write, TierStack &tiers)
 {
-    PageMeta &meta = page(p);
-    if (meta.test(kPageInZswap)) {
+    if (pages_.test(p, kPageInZswap)) {
         tiers.zswap().load(*this, p);
     } else {
         std::uint8_t index = tier_of(p);
         SDFM_ASSERT(index < tiers.size());
         tiers.tier(index).load(*this, p);
     }
-    meta.set(kPageAccessed);
+    pages_.set(p, kPageAccessed);
     if (is_write) {
-        meta.set(kPageDirty);
-        ++meta.version;  // contents changed; seed rotates
+        pages_.set(p, kPageDirty);
+        pages_.bump_version(p);  // contents changed; seed rotates
     }
     return true;
 }
@@ -82,13 +79,12 @@ Memcg::touch_far(PageId p, bool is_write, TierStack &tiers)
 bool
 Memcg::touch_far_zswap(PageId p, bool is_write, Zswap &zswap)
 {
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(meta.test(kPageInZswap));
+    SDFM_ASSERT(pages_.test(p, kPageInZswap));
     zswap.load(*this, p);
-    meta.set(kPageAccessed);
+    pages_.set(p, kPageAccessed);
     if (is_write) {
-        meta.set(kPageDirty);
-        ++meta.version;  // contents changed; seed rotates
+        pages_.set(p, kPageDirty);
+        pages_.bump_version(p);  // contents changed; seed rotates
     }
     return true;
 }
@@ -96,12 +92,11 @@ Memcg::touch_far_zswap(PageId p, bool is_write, Zswap &zswap)
 void
 Memcg::set_unevictable(PageId p, bool unevictable)
 {
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap));
+    SDFM_ASSERT(!pages_.test(p, kPageInZswap));
     if (unevictable)
-        meta.set(kPageUnevictable);
+        pages_.set(p, kPageUnevictable);
     else
-        meta.clear(kPageUnevictable);
+        pages_.clear(p, kPageUnevictable);
 }
 
 ZsHandle
@@ -143,9 +138,8 @@ Memcg::zswap_page_ids() const
 void
 Memcg::note_stored_in_zswap(PageId p)
 {
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap));
-    meta.set(kPageInZswap);
+    SDFM_ASSERT(!pages_.test(p, kPageInZswap));
+    pages_.set(p, kPageInZswap);
     SDFM_ASSERT(resident_pages_ > 0);
     --resident_pages_;
     ++zswap_pages_;
@@ -154,9 +148,8 @@ Memcg::note_stored_in_zswap(PageId p)
 void
 Memcg::note_loaded_from_zswap(PageId p)
 {
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(meta.test(kPageInZswap));
-    meta.clear(kPageInZswap);
+    SDFM_ASSERT(pages_.test(p, kPageInZswap));
+    pages_.clear(p, kPageInZswap);
     SDFM_ASSERT(zswap_pages_ > 0);
     --zswap_pages_;
     ++resident_pages_;
@@ -166,9 +159,8 @@ void
 Memcg::note_stored_in_tier(PageId p, std::uint8_t tier_index)
 {
     SDFM_ASSERT(tier_index >= 1);
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(!meta.test(kPageInFarTier) && !meta.test(kPageInZswap));
-    meta.set(kPageInFarTier);
+    SDFM_ASSERT(!pages_.in_far_memory(p));
+    pages_.set(p, kPageInFarTier);
     SDFM_ASSERT(resident_pages_ > 0);
     --resident_pages_;
     ++tier_pages_;
@@ -179,7 +171,7 @@ Memcg::note_stored_in_tier(PageId p, std::uint8_t tier_index)
         // true index is written below.
         page_tier_.assign(pages_.size(), 0);
         for (PageId q = 0; q < num_pages(); ++q) {
-            if (pages_[q].test(kPageInFarTier))
+            if (pages_.test(q, kPageInFarTier))
                 page_tier_[q] = 1;
         }
     }
@@ -190,9 +182,8 @@ Memcg::note_stored_in_tier(PageId p, std::uint8_t tier_index)
 void
 Memcg::note_loaded_from_tier(PageId p)
 {
-    PageMeta &meta = page(p);
-    SDFM_ASSERT(meta.test(kPageInFarTier));
-    meta.clear(kPageInFarTier);
+    SDFM_ASSERT(pages_.test(p, kPageInFarTier));
+    pages_.clear(p, kPageInFarTier);
     SDFM_ASSERT(tier_pages_ > 0);
     --tier_pages_;
     ++resident_pages_;
@@ -206,20 +197,21 @@ Memcg::check_invariants() const
     if constexpr (!kInvariantsEnabled)
         return;
 
+    pages_.check_invariants();
     SDFM_INVARIANT(page_tier_.empty() ||
                        page_tier_.size() == pages_.size(),
                    "the per-page tier index covers the address space");
     std::uint64_t in_zswap = 0;
     std::uint64_t in_tier = 0;
     for (PageId p = 0; p < num_pages(); ++p) {
-        const PageMeta &meta = pages_[p];
-        if (meta.test(kPageInZswap)) {
+        const std::uint8_t flags = pages_.flags(p);
+        if (flags & kPageInZswap) {
             ++in_zswap;
-            SDFM_INVARIANT(!meta.test(kPageInFarTier),
+            SDFM_INVARIANT((flags & kPageInFarTier) == 0,
                            "a page lives in at most one far tier");
-            SDFM_INVARIANT(!meta.test(kPageUnevictable),
+            SDFM_INVARIANT((flags & kPageUnevictable) == 0,
                            "unevictable pages never reach far memory");
-            SDFM_INVARIANT(!meta.test(kPageIncompressible),
+            SDFM_INVARIANT((flags & kPageIncompressible) == 0,
                            "incompressible-marked pages are never "
                            "stored in zswap");
             SDFM_INVARIANT(zswap_handle(p) != 0,
@@ -227,9 +219,9 @@ Memcg::check_invariants() const
         } else {
             SDFM_INVARIANT(zswap_handle(p) == 0,
                            "only zswap-resident pages carry handles");
-            if (meta.test(kPageInFarTier)) {
+            if (flags & kPageInFarTier) {
                 ++in_tier;
-                SDFM_INVARIANT(!meta.test(kPageUnevictable),
+                SDFM_INVARIANT((flags & kPageUnevictable) == 0,
                                "unevictable pages never reach far "
                                "memory");
                 SDFM_INVARIANT(tier_of(p) >= 1,
@@ -241,8 +233,7 @@ Memcg::check_invariants() const
         }
         if (region_huge_.size() > region_of(p) &&
             region_huge_[region_of(p)]) {
-            SDFM_INVARIANT(!meta.test(kPageInZswap) &&
-                               !meta.test(kPageInFarTier),
+            SDFM_INVARIANT((flags & (kPageInZswap | kPageInFarTier)) == 0,
                            "huge-mapped pages stay resident until the "
                            "region is split");
         }
@@ -292,18 +283,13 @@ Memcg::state_digest() const
         if (region_huge_[r])
             d.mix(static_cast<std::uint64_t>(r));
     }
-    for (const PageMeta &meta : pages_) {
-        d.mix(static_cast<std::uint64_t>(meta.age) << 32 |
-              static_cast<std::uint64_t>(meta.flags) << 24 |
-              static_cast<std::uint64_t>(meta.version) << 8 |
-              static_cast<std::uint64_t>(meta.content));
-    }
+    pages_.state_digest(d);
     // Per-page deep-tier indices, only once a page has lived beyond
     // stack index 1 (the array is lazily allocated, so legacy two-tier
     // trajectories mix nothing here and their digests are unchanged).
     if (!page_tier_.empty()) {
         for (PageId p = 0; p < num_pages(); ++p) {
-            if (pages_[p].test(kPageInFarTier) && page_tier_[p] > 1) {
+            if (pages_.test(p, kPageInFarTier) && page_tier_[p] > 1) {
                 d.mix(static_cast<std::uint64_t>(p) << 8 |
                       page_tier_[p]);
             }
@@ -329,13 +315,9 @@ Memcg::ckpt_save(Serializer &s) const
     s.put_u64(id_);
     s.put_u64(content_seed_);
     s.put_i64(start_time_);
-    s.put_u64(pages_.size());
-    for (const PageMeta &meta : pages_) {
-        s.put_u8(meta.age);
-        s.put_u8(meta.flags);
-        s.put_u8(static_cast<std::uint8_t>(meta.content));
-        s.put_u16(meta.version);
-    }
+    // Wire bytes are identical to the historical inline loop: page
+    // count, then per-page (age, flags, content, version) records.
+    pages_.ckpt_save(s);
 
     std::vector<std::pair<PageId, ZsHandle>> handles;
     handles.reserve(zswap_handles_.size());
@@ -370,7 +352,7 @@ Memcg::ckpt_save(Serializer &s) const
     std::vector<std::pair<PageId, std::uint8_t>> deep;
     if (!page_tier_.empty()) {
         for (PageId p = 0; p < num_pages(); ++p) {
-            if (pages_[p].test(kPageInFarTier) && page_tier_[p] > 1)
+            if (pages_.test(p, kPageInFarTier) && page_tier_[p] > 1)
                 deep.emplace_back(p, page_tier_[p]);
         }
     }
@@ -430,25 +412,11 @@ Memcg::ckpt_load(Deserializer &d)
     id_ = d.get_u64();
     content_seed_ = d.get_u64();
     start_time_ = d.get_i64();
-    std::size_t num = d.get_size(0xffffffffu, 5);
-    if (!d.ok() || num == 0)
-        return false;
-    pages_.assign(num, PageMeta{});
     std::uint64_t flagged_zswap = 0;
     std::uint64_t flagged_tier = 0;
-    for (PageMeta &meta : pages_) {
-        meta.age = d.get_u8();
-        meta.flags = d.get_u8();
-        std::uint8_t content = d.get_u8();
-        meta.version = d.get_u16();
-        if (content >= static_cast<std::uint8_t>(ContentClass::kNumClasses))
-            return false;
-        meta.content = static_cast<ContentClass>(content);
-        if (meta.test(kPageInZswap))
-            ++flagged_zswap;
-        if (meta.test(kPageInFarTier))
-            ++flagged_tier;
-    }
+    if (!pages_.ckpt_load(d, flagged_zswap, flagged_tier))
+        return false;
+    std::size_t num = pages_.size();
 
     zswap_handles_.clear();
     std::size_t num_handles = d.get_size(num, 12);
@@ -460,7 +428,7 @@ Memcg::ckpt_load(Deserializer &d)
         ZsHandle h = d.get_u64();
         if (!d.ok() || h == 0 || p >= num || (i > 0 && p <= prev_page))
             return false;
-        if (!pages_[p].test(kPageInZswap))
+        if (!pages_.test(p, kPageInZswap))
             return false;
         prev_page = p;
         zswap_handles_.emplace(p, h);
@@ -503,12 +471,12 @@ Memcg::ckpt_load(Deserializer &d)
             (i > 0 && p <= prev_deep)) {
             return false;
         }
-        if (!pages_[p].test(kPageInFarTier))
+        if (!pages_.test(p, kPageInFarTier))
             return false;
         if (page_tier_.empty()) {
             page_tier_.assign(num, 0);
             for (PageId q = 0; q < num; ++q) {
-                if (pages_[q].test(kPageInFarTier))
+                if (pages_.test(q, kPageInFarTier))
                     page_tier_[q] = 1;
             }
         }
@@ -534,7 +502,7 @@ Memcg::tier_page_ids() const
 {
     std::vector<PageId> ids;
     for (PageId p = 0; p < num_pages(); ++p) {
-        if (pages_[p].test(kPageInFarTier))
+        if (pages_.test(p, kPageInFarTier))
             ids.push_back(p);
     }
     return ids;
@@ -545,7 +513,7 @@ Memcg::tier_page_ids(std::uint8_t tier_index) const
 {
     std::vector<PageId> ids;
     for (PageId p = 0; p < num_pages(); ++p) {
-        if (pages_[p].test(kPageInFarTier) && tier_of(p) == tier_index)
+        if (pages_.test(p, kPageInFarTier) && tier_of(p) == tier_index)
             ids.push_back(p);
     }
     return ids;
@@ -555,7 +523,7 @@ bool
 Memcg::add_tier_page_counts(std::vector<std::uint64_t> &counts) const
 {
     for (PageId p = 0; p < num_pages(); ++p) {
-        if (!pages_[p].test(kPageInFarTier))
+        if (!pages_.test(p, kPageInFarTier))
             continue;
         std::uint8_t index = tier_of(p);
         if (index >= counts.size())

@@ -16,6 +16,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "mem/page.h"
+#include "mem/page_table.h"
 #include "util/age_histogram.h"
 #include "util/logging.h"
 #include "util/sim_time.h"
@@ -65,6 +66,11 @@ bool ckpt_load_memcg_stats(Deserializer &d, MemcgStats &stats);
 /** Pages per transparent huge page (2 MiB / 4 KiB). */
 inline constexpr std::uint32_t kHugeRegionPages = 512;
 
+// One PageTable summary region covers exactly one potential huge
+// mapping, so kstaled's hierarchical walk resolves huge regions and
+// summary regions in the same loop.
+static_assert(kHugeRegionPages == kPageRegionPages);
+
 /** Per-job memory cgroup. */
 class Memcg : public Checkpointable
 {
@@ -80,29 +86,30 @@ class Memcg : public Checkpointable
           const ContentMix &mix, SimTime start_time);
 
     JobId id() const { return id_; }
-    std::uint32_t num_pages() const
-    {
-        return static_cast<std::uint32_t>(pages_.size());
-    }
+    std::uint32_t num_pages() const { return pages_.size(); }
     SimTime start_time() const { return start_time_; }
     std::uint64_t content_seed() const { return content_seed_; }
 
     // The per-page accessors are the hottest calls in the simulator
     // (kstaled scans and kreclaimd walks visit every page of every
-    // job each control period), so they are defined inline here.
+    // job each control period), so they are defined inline here. The
+    // metadata itself lives in a struct-of-arrays PageTable; loops
+    // that want word-at-a-time access take pages() directly.
 
-    /** Mutable page metadata (kstaled/kreclaimd/zswap use this). */
-    PageMeta &
-    page(PageId p)
+    /** The page metadata table (kstaled/kreclaimd fast paths). */
+    PageTable &pages() { return pages_; }
+    const PageTable &pages() const { return pages_; }
+
+    std::uint8_t page_age(PageId p) const { return pages_.age(p); }
+    void set_page_age(PageId p, std::uint8_t a) { pages_.set_age(p, a); }
+    bool page_test(PageId p, PageFlag f) const { return pages_.test(p, f); }
+    void page_set(PageId p, PageFlag f) { pages_.set(p, f); }
+    void page_clear(PageId p, PageFlag f) { pages_.clear(p, f); }
+    std::uint8_t page_flags(PageId p) const { return pages_.flags(p); }
+    ContentClass page_content(PageId p) const { return pages_.content(p); }
+    std::uint16_t page_version(PageId p) const
     {
-        SDFM_ASSERT(p < pages_.size());
-        return pages_[p];
-    }
-    const PageMeta &
-    page(PageId p) const
-    {
-        SDFM_ASSERT(p < pages_.size());
-        return pages_[p];
+        return pages_.version(p);
     }
 
     /** Content seed of a page's current contents. */
@@ -119,13 +126,12 @@ class Memcg : public Checkpointable
     bool
     touch(PageId p, bool is_write, TierStack &tiers)
     {
-        PageMeta &meta = page(p);
-        if (meta.flags & (kPageInZswap | kPageInFarTier))
+        if (pages_.in_far_memory(p))
             return touch_far(p, is_write, tiers);
-        meta.set(kPageAccessed);
+        pages_.set(p, kPageAccessed);
         if (is_write) {
-            meta.set(kPageDirty);
-            ++meta.version;  // contents changed; seed rotates
+            pages_.set(p, kPageDirty);
+            pages_.bump_version(p);  // contents changed; seed rotates
         }
         return false;
     }
@@ -138,13 +144,12 @@ class Memcg : public Checkpointable
     bool
     touch(PageId p, bool is_write, Zswap &zswap)
     {
-        PageMeta &meta = page(p);
-        if (meta.flags & (kPageInZswap | kPageInFarTier))
+        if (pages_.in_far_memory(p))
             return touch_far_zswap(p, is_write, zswap);
-        meta.set(kPageAccessed);
+        pages_.set(p, kPageAccessed);
         if (is_write) {
-            meta.set(kPageDirty);
-            ++meta.version;  // contents changed; seed rotates
+            pages_.set(p, kPageDirty);
+            pages_.bump_version(p);  // contents changed; seed rotates
         }
         return false;
     }
@@ -222,7 +227,7 @@ class Memcg : public Checkpointable
     std::uint8_t
     tier_of(PageId p) const
     {
-        SDFM_ASSERT(page(p).test(kPageInFarTier));
+        SDFM_ASSERT(pages_.test(p, kPageInFarTier));
         return page_tier_.empty() ? std::uint8_t{1} : page_tier_[p];
     }
 
@@ -348,7 +353,7 @@ class Memcg : public Checkpointable
     JobId id_;
     std::uint64_t content_seed_;
     SimTime start_time_;
-    std::vector<PageMeta> pages_;
+    PageTable pages_;
     // sdfm-state: derived(mirror of the arena entry table: per-page
     // in-zswap flags and the arena alloc/free aggregates are both
     // digested, so divergence here cannot hide)

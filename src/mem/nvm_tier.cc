@@ -20,9 +20,9 @@ NvmTier::has_space() const
 bool
 NvmTier::store(Memcg &cg, PageId p)
 {
-    PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInFarTier));
-    SDFM_ASSERT(!meta.test(kPageUnevictable));
+    SDFM_ASSERT(!cg.page_test(p, kPageInZswap) &&
+                !cg.page_test(p, kPageInFarTier));
+    SDFM_ASSERT(!cg.page_test(p, kPageUnevictable));
     if (!has_space()) {
         ++stats_.rejected_full;
         return false;
@@ -37,7 +37,7 @@ NvmTier::store(Memcg &cg, PageId p)
 void
 NvmTier::load(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
+    SDFM_ASSERT(cg.page_test(p, kPageInFarTier));
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
     cg.note_loaded_from_tier(p);
@@ -80,7 +80,7 @@ NvmTier::lose_capacity(double frac)
 void
 NvmTier::drop(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
+    SDFM_ASSERT(cg.page_test(p, kPageInFarTier));
     SDFM_ASSERT(used_pages_ > 0);
     --used_pages_;
     cg.note_loaded_from_tier(p);

@@ -61,9 +61,9 @@ RemoteTier::pick_store_slot()
 bool
 RemoteTier::store(Memcg &cg, PageId p)
 {
-    PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap) && !meta.test(kPageInFarTier));
-    SDFM_ASSERT(!meta.test(kPageUnevictable));
+    SDFM_ASSERT(!cg.page_test(p, kPageInZswap) &&
+                !cg.page_test(p, kPageInFarTier));
+    SDFM_ASSERT(!cg.page_test(p, kPageUnevictable));
     std::uint32_t donor;
     if (params_.pooled) {
         // The placement's donor field carries the lease id.
@@ -98,7 +98,7 @@ RemoteTier::store(Memcg &cg, PageId p)
 void
 RemoteTier::load(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
+    SDFM_ASSERT(cg.page_test(p, kPageInFarTier));
     auto it = placements_.find(key(cg, p));
     SDFM_ASSERT(it != placements_.end());
     if (params_.pooled) {
@@ -147,7 +147,7 @@ RemoteTier::load(Memcg &cg, PageId p)
 void
 RemoteTier::drop(Memcg &cg, PageId p)
 {
-    SDFM_ASSERT(cg.page(p).test(kPageInFarTier));
+    SDFM_ASSERT(cg.page_test(p, kPageInFarTier));
     auto it = placements_.find(key(cg, p));
     SDFM_ASSERT(it != placements_.end());
     if (params_.pooled) {
@@ -484,7 +484,7 @@ RemoteTier::ckpt_resolve(const std::map<JobId, Memcg *> &jobs)
             return false;
         Memcg *cg = it->second;
         if (pending.page >= cg->num_pages() ||
-            !cg->page(pending.page).test(kPageInFarTier) ||
+            !cg->page_test(pending.page, kPageInFarTier) ||
             cg->tier_of(pending.page) != stack_index()) {
             return false;
         }

@@ -64,17 +64,17 @@ Zswap::update_arena_metrics()
 bool
 Zswap::store(Memcg &cg, PageId p)
 {
-    PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(!meta.test(kPageInZswap));
-    SDFM_ASSERT(!meta.test(kPageUnevictable));
-    SDFM_ASSERT(!meta.test(kPageIncompressible));
+    SDFM_ASSERT(!cg.page_test(p, kPageInZswap));
+    SDFM_ASSERT(!cg.page_test(p, kPageUnevictable));
+    SDFM_ASSERT(!cg.page_test(p, kPageIncompressible));
+    const ContentClass content = cg.page_content(p);
 
     CompressionResult result;
     std::vector<std::uint8_t> payload;
     bool have_bytes = false;
     if (verify_roundtrip_) {
         have_bytes = compressor_->compress_page_bytes(
-            meta.content, cg.content_seed_of(p), &result, &payload);
+            content, cg.content_seed_of(p), &result, &payload);
         if (!have_bytes) {
             warn("zswap: verify_roundtrip requested but the "
                  "compression backend cannot produce payload bytes; "
@@ -83,7 +83,7 @@ Zswap::store(Memcg &cg, PageId p)
         }
     }
     if (!have_bytes) {
-        result = compressor_->compress_page(meta.content,
+        result = compressor_->compress_page(content,
                                             cg.content_seed_of(p));
     }
     cg.stats().compress_cycles += result.compress_cycles;
@@ -94,7 +94,7 @@ Zswap::store(Memcg &cg, PageId p)
         // would exceed the savings. Mark the page so we do not retry
         // until its contents change (kstaled clears the mark on a
         // dirty PTE).
-        meta.set(kPageIncompressible);
+        cg.page_set(p, kPageIncompressible);
         ++cg.stats().zswap_rejects;
         ++stats_.rejects;
         if (m_rejects_ != nullptr) {
@@ -128,8 +128,7 @@ Zswap::store(Memcg &cg, PageId p)
 void
 Zswap::load(Memcg &cg, PageId p)
 {
-    PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(meta.test(kPageInZswap));
+    SDFM_ASSERT(cg.page_test(p, kPageInZswap));
     ZsHandle handle = cg.zswap_handle(p);
     SDFM_ASSERT(handle != 0);
 
@@ -172,8 +171,8 @@ Zswap::load(Memcg &cg, PageId p)
                                            sizeof(decompressed));
             SDFM_ASSERT(n == kPageSize);
             std::uint8_t expected[kPageSize];
-            generate_page_content(meta.content, cg.content_seed_of(p),
-                                  expected);
+            generate_page_content(cg.page_content(p),
+                                  cg.content_seed_of(p), expected);
             SDFM_ASSERT(std::memcmp(decompressed, expected, kPageSize) ==
                         0);
             ++stats_.verified_roundtrips;
@@ -247,8 +246,7 @@ Zswap::check_invariants() const
 void
 Zswap::drop(Memcg &cg, PageId p)
 {
-    PageMeta &meta = cg.page(p);
-    SDFM_ASSERT(meta.test(kPageInZswap));
+    SDFM_ASSERT(cg.page_test(p, kPageInZswap));
     ZsHandle handle = cg.zswap_handle(p);
     SDFM_ASSERT(handle != 0);
     std::uint32_t payload = arena_.payload_size(handle);

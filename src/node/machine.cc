@@ -502,12 +502,11 @@ Machine::drain_lease(std::uint32_t lease_id, std::uint64_t budget)
     for (auto &[cg, page] : remote->lease_page_refs(lease_id, budget)) {
         remote->drop(*cg, page);
         ++drained;
-        const PageMeta &meta = cg->page(page);
         // Re-home in zswap where the contents allow; pages zswap
         // cannot take (incompressible, mlocked) fault back to
         // resident and the pressure path deals with any OOM.
-        if (!meta.test(kPageIncompressible) &&
-            !meta.test(kPageUnevictable)) {
+        if (!cg->page_test(page, kPageIncompressible) &&
+            !cg->page_test(page, kPageUnevictable)) {
             zswap_->store(*cg, page);
         }
     }
@@ -558,12 +557,12 @@ Machine::spill_tier_overflow(std::size_t tier_index,
                 break;
             tier.drop(cg, p);
             --overflow;
-            const PageMeta &meta = cg.page(p);
             // Re-home in zswap where possible; pages zswap cannot
             // take (incompressible, mlocked) stay resident and the
             // pressure path deals with any resulting OOM.
-            if (!meta.test(kPageIncompressible) &&
-                !meta.test(kPageUnevictable) && zswap_->store(cg, p)) {
+            if (!cg.page_test(p, kPageIncompressible) &&
+                !cg.page_test(p, kPageUnevictable) &&
+                zswap_->store(cg, p)) {
                 ++spilled;
             }
         }

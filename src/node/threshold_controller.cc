@@ -31,8 +31,23 @@ void
 ThresholdController::set_slo(const SloConfig &slo)
 {
     slo_ = slo;
-    while (pool_.size() > slo_.history_window)
+    pool_trim();
+}
+
+void
+ThresholdController::pool_push(AgeBucket b)
+{
+    pool_.push_back(b);
+    ++pool_counts_[b];
+}
+
+void
+ThresholdController::pool_trim()
+{
+    while (pool_.size() > slo_.history_window) {
+        --pool_counts_[pool_.front()];
         pool_.pop_front();
+    }
 }
 
 AgeBucket
@@ -45,28 +60,41 @@ ThresholdController::best_threshold(const AgeHistogram &promo_delta,
     double budget = target_rate * static_cast<double>(wss_pages) *
                     period_minutes;
     // count_at_least(T) is non-increasing in T: find the smallest
-    // T >= 1 whose would-be promotions fit the budget.
-    for (std::size_t t = 1; t < kAgeBuckets; ++t) {
-        double would_be = static_cast<double>(
-            promo_delta.count_at_least(static_cast<AgeBucket>(t)));
-        if (would_be <= budget)
-            return static_cast<AgeBucket>(t);
+    // T >= 1 whose would-be promotions fit the budget. One suffix
+    // accumulation from the top replaces a count_at_least() scan per
+    // candidate threshold.
+    std::uint64_t at_least = 0;
+    AgeBucket smallest = 255;
+    for (std::size_t t = kAgeBuckets - 1; t >= 1; --t) {
+        at_least += promo_delta.at(static_cast<AgeBucket>(t));
+        if (static_cast<double>(at_least) <= budget)
+            smallest = static_cast<AgeBucket>(t);
+        else
+            break;  // even colder thresholds only promote more
     }
-    return 255;
+    return smallest;
 }
 
 AgeBucket
 ThresholdController::pool_percentile() const
 {
     SDFM_ASSERT(!pool_.empty());
-    std::vector<AgeBucket> sorted(pool_.begin(), pool_.end());
-    std::sort(sorted.begin(), sorted.end());
+    // Counting select over the bucket counts: returns the idx-th
+    // smallest pool entry, exactly what sorting the window and
+    // indexing it would -- without the per-period copy and sort.
     double rank = slo_.percentile_k / 100.0 *
-                  static_cast<double>(sorted.size() - 1);
+                  static_cast<double>(pool_.size() - 1);
     auto idx = static_cast<std::size_t>(std::llround(rank));
-    if (idx >= sorted.size())
-        idx = sorted.size() - 1;
-    return sorted[idx];
+    if (idx >= pool_.size())
+        idx = pool_.size() - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kAgeBuckets; ++b) {
+        seen += pool_counts_[b];
+        if (seen > idx)
+            return static_cast<AgeBucket>(b);
+    }
+    SDFM_ASSERT(false);  // counts_ always sums to pool_.size()
+    return 255;
 }
 
 AgeBucket
@@ -76,9 +104,8 @@ ThresholdController::update(SimTime now, const AgeHistogram &promo_delta,
     AgeBucket best =
         best_threshold(promo_delta, wss_pages,
                        slo_.target_promotion_rate, period_minutes);
-    pool_.push_back(best);
-    while (pool_.size() > slo_.history_window)
-        pool_.pop_front();
+    pool_push(best);
+    pool_trim();
 
     if (m_updates_ != nullptr) {
         m_updates_->inc();
@@ -128,8 +155,9 @@ ThresholdController::ckpt_load(Deserializer &d)
     if (!d.ok())
         return false;
     pool_.clear();
+    pool_counts_.fill(0);
     for (std::size_t i = 0; i < num; ++i)
-        pool_.push_back(d.get_u8());
+        pool_push(d.get_u8());
     current_ = d.get_u8();
     if (!d.ok() || (current_ != 0 && pool_.empty()))
         return false;
@@ -143,6 +171,11 @@ ThresholdController::check_invariants() const
         return;
     SDFM_INVARIANT(pool_.size() <= slo_.history_window,
                    "observation pool bounded by the sliding window");
+    std::uint64_t binned = 0;
+    for (std::uint32_t c : pool_counts_)
+        binned += c;
+    SDFM_INVARIANT(binned == pool_.size(),
+                   "bucket counts re-bin exactly the pool contents");
     SDFM_INVARIANT(slo_.percentile_k >= 0.0 &&
                        slo_.percentile_k <= 100.0,
                    "K is a percentile");

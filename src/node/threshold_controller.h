@@ -18,6 +18,7 @@
 #ifndef SDFM_NODE_THRESHOLD_CONTROLLER_H
 #define SDFM_NODE_THRESHOLD_CONTROLLER_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 
@@ -118,16 +119,28 @@ class ThresholdController
     debug_overfill_pool(std::size_t extra)
     {
         for (std::size_t i = 0; i < extra; ++i)
-            pool_.push_back(0);
+            pool_push(0);
     }
 #endif
 
   private:
     AgeBucket pool_percentile() const;
 
+    /** Append one observation, keeping the bucket counts in sync. */
+    void pool_push(AgeBucket b);
+
+    /** Enforce the sliding-window bound after a push or a set_slo. */
+    void pool_trim();
+
     SloConfig slo_;
     SimTime job_start_;
     std::deque<AgeBucket> pool_;
+    /** Pool contents re-binned by bucket, so the percentile is a
+     *  counting select instead of a copy-and-sort of the window on
+     *  every control period.
+     *  sdfm-state: derived(recomputed from pool_ on every mutation;
+     *  ckpt_load rebuilds it from the serialized pool) */
+    std::array<std::uint32_t, kAgeBuckets> pool_counts_{};
     AgeBucket current_ = 0;
 
     // Cached registry metrics (null when unbound), re-bound by the

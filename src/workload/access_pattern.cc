@@ -192,8 +192,8 @@ AccessPattern::next_active_start(SimTime t) const
     return window;
 }
 
-void
-AccessPattern::schedule_next(PageId page, SimTime accessed_at)
+std::uint64_t
+AccessPattern::next_event_key(PageId page, SimTime accessed_at)
 {
     double load = diurnal_multiplier(accessed_at);
     double gap_s;
@@ -211,7 +211,7 @@ AccessPattern::schedule_next(PageId page, SimTime accessed_at)
         break;
       case ReuseClass::kFrozen:
         if (!rng_.next_bool(profile_.frozen_reaccess_prob))
-            return;  // never accessed again
+            return 0;  // never accessed again
         gap_s = rng_.next_pareto(8.0 * static_cast<double>(kHour), 1.0);
         break;
       case ReuseClass::kDiurnal: {
@@ -220,8 +220,8 @@ AccessPattern::schedule_next(PageId page, SimTime accessed_at)
             // Still inside the active window: short intra-window gaps.
             double in_window = rng_.next_exponential(
                 1.0 / profile_.diurnal_active_gap_mean);
-            queue_.emplace(accessed_at + to_gap(in_window), page);
-            return;
+            return EventQueue::make_key(accessed_at + to_gap(in_window),
+                                        page);
         }
         // Dormant until a future window. Real diurnal load ramps up
         // over hours and not every cached page is touched every day:
@@ -232,13 +232,12 @@ AccessPattern::schedule_next(PageId page, SimTime accessed_at)
         while (rng_.next_bool(0.35))
             active += kDay;
         SimTime stagger = rng_.next_range(0, 6 * kHour);
-        queue_.emplace(active + stagger, page);
-        return;
+        return EventQueue::make_key(active + stagger, page);
       }
       default:
         panic("bad ReuseClass %d", static_cast<int>(classes_[page]));
     }
-    queue_.emplace(accessed_at + to_gap(gap_s), page);
+    return EventQueue::make_key(accessed_at + to_gap(gap_s), page);
 }
 
 double

@@ -72,17 +72,18 @@ class AccessPattern
     std::uint64_t
     step(SimTime now, SimTime dt, Fn &&fn)
     {
-        std::uint64_t accesses = 0;
         SimTime end = now + dt;
-        while (!queue_.empty() && queue_.top_time() < end) {
-            SimTime t = queue_.top_time();
-            PageId page = queue_.top_page();
-            queue_.pop();
-            bool is_write = rng_.next_bool(profile_.write_frac);
-            fn(page, is_write);
-            ++accesses;
-            schedule_next(page, t);
-        }
+        // Batch drain: the queue hands over each due event and takes
+        // the replacement key back in the same heap operation. The
+        // RNG draw order (is_write, then the gap draws inside
+        // next_event_key) matches the historical pop/emplace loop
+        // exactly, so trajectories are unchanged.
+        std::uint64_t accesses = queue_.drain_until(
+            end, [&](SimTime t, PageId page) -> std::uint64_t {
+                bool is_write = rng_.next_bool(profile_.write_frac);
+                fn(page, is_write);
+                return next_event_key(page, t);
+            });
         while (next_scan_ != 0 && next_scan_ < end) {
             for (PageId p = 0; p < num_pages(); ++p) {
                 if (rng_.next_bool(profile_.scan_fraction)) {
@@ -117,8 +118,13 @@ class AccessPattern
     /** Clamp a floating-point gap to a safe SimTime (>= 1 s). */
     static SimTime to_gap_public(double seconds);
 
-    /** Draw the next gap for a page and enqueue it (or retire it). */
-    void schedule_next(PageId page, SimTime accessed_at);
+    /**
+     * Draw the next gap for a page and return its packed event key,
+     * or 0 to retire the page (frozen pages that are never touched
+     * again). Rescheduled times are always >= accessed_at + 1 s, so 0
+     * cannot collide with a real key.
+     */
+    std::uint64_t next_event_key(PageId page, SimTime accessed_at);
 
     /** Start of the next diurnal active window at or after @p t. */
     SimTime next_active_start(SimTime t) const;

@@ -38,14 +38,20 @@ namespace sdfm {
 class EventQueue
 {
   public:
-    /** Queue an access to @p page at time @p t.
+    /** Pack (time, page) into the heap's key order.
      *  @p t must fit in 32 bits (~136 simulated years). */
+    static std::uint64_t
+    make_key(SimTime t, PageId page)
+    {
+        SDFM_ASSERT(t >= 0 && t <= 0xffffffffLL);
+        return (static_cast<std::uint64_t>(t) << 32) | page;
+    }
+
+    /** Queue an access to @p page at time @p t. */
     void
     emplace(SimTime t, PageId page)
     {
-        SDFM_ASSERT(t >= 0 && t <= 0xffffffffLL);
-        std::uint64_t key = (static_cast<std::uint64_t>(t) << 32) | page;
-        heap_.push_back(key);
+        heap_.push_back(make_key(t, page));
         sift_up(heap_.size() - 1);
     }
 
@@ -96,6 +102,54 @@ class EventQueue
         heap_.pop_back();
         if (!heap_.empty())
             sift_down(last);
+    }
+
+    /**
+     * Replace the earliest event with @p key in one sift instead of a
+     * pop (full sift from the back) plus an emplace (sift up from the
+     * back) -- the common pop-reschedule step does half the heap work.
+     * The heap layout this produces can differ from pop+emplace, but
+     * layout feeds nothing: pop order is a total order over unique
+     * keys, and raw() is only ever copied verbatim.
+     */
+    void
+    replace_top(std::uint64_t key)
+    {
+        SDFM_ASSERT(!heap_.empty());
+        sift_down(key);
+    }
+
+    /**
+     * Pop every event earlier than @p end, in time order, calling
+     * handler(t, page) for each. The handler returns the event's
+     * replacement key (from make_key) to reschedule its page, or 0 to
+     * retire it. 0 is never a live key here: rescheduled times are
+     * always >= 1 s in the future.
+     *
+     * This is the simulator's hottest loop; batching it here lets one
+     * call amortize the end-key computation and use replace_top for
+     * rescheduled events instead of pop+emplace.
+     *
+     * @return Number of events handled.
+     */
+    template <typename Handler>
+    std::uint64_t
+    drain_until(SimTime end, Handler &&handler)
+    {
+        const std::uint64_t end_key = make_key(end, 0);
+        std::uint64_t handled = 0;
+        while (!heap_.empty() && heap_.front() < end_key) {
+            const std::uint64_t cur = heap_.front();
+            std::uint64_t next =
+                handler(static_cast<SimTime>(cur >> 32),
+                        static_cast<PageId>(cur & 0xffffffffu));
+            if (next != 0)
+                replace_top(next);
+            else
+                pop();
+            ++handled;
+        }
+        return handled;
     }
 
   private:

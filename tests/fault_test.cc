@@ -230,7 +230,7 @@ TEST(ZswapCorruption, ChecksumCatchesCorruptionAndRefaults)
     // Promote everything: exactly one entry fails its checksum, the
     // page re-faults from backing store, and no load aborts.
     for (PageId p = 0; p < 32; ++p) {
-        if (rig.cg.page(p).flags & kPageInZswap)
+        if (rig.cg.page_flags(p) & kPageInZswap)
             rig.zswap.load(rig.cg, p);
     }
     EXPECT_EQ(rig.zswap.stats().poisoned_entries, 1u);

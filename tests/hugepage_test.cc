@@ -60,12 +60,12 @@ TEST(HugePages, OneAccessResetsWholeRegion)
     rig.cg.map_huge_region(0);
     rig.kstaled.scan(rig.cg);  // region ages to 1
     for (PageId p = 0; p < kHugeRegionPages; ++p)
-        EXPECT_EQ(rig.cg.page(p).age, 1);
+        EXPECT_EQ(rig.cg.page_age(p), 1);
     // Touch ONE page: the shared accessed bit resets all 512.
     rig.cg.touch(7, false, rig.zswap);
     rig.kstaled.scan(rig.cg);
     for (PageId p = 0; p < kHugeRegionPages; ++p)
-        EXPECT_EQ(rig.cg.page(p).age, 0) << p;
+        EXPECT_EQ(rig.cg.page_age(p), 0) << p;
 }
 
 TEST(HugePages, RegionScanCostsOnePteVisit)
@@ -131,7 +131,7 @@ TEST(HugePages, DirectReclaimSkipsHugeRegions)
     EXPECT_EQ(result.pages_stored, 100u);
     // Everything stored came from the non-huge region.
     for (PageId p = 0; p < kHugeRegionPages; ++p)
-        EXPECT_FALSE(rig.cg.page(p).test(kPageInZswap));
+        EXPECT_FALSE(rig.cg.page_test(p, kPageInZswap));
 }
 
 TEST(HugePages, SplitCycleCostCharged)

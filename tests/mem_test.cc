@@ -65,8 +65,8 @@ TEST(MemcgTest, TouchSetsAccessedBit)
 {
     Rig rig(10);
     rig.cg.touch(3, /*is_write=*/false, rig.zswap);
-    EXPECT_TRUE(rig.cg.page(3).test(kPageAccessed));
-    EXPECT_FALSE(rig.cg.page(3).test(kPageDirty));
+    EXPECT_TRUE(rig.cg.page_test(3, kPageAccessed));
+    EXPECT_FALSE(rig.cg.page_test(3, kPageDirty));
 }
 
 TEST(MemcgTest, WriteSetsDirtyAndRotatesVersion)
@@ -74,7 +74,7 @@ TEST(MemcgTest, WriteSetsDirtyAndRotatesVersion)
     Rig rig(10);
     std::uint64_t seed_before = rig.cg.content_seed_of(3);
     rig.cg.touch(3, /*is_write=*/true, rig.zswap);
-    EXPECT_TRUE(rig.cg.page(3).test(kPageDirty));
+    EXPECT_TRUE(rig.cg.page_test(3, kPageDirty));
     EXPECT_NE(rig.cg.content_seed_of(3), seed_before);
 }
 
@@ -82,9 +82,9 @@ TEST(MemcgTest, UnevictableFlag)
 {
     Rig rig(10);
     rig.cg.set_unevictable(5, true);
-    EXPECT_TRUE(rig.cg.page(5).test(kPageUnevictable));
+    EXPECT_TRUE(rig.cg.page_test(5, kPageUnevictable));
     rig.cg.set_unevictable(5, false);
-    EXPECT_FALSE(rig.cg.page(5).test(kPageUnevictable));
+    EXPECT_FALSE(rig.cg.page_test(5, kPageUnevictable));
 }
 
 // ------------------------------------------------------------- kstaled
@@ -96,7 +96,7 @@ TEST(KstaledTest, UntouchedPagesAge)
     EXPECT_EQ(scan.pages_scanned, 50u);
     EXPECT_EQ(scan.accessed_pages, 0u);
     for (PageId p = 0; p < 50; ++p)
-        EXPECT_EQ(rig.cg.page(p).age, 1);
+        EXPECT_EQ(rig.cg.page_age(p), 1);
     EXPECT_EQ(rig.cg.cold_pages_min_threshold(), 50u);
     EXPECT_EQ(rig.cg.wss_pages(), 0u);
 }
@@ -108,9 +108,9 @@ TEST(KstaledTest, AccessedPageResetsToZero)
     rig.cg.touch(4, false, rig.zswap);
     ScanResult scan = rig.kstaled.scan(rig.cg);
     EXPECT_EQ(scan.accessed_pages, 1u);
-    EXPECT_EQ(rig.cg.page(4).age, 0);
-    EXPECT_FALSE(rig.cg.page(4).test(kPageAccessed));
-    EXPECT_EQ(rig.cg.page(5).age, 2);
+    EXPECT_EQ(rig.cg.page_age(4), 0);
+    EXPECT_FALSE(rig.cg.page_test(4, kPageAccessed));
+    EXPECT_EQ(rig.cg.page_age(5), 2);
 }
 
 TEST(KstaledTest, AgeSaturatesAt255)
@@ -118,7 +118,7 @@ TEST(KstaledTest, AgeSaturatesAt255)
     Rig rig(1);
     for (int i = 0; i < 300; ++i)
         rig.kstaled.scan(rig.cg);
-    EXPECT_EQ(rig.cg.page(0).age, 255);
+    EXPECT_EQ(rig.cg.page_age(0), 255);
 }
 
 TEST(KstaledTest, PromotionHistogramRecordsPreScanAge)
@@ -127,7 +127,7 @@ TEST(KstaledTest, PromotionHistogramRecordsPreScanAge)
     // Age the page to 5 scan periods, then touch it.
     for (int i = 0; i < 5; ++i)
         rig.kstaled.scan(rig.cg);
-    EXPECT_EQ(rig.cg.page(0).age, 5);
+    EXPECT_EQ(rig.cg.page_age(0), 5);
     rig.cg.touch(0, false, rig.zswap);
     rig.kstaled.scan(rig.cg);
     EXPECT_EQ(rig.cg.promo_hist().at(5), 1u);
@@ -147,8 +147,8 @@ TEST(KstaledTest, PaperWorkedExample)
     // Construct the example's state directly: A idle 5 minutes
     // (age 2 scan periods of 120 s), B idle 10 minutes (age 5), then
     // both re-accessed one minute ago.
-    rig.cg.page(a).age = age_to_bucket(5 * 60);
-    rig.cg.page(b).age = age_to_bucket(10 * 60);
+    rig.cg.set_page_age(a, age_to_bucket(5 * 60));
+    rig.cg.set_page_age(b, age_to_bucket(10 * 60));
     rig.cg.touch(a, false, rig.zswap);
     rig.cg.touch(b, false, rig.zswap);
     rig.kstaled.scan(rig.cg);  // records the pre-access ages
@@ -163,20 +163,20 @@ TEST(KstaledTest, PaperWorkedExample)
 TEST(KstaledTest, DirtyClearsIncompressibleMark)
 {
     Rig rig(1);
-    rig.cg.page(0).set(kPageIncompressible);
+    rig.cg.page_set(0, kPageIncompressible);
     rig.cg.touch(0, /*is_write=*/true, rig.zswap);
     rig.kstaled.scan(rig.cg);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageIncompressible));
-    EXPECT_FALSE(rig.cg.page(0).test(kPageDirty));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageIncompressible));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageDirty));
 }
 
 TEST(KstaledTest, ReadDoesNotClearIncompressible)
 {
     Rig rig(1);
-    rig.cg.page(0).set(kPageIncompressible);
+    rig.cg.page_set(0, kPageIncompressible);
     rig.cg.touch(0, /*is_write=*/false, rig.zswap);
     rig.kstaled.scan(rig.cg);
-    EXPECT_TRUE(rig.cg.page(0).test(kPageIncompressible));
+    EXPECT_TRUE(rig.cg.page_test(0, kPageIncompressible));
 }
 
 TEST(KstaledTest, ColdHistogramRebuilt)
@@ -210,9 +210,9 @@ TEST(KstaledStride, VisitsOneStripePerScan)
     ScanResult scan = kstaled.scan(rig.cg, /*phase=*/0);
     EXPECT_EQ(scan.pages_scanned, 4u);
     // Visited pages aged by the stride; others untouched.
-    EXPECT_EQ(rig.cg.page(0).age, 4);
-    EXPECT_EQ(rig.cg.page(1).age, 0);
-    EXPECT_EQ(rig.cg.page(4).age, 4);
+    EXPECT_EQ(rig.cg.page_age(0), 4);
+    EXPECT_EQ(rig.cg.page_age(1), 0);
+    EXPECT_EQ(rig.cg.page_age(4), 4);
 }
 
 TEST(KstaledStride, FullCoverageAfterStrideScans)
@@ -224,7 +224,7 @@ TEST(KstaledStride, FullCoverageAfterStrideScans)
     for (std::uint32_t phase = 0; phase < 4; ++phase)
         kstaled.scan(rig.cg, phase);
     for (PageId p = 0; p < 17; ++p)
-        EXPECT_EQ(rig.cg.page(p).age, 4) << p;
+        EXPECT_EQ(rig.cg.page_age(p), 4) << p;
 }
 
 TEST(KstaledStride, StickyAccessedBitPreservesRecency)
@@ -236,11 +236,11 @@ TEST(KstaledStride, StickyAccessedBitPreservesRecency)
     // Touch page 1 now; its stripe (phase 1) is visited next scan.
     rig.cg.touch(1, false, rig.zswap);
     kstaled.scan(rig.cg, 0);  // page 1 not visited; bit stays
-    EXPECT_TRUE(rig.cg.page(1).test(kPageAccessed));
+    EXPECT_TRUE(rig.cg.page_test(1, kPageAccessed));
     ScanResult scan = kstaled.scan(rig.cg, 1);
     EXPECT_EQ(scan.accessed_pages, 1u);
-    EXPECT_EQ(rig.cg.page(1).age, 0);
-    EXPECT_FALSE(rig.cg.page(1).test(kPageAccessed));
+    EXPECT_EQ(rig.cg.page_age(1), 0);
+    EXPECT_FALSE(rig.cg.page_test(1, kPageAccessed));
 }
 
 TEST(KstaledStride, CpuScalesDownWithStride)
@@ -260,13 +260,13 @@ TEST(ZswapTest, StoreAndLoadRoundTrip)
 {
     Rig rig(10);
     EXPECT_TRUE(rig.zswap.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageInZswap));
+    EXPECT_TRUE(rig.cg.page_test(0, kPageInZswap));
     EXPECT_EQ(rig.cg.resident_pages(), 9u);
     EXPECT_EQ(rig.cg.zswap_pages(), 1u);
     EXPECT_GT(rig.zswap.pool_bytes(), 0u);
 
     rig.zswap.load(rig.cg, 0);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInZswap));
     EXPECT_EQ(rig.cg.resident_pages(), 10u);
     EXPECT_EQ(rig.cg.stats().zswap_promotions, 1u);
     EXPECT_GT(rig.cg.stats().decompress_cycles, 0.0);
@@ -279,16 +279,16 @@ TEST(ZswapTest, TouchPromotesStoredPage)
     rig.zswap.store(rig.cg, 3);
     bool promoted = rig.cg.touch(3, false, rig.zswap);
     EXPECT_TRUE(promoted);
-    EXPECT_FALSE(rig.cg.page(3).test(kPageInZswap));
-    EXPECT_TRUE(rig.cg.page(3).test(kPageAccessed));
+    EXPECT_FALSE(rig.cg.page_test(3, kPageInZswap));
+    EXPECT_TRUE(rig.cg.page_test(3, kPageAccessed));
 }
 
 TEST(ZswapTest, IncompressiblePageRejectedAndMarked)
 {
     Rig rig(10, incompressible_mix());
     EXPECT_FALSE(rig.zswap.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageIncompressible));
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
+    EXPECT_TRUE(rig.cg.page_test(0, kPageIncompressible));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInZswap));
     EXPECT_EQ(rig.cg.resident_pages(), 10u);
     EXPECT_EQ(rig.cg.stats().zswap_rejects, 1u);
     // Cycles were burned on the failed attempt.
@@ -358,7 +358,7 @@ TEST(ZswapVerify, VerifiesAcrossContentClasses)
     for (PageId p = 0; p < 300; ++p)
         zswap.store(cg, p);
     for (PageId p = 0; p < 300; ++p) {
-        if (cg.page(p).test(kPageInZswap))
+        if (cg.page_test(p, kPageInZswap))
             zswap.load(cg, p);
     }
     EXPECT_GT(zswap.stats().verified_roundtrips, 250u);
@@ -428,21 +428,21 @@ TEST(KreclaimdTest, ReclaimsOnlyPagesPastThreshold)
     rig.cg.set_reclaim_threshold(2);
     ReclaimResult result = rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap);
     EXPECT_EQ(result.pages_stored, 9u);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInZswap));
 }
 
 TEST(KreclaimdTest, SkipsUnevictableAndIncompressible)
 {
     Rig rig(10);
     rig.cg.set_unevictable(0, true);
-    rig.cg.page(1).set(kPageIncompressible);
+    rig.cg.page_set(1, kPageIncompressible);
     rig.kstaled.scan(rig.cg);
     rig.cg.set_zswap_enabled(true);
     rig.cg.set_reclaim_threshold(1);
     ReclaimResult result = rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap);
     EXPECT_EQ(result.pages_stored, 8u);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
-    EXPECT_FALSE(rig.cg.page(1).test(kPageInZswap));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInZswap));
+    EXPECT_FALSE(rig.cg.page_test(1, kPageInZswap));
 }
 
 TEST(KreclaimdTest, SkipsRecentlyAccessed)
@@ -456,7 +456,7 @@ TEST(KreclaimdTest, SkipsRecentlyAccessed)
     rig.cg.set_reclaim_threshold(1);
     ReclaimResult result = rig.kreclaimd.reclaim_cold(rig.cg, rig.zswap);
     EXPECT_EQ(result.pages_stored, 3u);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInZswap));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInZswap));
 }
 
 TEST(KreclaimdTest, DirectReclaimTakesOldestFirst)
@@ -472,7 +472,7 @@ TEST(KreclaimdTest, DirectReclaimTakesOldestFirst)
     EXPECT_EQ(result.pages_stored, 3u);
     // The oldest (5-9) were taken, not the young ones.
     for (PageId p = 0; p < 5; ++p)
-        EXPECT_FALSE(rig.cg.page(p).test(kPageInZswap));
+        EXPECT_FALSE(rig.cg.page_test(p, kPageInZswap));
 }
 
 TEST(KreclaimdTest, DirectReclaimRespectsSoftLimit)

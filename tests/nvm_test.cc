@@ -68,13 +68,13 @@ TEST(NvmTier, StoreLoadRoundTrip)
 {
     Rig rig(10, 100);
     ASSERT_TRUE(rig.nvm.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageInFarTier));
+    EXPECT_TRUE(rig.cg.page_test(0, kPageInFarTier));
     EXPECT_EQ(rig.cg.resident_pages(), 9u);
     EXPECT_EQ(rig.cg.tier_pages(), 1u);
     EXPECT_EQ(rig.nvm.used_pages(), 1u);
 
     rig.nvm.load(rig.cg, 0);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInFarTier));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInFarTier));
     EXPECT_EQ(rig.cg.resident_pages(), 10u);
     EXPECT_EQ(rig.cg.stats().nvm_promotions, 1u);
     EXPECT_GT(rig.cg.stats().nvm_read_latency_us_sum, 0.0);
@@ -99,7 +99,7 @@ TEST(NvmTier, TouchPromotesFromNvm)
     rig.nvm.store(rig.cg, 3);
     bool promoted = rig.cg.touch(3, false, rig.stack);
     EXPECT_TRUE(promoted);
-    EXPECT_FALSE(rig.cg.page(3).test(kPageInFarTier));
+    EXPECT_FALSE(rig.cg.page_test(3, kPageInFarTier));
 }
 
 TEST(NvmTier, DropAllReleasesCapacity)
@@ -118,7 +118,7 @@ TEST(NvmTier, AcceptsIncompressiblePages)
     // No compression happens on the hardware tier: pages zswap must
     // reject are first-class citizens here.
     Rig rig(10, 100, ContentMix(0.0, 0.0, 0.0, 0.0, 1.0));
-    rig.cg.page(0).set(kPageIncompressible);
+    rig.cg.page_set(0, kPageIncompressible);
     EXPECT_TRUE(rig.nvm.store(rig.cg, 0));
 }
 
@@ -128,7 +128,7 @@ TEST(TwoTierRouting, ModeratelyColdToNvmDeepColdToZswap)
     rig.kstaled.scan(rig.cg);  // all pages at age 1
     // Pages 0-4 get deep-cold ages by hand.
     for (PageId p = 0; p < 5; ++p)
-        rig.cg.page(p).age = 50;
+        rig.cg.set_page_age(p, 50);
     rig.cg.set_zswap_enabled(true);
     rig.cg.set_reclaim_threshold(1);
     ReclaimResult result =
@@ -136,9 +136,9 @@ TEST(TwoTierRouting, ModeratelyColdToNvmDeepColdToZswap)
     EXPECT_EQ(result.pages_stored, 10u);
     EXPECT_EQ(result.pages_to_tier, 5u);  // the age-1 pages
     for (PageId p = 0; p < 5; ++p)
-        EXPECT_TRUE(rig.cg.page(p).test(kPageInZswap)) << p;
+        EXPECT_TRUE(rig.cg.page_test(p, kPageInZswap)) << p;
     for (PageId p = 5; p < 10; ++p)
-        EXPECT_TRUE(rig.cg.page(p).test(kPageInFarTier)) << p;
+        EXPECT_TRUE(rig.cg.page_test(p, kPageInFarTier)) << p;
 }
 
 TEST(TwoTierRouting, NvmOverflowFallsBackToZswap)

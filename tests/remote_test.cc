@@ -44,13 +44,13 @@ TEST(RemoteTier, StoreLoadRoundTrip)
 {
     Rig rig(10, small_remote(100));
     ASSERT_TRUE(rig.remote.store(rig.cg, 0));
-    EXPECT_TRUE(rig.cg.page(0).test(kPageInFarTier));
+    EXPECT_TRUE(rig.cg.page_test(0, kPageInFarTier));
     EXPECT_EQ(rig.remote.used_pages(), 1u);
     // Encryption cycles charged on the way out.
     EXPECT_GT(rig.cg.stats().compress_cycles, 0.0);
 
     rig.remote.load(rig.cg, 0);
-    EXPECT_FALSE(rig.cg.page(0).test(kPageInFarTier));
+    EXPECT_FALSE(rig.cg.page_test(0, kPageInFarTier));
     EXPECT_EQ(rig.remote.used_pages(), 0u);
     EXPECT_EQ(rig.cg.stats().nvm_promotions, 1u);
     // Decryption cycles charged on the way back.

@@ -128,9 +128,9 @@ TEST(ThreeTierStack, BandsRouteByDepthOfCold)
     Rig rig(10);
     rig.kstaled.scan(rig.cg);  // all pages at age 1: the NVM band
     for (PageId p = 0; p < 3; ++p)
-        rig.cg.page(p).age = 8;  // remote band [4T, 16T)
+        rig.cg.set_page_age(p, 8);  // remote band [4T, 16T)
     for (PageId p = 3; p < 5; ++p)
-        rig.cg.page(p).age = 50;  // past every band: zswap catch-all
+        rig.cg.set_page_age(p, 50);  // past every band: zswap catch-all
 
     ReclaimResult result = rig.kreclaimd.reclaim_cold(rig.cg, rig.route());
     EXPECT_EQ(result.pages_stored, 10u);
@@ -141,9 +141,9 @@ TEST(ThreeTierStack, BandsRouteByDepthOfCold)
     EXPECT_EQ(rig.plan.stored[1], 5u);
     EXPECT_EQ(rig.plan.stored[2], 3u);
     for (PageId p = 3; p < 5; ++p)
-        EXPECT_TRUE(rig.cg.page(p).test(kPageInZswap)) << p;
+        EXPECT_TRUE(rig.cg.page_test(p, kPageInZswap)) << p;
     for (PageId p = 5; p < 10; ++p)
-        EXPECT_TRUE(rig.cg.page(p).test(kPageInFarTier)) << p;
+        EXPECT_TRUE(rig.cg.page_test(p, kPageInFarTier)) << p;
 }
 
 TEST(ThreeTierStack, OpenBreakerHandsBandToShallowerTier)
@@ -151,7 +151,7 @@ TEST(ThreeTierStack, OpenBreakerHandsBandToShallowerTier)
     Rig rig(10);
     rig.kstaled.scan(rig.cg);
     for (PageId p = 0; p < 10; ++p)
-        rig.cg.page(p).age = 8;  // everything in the remote band
+        rig.cg.set_page_age(p, 8);  // everything in the remote band
 
     // Trip the remote breaker (failure_threshold = 1) before planning.
     EXPECT_TRUE(rig.stack.entry(2).breaker.record_failure());
@@ -203,10 +203,12 @@ TEST(ThreeTierMachine, EndToEndFillsBothDeepTiers)
     ASSERT_NE(job, nullptr);
     PageId aged = static_cast<PageId>(
         std::min<std::uint64_t>(job->memcg().num_pages(), 512));
+    Memcg &aged_cg = job->memcg();
     for (PageId p = 0; p < aged; ++p) {
-        PageMeta &page = job->memcg().page(p);
-        if (!page.test(kPageInZswap) && !page.test(kPageInFarTier))
-            page.age = 60;
+        if (!aged_cg.page_test(p, kPageInZswap) &&
+            !aged_cg.page_test(p, kPageInFarTier)) {
+            aged_cg.set_page_age(p, 60);
+        }
     }
     for (; now < 2 * kHour; now += kMinute)
         machine.step(now);
